@@ -1,0 +1,99 @@
+// Figure 3: average messages transferred per worker across supersteps for
+// the WG graph — PageRank (entire graph, ~constant line at ~637k per worker
+// per superstep in the paper) versus BC and APSP (one static swath of seven
+// roots, triangle waveform peaking at 4.7M / 3M messages).
+//
+// Reproduction target: PageRank's profile is flat; BC and APSP ramp up
+// near-exponentially, peak around the average-shortest-path superstep, and
+// drain with a long tail (BC's backward traversal makes its wave longer and
+// taller than APSP's).
+#include <algorithm>
+#include <iostream>
+
+#include "algos/apsp.hpp"
+#include "algos/bc.hpp"
+#include "algos/pagerank.hpp"
+#include "harness/experiment.hpp"
+#include "partition/partitioner.hpp"
+#include "util/ascii_plot.hpp"
+
+using namespace pregel;
+using namespace pregel::algos;
+using namespace pregel::harness;
+
+namespace {
+
+std::vector<double> per_worker_messages(const JobMetrics& m) {
+  std::vector<double> out;
+  for (const auto& s : m.supersteps)
+    out.push_back(static_cast<double>(s.messages_sent_total()) /
+                  std::max(1u, s.active_workers));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 3 — message profile per superstep (WG, 8 workers)",
+         "PageRank flat (~637k msgs/worker); BC and APSP triangle waves "
+         "(peaks 4.7M and 3M for a single 7-root swath)");
+
+  const Graph& g = dataset("WG");
+  const auto parts = HashPartitioner{}.partition(g, 8);
+  ClusterConfig cluster = make_cluster(env(), 8, 8);
+
+  const int pr_iters = env().quick ? 10 : 30;
+  const auto pr = run_pagerank(g, cluster, parts, pr_iters);
+  const auto roots = pick_roots(g, 7, env().seed + 3);
+  const auto bc = run_bc(g, cluster, parts, roots);
+  const auto apsp = run_apsp(g, cluster, parts, roots);
+
+  const auto pr_series = per_worker_messages(pr.metrics);
+  const auto bc_series = per_worker_messages(bc.metrics);
+  const auto apsp_series = per_worker_messages(apsp.metrics);
+
+  std::cout << ascii_line_chart({{"PageRank", pr_series},
+                                 {"BC (7-root swath)", bc_series},
+                                 {"APSP (7-root swath)", apsp_series}},
+                                70, 16, "avg messages per worker per superstep");
+
+  auto stats = [](const std::vector<double>& s) {
+    double peak = 0, sum = 0;
+    for (double v : s) {
+      peak = std::max(peak, v);
+      sum += v;
+    }
+    const double mean = s.empty() ? 0.0 : sum / static_cast<double>(s.size());
+    return std::pair{peak, mean};
+  };
+  const auto [pr_peak, pr_mean] = stats(pr_series);
+  const auto [bc_peak, bc_mean] = stats(bc_series);
+  const auto [apsp_peak, apsp_mean] = stats(apsp_series);
+
+  TextTable t({"app", "supersteps", "peak msgs/worker", "mean msgs/worker", "peak/mean"});
+  t.add_row({"PageRank", std::to_string(pr_series.size()), fmt(pr_peak, 0), fmt(pr_mean, 0),
+             fmt(pr_peak / pr_mean, 2)});
+  t.add_row({"BC", std::to_string(bc_series.size()), fmt(bc_peak, 0), fmt(bc_mean, 0),
+             fmt(bc_peak / bc_mean, 2)});
+  t.add_row({"APSP", std::to_string(apsp_series.size()), fmt(apsp_peak, 0),
+             fmt(apsp_mean, 0), fmt(apsp_peak / apsp_mean, 2)});
+  t.print(std::cout);
+
+  std::cout << "\nshape check: PageRank peak/mean ~1 (flat): " << fmt(pr_peak / pr_mean, 2)
+            << "; BC/APSP strongly peaked (>2): " << fmt(bc_peak / bc_mean, 2) << " / "
+            << fmt(apsp_peak / apsp_mean, 2) << "\n";
+  std::cout << "BC peak exceeds APSP peak (backward traversal): "
+            << (bc_peak > apsp_peak ? "yes" : "no") << "\n";
+
+  write_csv("fig3_message_profile", [&](CsvWriter& w) {
+    w.header({"app", "superstep", "avg_messages_per_worker"});
+    auto emit = [&w](const char* app, const std::vector<double>& s) {
+      for (std::size_t i = 0; i < s.size(); ++i)
+        w.field(app).field(std::uint64_t{i}).field(s[i]).end_row();
+    };
+    emit("pagerank", pr_series);
+    emit("bc", bc_series);
+    emit("apsp", apsp_series);
+  });
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Figure 6: speedup of the swath-initiation heuristics versus strictly
+// sequential (non-overlapping) swath execution, BC on 8 workers.
+//
+// Paper: overlapping the tail of one swath with the ramp of the next flattens
+// resource usage and removes supersteps. Static-N's benefit depends on N vs
+// the graph's average shortest path (N=6 hand-picked best for WG, N=4 for
+// the larger CP); the dynamic (message-peak) heuristic reaches up to 24%
+// speedup on WG with no tuning.
+#include <iostream>
+#include <memory>
+
+#include "algos/bc.hpp"
+#include "harness/experiment.hpp"
+#include "partition/partitioner.hpp"
+#include "util/ascii_plot.hpp"
+
+using namespace pregel;
+using namespace pregel::algos;
+using namespace pregel::harness;
+
+namespace {
+
+struct Run {
+  std::string label;
+  Seconds time = 0.0;
+  std::uint64_t supersteps = 0;
+  double speedup = 1.0;
+};
+
+Run run_policy(const std::string& label, const Graph& g, const ClusterConfig& cluster,
+               const Partitioning& parts, const std::vector<VertexId>& roots,
+               std::uint32_t swath_size, std::shared_ptr<InitiationPolicy> initiation) {
+  JobOptions opts;
+  opts.roots = roots;
+  opts.swath = SwathPolicy::make(std::make_shared<StaticSwathSizer>(swath_size),
+                                 std::move(initiation), memory_target(cluster.vm));
+  opts.fail_on_vm_restart = false;
+  Engine<BcProgram> engine(g, {}, cluster, parts);
+  const auto r = engine.run(opts);
+  return {label, r.metrics.total_time, r.metrics.total_supersteps(), 1.0};
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 6 — swath-initiation heuristic speedup vs sequential (BC, 8 workers)",
+         "dynamic up to 24% on WG; Static-N graph-dependent (N=4 best for CP)");
+
+  std::vector<std::pair<std::string, Run>> all;
+
+  for (const std::string name : {"WG", "CP"}) {
+    const Graph& g = dataset(name);
+    const auto parts = HashPartitioner{}.partition(g, 8);
+    ClusterConfig cluster = make_cluster(env(), 8, 8);
+
+    // Fixed swath size ~half the memory-fitting size, so two overlapping
+    // swaths stay within the target.
+    const std::uint32_t swath_size = env().quick ? 4 : 10;
+    const std::size_t total_roots = env().quick ? 16 : 50;
+    const auto roots = pick_roots(g, total_roots, env().seed + 29);
+    std::cout << name << ": " << total_roots << " roots in swaths of " << swath_size
+              << "\n";
+
+    std::vector<Run> rs;
+    rs.push_back(run_policy("sequential", g, cluster, parts, roots, swath_size,
+                            std::make_shared<SequentialInitiation>()));
+    for (std::uint64_t n : {2u, 4u, 6u})
+      rs.push_back(run_policy("static-" + std::to_string(n), g, cluster, parts, roots,
+                              swath_size, std::make_shared<StaticNInitiation>(n)));
+    rs.push_back(run_policy("dynamic", g, cluster, parts, roots, swath_size,
+                            std::make_shared<DynamicPeakInitiation>()));
+    // The paper's §IV also names memory utilization and traffic decay as
+    // candidate trigger signals; we run those variants too.
+    rs.push_back(run_policy("mem-headroom", g, cluster, parts, roots, swath_size,
+                            std::make_shared<MemoryHeadroomInitiation>()));
+    rs.push_back(run_policy("traffic-decay", g, cluster, parts, roots, swath_size,
+                            std::make_shared<TrafficDecayInitiation>()));
+
+    for (auto& r : rs) {
+      r.speedup = rs.front().time / r.time;
+      all.emplace_back(name, r);
+    }
+  }
+
+  TextTable t({"graph", "initiation", "modeled time", "supersteps", "speedup vs sequential"});
+  std::vector<std::pair<std::string, double>> bars;
+  for (const auto& [g, r] : all) {
+    t.add_row({g, r.label, format_seconds(r.time), std::to_string(r.supersteps),
+               fmt(r.speedup, 3) + "x"});
+    bars.emplace_back(g + " " + r.label, r.speedup);
+  }
+  t.print(std::cout);
+  std::cout << "\n" << ascii_bar_chart(bars, 50, "speedup vs sequential", 1.0);
+
+  write_csv("fig6_initiation_speedup", [&](CsvWriter& w) {
+    w.header({"graph", "initiation", "modeled_seconds", "supersteps", "speedup"});
+    for (const auto& [g, r] : all)
+      w.field(g).field(r.label).field(r.time).field(r.supersteps).field(r.speedup).end_row();
+  });
+  return 0;
+}

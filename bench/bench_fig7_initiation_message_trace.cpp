@@ -1,0 +1,96 @@
+// Figure 7: message transfers over time for the swath-initiation heuristics,
+// BC on the WG graph (flatter is better).
+//
+// Paper: sequential initiation shows repeated peak-and-drain-to-zero cycles
+// (poor utilization); Static-6 (hand-picked optimal) sustains a high message
+// rate; dynamic is slightly more conservative but automated.
+#include <iostream>
+#include <memory>
+
+#include "algos/bc.hpp"
+#include "harness/experiment.hpp"
+#include "partition/partitioner.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/stats.hpp"
+
+using namespace pregel;
+using namespace pregel::algos;
+using namespace pregel::harness;
+
+namespace {
+
+struct Trace {
+  std::string label;
+  std::vector<double> msgs;  ///< per superstep
+  Seconds total = 0.0;
+};
+
+Trace run_trace(const std::string& label, const Graph& g, const ClusterConfig& cluster,
+                const Partitioning& parts, const std::vector<VertexId>& roots,
+                std::uint32_t swath_size, std::shared_ptr<InitiationPolicy> initiation) {
+  JobOptions opts;
+  opts.roots = roots;
+  opts.swath = SwathPolicy::make(std::make_shared<StaticSwathSizer>(swath_size),
+                                 std::move(initiation), memory_target(cluster.vm));
+  opts.fail_on_vm_restart = false;
+  Engine<BcProgram> engine(g, {}, cluster, parts);
+  const auto r = engine.run(opts);
+  Trace tr;
+  tr.label = label;
+  tr.total = r.metrics.total_time;
+  for (const auto& sm : r.metrics.supersteps)
+    tr.msgs.push_back(static_cast<double>(sm.messages_sent_total()));
+  return tr;
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 7 — message transfers over supersteps per initiation heuristic (BC, WG)",
+         "sequential: peaks falling to zero; static-6: sustained high rate; "
+         "dynamic: slightly conservative but automated. Flatter is better.");
+
+  const Graph& g = dataset("WG");
+  const auto parts = HashPartitioner{}.partition(g, 8);
+  ClusterConfig cluster = make_cluster(env(), 8, 8);
+  const std::uint32_t swath_size = env().quick ? 4 : 10;
+  const std::size_t total_roots = env().quick ? 16 : 50;
+  const auto roots = pick_roots(g, total_roots, env().seed + 29);
+
+  std::vector<Trace> traces;
+  traces.push_back(run_trace("sequential", g, cluster, parts, roots, swath_size,
+                             std::make_shared<SequentialInitiation>()));
+  traces.push_back(run_trace("static-6", g, cluster, parts, roots, swath_size,
+                             std::make_shared<StaticNInitiation>(6)));
+  traces.push_back(run_trace("dynamic", g, cluster, parts, roots, swath_size,
+                             std::make_shared<DynamicPeakInitiation>()));
+
+  std::vector<Series> series;
+  for (const auto& tr : traces) series.push_back({tr.label, tr.msgs});
+  std::cout << ascii_line_chart(series, 70, 16, "messages sent per superstep");
+
+  TextTable t({"initiation", "supersteps", "total time", "msg rate variability (cv)",
+               "zero-traffic supersteps"});
+  for (const auto& tr : traces) {
+    RunningStats s;
+    int zeros = 0;
+    for (double m : tr.msgs) {
+      s.add(m);
+      zeros += m == 0.0 ? 1 : 0;
+    }
+    const double cv = s.mean() > 0 ? s.stddev() / s.mean() : 0.0;
+    t.add_row({tr.label, std::to_string(tr.msgs.size()), format_seconds(tr.total),
+               fmt(cv, 2), std::to_string(zeros)});
+  }
+  t.print(std::cout);
+  std::cout << "\nflatness = lower coefficient of variation; overlap removes the "
+               "drain-to-zero valleys of sequential execution\n";
+
+  write_csv("fig7_initiation_message_trace", [&](CsvWriter& w) {
+    w.header({"initiation", "superstep", "messages_sent"});
+    for (const auto& tr : traces)
+      for (std::size_t i = 0; i < tr.msgs.size(); ++i)
+        w.field(tr.label).field(std::uint64_t{i}).field(tr.msgs[i]).end_row();
+  });
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Google-benchmark microbenchmarks of the framework's hot paths: message
+// routing throughput through the engine, partitioner throughput, and graph
+// generation. These are not paper figures; they track the simulator's own
+// performance so regressions in the substrate are visible.
+#include <benchmark/benchmark.h>
+
+#include "algos/pagerank.hpp"
+#include "algos/sssp.hpp"
+#include "graph/generators.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/streaming.hpp"
+
+namespace {
+
+using namespace pregel;
+using namespace pregel::algos;
+
+const Graph& bench_graph() {
+  static const Graph g = barabasi_albert(20000, 6, 99);
+  return g;
+}
+
+ClusterConfig bench_cluster() {
+  ClusterConfig c;
+  c.num_partitions = 8;
+  c.initial_workers = 8;
+  return c;
+}
+
+void BM_EngineMessageRouting(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const auto parts = HashPartitioner{}.partition(g, 8);
+  const int iters = static_cast<int>(state.range(0));
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    const auto r = run_pagerank(g, bench_cluster(), parts, iters);
+    messages += r.metrics.total_messages();
+    benchmark::DoNotOptimize(r.values.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+  state.counters["msgs/s"] = benchmark::Counter(static_cast<double>(messages),
+                                                benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineMessageRouting)->Arg(2)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_EngineTraversal(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const auto parts = HashPartitioner{}.partition(g, 8);
+  for (auto _ : state) {
+    const auto r = run_sssp(g, bench_cluster(), parts, 0);
+    benchmark::DoNotOptimize(r.values.data());
+  }
+}
+BENCHMARK(BM_EngineTraversal)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionHash(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  for (auto _ : state) {
+    const auto p = HashPartitioner{}.partition(g, 8);
+    benchmark::DoNotOptimize(p.assignment().data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_PartitionHash)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionStreamingLdg(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  StreamingPartitioner sp;
+  for (auto _ : state) {
+    const auto p = sp.partition(g, 8);
+    benchmark::DoNotOptimize(p.assignment().data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_PartitionStreamingLdg)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionMultilevel(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  MultilevelPartitioner mp;
+  for (auto _ : state) {
+    const auto p = mp.partition(g, 8);
+    benchmark::DoNotOptimize(p.assignment().data());
+  }
+}
+BENCHMARK(BM_PartitionMultilevel)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateRmat(benchmark::State& state) {
+  for (auto _ : state) {
+    const Graph g = rmat({.scale = 14, .target_edges = 100000}, 7);
+    benchmark::DoNotOptimize(g.num_arcs());
+  }
+}
+BENCHMARK(BM_GenerateRmat)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateBarabasiAlbert(benchmark::State& state) {
+  for (auto _ : state) {
+    const Graph g = barabasi_albert(20000, 6, 3);
+    benchmark::DoNotOptimize(g.num_arcs());
+  }
+}
+BENCHMARK(BM_GenerateBarabasiAlbert)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

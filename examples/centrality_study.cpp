@@ -1,0 +1,84 @@
+// Centrality study: the paper's motivating scenario — find the key actors
+// in a social network with betweenness centrality, on a cloud deployment
+// whose memory you must not blow.
+//
+//   $ ./build/examples/centrality_study [n_vertices]
+//
+// Demonstrates the swath scheduler end to end: a naive all-at-once BC run
+// versus the adaptive-size / dynamic-initiation heuristics, with the
+// resulting top-central vertices, modeled runtime and dollar cost.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <numeric>
+
+#include "algos/bc.hpp"
+#include "graph/generators.hpp"
+#include "partition/partitioner.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pregel;
+  using namespace pregel::algos;
+
+  const VertexId n = argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 4000;
+
+  // A scale-free "collaboration network" with hubs (the structure that makes
+  // BC interesting — and that spikes BSP message volume).
+  const Graph g = barabasi_albert(n, 4, 7);
+  std::cout << "social network: " << g.summary() << "\n";
+
+  ClusterConfig cluster;
+  cluster.num_partitions = 4;
+  cluster.initial_workers = 4;
+  // A deliberately tight VM so the memory problem is visible at demo scale.
+  cluster.vm = cloud::with_scaled_ram(cloud::azure_large_2012(), 0.002);  // ~14 MiB
+  const Partitioning parts = HashPartitioner{}.partition(g, 4);
+
+  // Exact BC needs a traversal per vertex; sample roots like the paper does
+  // and extrapolate ranks from the sample.
+  std::vector<VertexId> roots(std::min<VertexId>(n, 64));
+  std::iota(roots.begin(), roots.end(), VertexId{0});
+
+  std::cout << "\n[1] naive Pregel: all " << roots.size() << " traversals at once\n";
+  {
+    JobOptions opts;
+    opts.roots = roots;
+    opts.fail_on_vm_restart = false;  // watch it struggle instead of dying
+    Engine<BcProgram> engine(g, {}, cluster, parts);
+    const auto r = engine.run(opts);
+    std::cout << "    peak worker memory " << format_bytes(r.metrics.peak_worker_memory())
+              << " on a " << format_bytes(cluster.vm.ram) << " VM"
+              << (r.failed ? "  -> VM RESTARTED, job failed" : "") << "\n";
+    std::cout << "    modeled time " << format_seconds(r.metrics.total_time) << ", cost "
+              << format_usd(r.metrics.cost_usd) << "\n";
+  }
+
+  std::cout << "\n[2] swath-scheduled: adaptive size + dynamic initiation\n";
+  JobOptions opts;
+  opts.roots = roots;
+  opts.swath = SwathPolicy::make(
+      std::make_shared<AdaptiveSwathSizer>(4), std::make_shared<DynamicPeakInitiation>(),
+      static_cast<Bytes>(static_cast<double>(cluster.vm.ram) * 6.0 / 7.0));
+  Engine<BcProgram> engine(g, {}, cluster, parts);
+  const auto r = engine.run(opts);
+  std::cout << "    " << r.swaths_initiated << " swaths, peak worker memory "
+            << format_bytes(r.metrics.peak_worker_memory()) << "\n";
+  std::cout << "    modeled time " << format_seconds(r.metrics.total_time) << ", cost "
+            << format_usd(r.metrics.cost_usd) << "\n";
+
+  // Report the most central vertices found.
+  std::vector<VertexId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return r.values[a].bc_score > r.values[b].bc_score;
+  });
+  std::cout << "\ntop-5 central vertices (sampled-root betweenness):\n";
+  for (int i = 0; i < 5; ++i) {
+    const VertexId v = order[static_cast<std::size_t>(i)];
+    std::cout << "  #" << i + 1 << "  vertex " << v << "  score "
+              << fmt(r.values[v].bc_score, 1) << "  degree " << g.out_degree(v) << "\n";
+  }
+  std::cout << "\n(hubs dominate: betweenness tracks, but is not identical to, degree)\n";
+  return 0;
+}

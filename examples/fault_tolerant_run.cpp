@@ -1,0 +1,74 @@
+// Fault-tolerant centrality on unreliable workers: the same BC job run
+// (1) without fault tolerance on a healthy cluster, (2) without fault
+// tolerance on a flaky cluster (job lost), and (3) with checkpointing on the
+// flaky cluster (job recovers, results identical).
+//
+//   $ ./build/examples/fault_tolerant_run
+#include <iostream>
+
+#include "algos/bc.hpp"
+#include "graph/generators.hpp"
+#include "partition/partitioner.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace pregel;
+  using namespace pregel::algos;
+
+  const Graph g = watts_strogatz(5000, 6, 0.1, 21);
+  std::cout << "workload: BC, 16 sampled roots on " << g.summary() << "\n\n";
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  std::vector<VertexId> roots;
+  for (VertexId v = 0; v < 16; ++v) roots.push_back(v * 300);
+
+  JobOptions opts;
+  opts.roots = roots;
+  opts.fail_on_vm_restart = false;
+
+  // (1) Healthy cluster, no fault tolerance.
+  ClusterConfig healthy;
+  healthy.num_partitions = 4;
+  healthy.initial_workers = 4;
+  Engine<BcProgram> e1(g, {}, healthy, parts);
+  const auto clean = e1.run(opts);
+  std::cout << "[healthy, no checkpoints]   " << format_seconds(clean.metrics.total_time)
+            << ", " << clean.roots_completed << "/16 roots\n";
+
+  // (2) Flaky cluster, no fault tolerance: one worker dies mid-job.
+  ClusterConfig flaky = healthy;
+  flaky.scheduled_failures = {{9, 2}};
+  Engine<BcProgram> e2(g, {}, flaky, parts);
+  const auto lost = e2.run(opts);
+  std::cout << "[flaky, no checkpoints]     "
+            << (lost.failed ? "JOB LOST (" + lost.failure_reason + ")" : "??") << "\n";
+
+  // (3) Flaky cluster with checkpoints every 4 supersteps.
+  ClusterConfig protected_cfg = flaky;
+  protected_cfg.checkpoint_interval = 4;
+  Engine<BcProgram> e3(g, {}, protected_cfg, parts);
+  const auto recovered = e3.run(opts);
+  std::cout << "[flaky, checkpoint every 4] " << format_seconds(recovered.metrics.total_time)
+            << ", " << recovered.roots_completed << "/16 roots, "
+            << recovered.metrics.worker_failures << " failure(s), "
+            << recovered.metrics.replayed_supersteps << " supersteps replayed, "
+            << format_seconds(recovered.metrics.recovery_time) << " recovering\n";
+
+  // Results must match the healthy run exactly.
+  double max_diff = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    max_diff = std::max(max_diff,
+                        std::abs(recovered.values[v].bc_score - clean.values[v].bc_score));
+  std::cout << "\nmax |BC difference| healthy vs recovered: " << max_diff
+            << (max_diff == 0.0 ? "  (bit-identical)" : "") << "\n";
+  std::cout << "overhead of surviving the failure: "
+            << fmt(recovered.metrics.total_time / clean.metrics.total_time, 2)
+            << "x time, " << fmt(recovered.metrics.cost_usd / clean.metrics.cost_usd, 2)
+            << "x cost\n";
+  std::cout << "(recovery is dominated by the fixed detection + VM-reacquisition "
+            << format_seconds(protected_cfg.failure_detection_time +
+                              protected_cfg.vm_reacquisition_time)
+            << ";\n for a demo-sized job that dwarfs the compute — on an hours-long "
+               "production job\n the same constants are noise, and the alternative is "
+               "losing the job.)\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Partition advisor: evaluate the three partitioning strategies of §VII on
+// a given edge-list file (or a generated graph) and recommend one for
+// Pregel/BSP — including the paper's counterintuitive caveat that the lowest
+// edge-cut is not automatically the fastest under barrier synchronization.
+//
+//   $ ./build/examples/partition_advisor [edge_list_file]
+#include <iostream>
+#include <memory>
+
+#include "algos/pagerank.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/quality.hpp"
+#include "partition/streaming.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pregel;
+
+  Graph g;
+  if (argc > 1) {
+    std::cout << "loading " << argv[1] << " ...\n";
+    g = read_edge_list_file(argv[1]);
+  } else {
+    g = relabel_vertices(watts_strogatz(30000, 8, 0.08, 5), 99);
+    std::cout << "no file given; using a generated small-world graph\n";
+  }
+  std::cout << "graph: " << g.summary() << "\n\n";
+
+  constexpr PartitionId kParts = 8;
+  ClusterConfig cluster;
+  cluster.num_partitions = kParts;
+  cluster.initial_workers = kParts;
+
+  struct Candidate {
+    std::string label;
+    std::unique_ptr<Partitioner> partitioner;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back({"hash (Pregel default)", std::make_unique<HashPartitioner>()});
+  candidates.push_back(
+      {"streaming LDG (one pass)", std::make_unique<StreamingPartitioner>()});
+  candidates.push_back({"multilevel (METIS-like)", std::make_unique<MultilevelPartitioner>()});
+
+  TextTable t({"strategy", "remote edges %", "vertex balance", "edge balance",
+               "PageRank probe", "probe utilization %"});
+  std::string best;
+  double best_time = 0.0;
+  for (const auto& c : candidates) {
+    const auto parts = c.partitioner->partition(g, kParts);
+    const auto q = evaluate_partition(g, parts);
+    const auto probe = algos::run_pagerank(g, cluster, parts, 10);
+    t.add_row({c.label, fmt(q.remote_edge_fraction * 100, 1), fmt(q.vertex_balance, 3),
+               fmt(q.edge_balance, 3), format_seconds(probe.metrics.total_time),
+               fmt(probe.metrics.utilization() * 100, 1)});
+    if (best.empty() || probe.metrics.total_time < best_time) {
+      best = c.label;
+      best_time = probe.metrics.total_time;
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nrecommendation (by probe time): " << best << "\n";
+  std::cout << "caveat from the paper (§VII): a low edge-cut can concentrate the\n"
+               "active frontier in few partitions; under BSP's barrier the slowest\n"
+               "worker sets the pace, so probe with YOUR algorithm's message shape —\n"
+               "uniform-profile PageRank rewards cuts more than BC/APSP do.\n";
+  return 0;
+}

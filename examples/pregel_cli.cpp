@@ -1,0 +1,266 @@
+// pregel_cli — run any built-in algorithm on a graph from the command line.
+//
+//   pregel_cli --algo=pagerank --graph=ws:10000,8,0.1 --workers=8
+//   pregel_cli --algo=bc --graph=file:web.txt --partitioner=metis
+//     --roots=64 --swath=adaptive --verbose
+//
+// Graphs: file:<edge list path> | ws:<n,k,beta> | ba:<n,m> | er:<n,m>
+//         | rmat:<scale,edges> | analog:<SD|WG|CP|LJ>
+// Algorithms: pagerank | bc | apsp | sssp | components | labelprop
+//             | kcore | triangles | mis | coloring
+// Partitioners: hash | metis | stream
+// Swath: single | static:<k> | sampling | adaptive  (root algorithms only)
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <set>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "algos/apsp.hpp"
+#include "algos/bc.hpp"
+#include "algos/coloring.hpp"
+#include "algos/components.hpp"
+#include "algos/kcore.hpp"
+#include "algos/label_propagation.hpp"
+#include "algos/mis.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/semi_clustering.hpp"
+#include "algos/sssp.hpp"
+#include "algos/triangles.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "harness/experiment.hpp"
+#include "partition/partitioner.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace pregel;
+
+[[noreturn]] void usage(const std::string& error = {}) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: pregel_cli [options]\n"
+      "  --algo=NAME         pagerank|bc|apsp|sssp|components|labelprop|kcore|\n"
+      "                      triangles|mis|coloring|semiclustering (default pagerank)\n"
+      "  --graph=SPEC        file:PATH | ws:N,K,BETA | ba:N,M | er:N,M |\n"
+      "                      rmat:SCALE,EDGES | analog:SD|WG|CP|LJ\n"
+      "                                                    (default ws:10000,8,0.1)\n"
+      "  --partitioner=NAME  hash|metis|stream             (default hash)\n"
+      "  --partitions=N      logical partitions            (default 8)\n"
+      "  --workers=N         worker VMs                    (default = partitions)\n"
+      "  --roots=N           sampled roots for bc/apsp     (default 16)\n"
+      "  --source=V          source vertex for sssp        (default 0)\n"
+      "  --k=N               k for kcore                   (default 2)\n"
+      "  --iters=N           iterations for pagerank/labelprop (default 30/10)\n"
+      "  --swath=POLICY      single|static:K|sampling|adaptive (default single)\n"
+      "  --seed=N            generator seed                (default 2013)\n"
+      "  --verbose           per-superstep metrics\n";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+std::map<std::string, std::string> parse_args(int argc, char** argv) {
+  std::map<std::string, std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage();
+    if (arg.rfind("--", 0) != 0) usage("unexpected argument " + arg);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      out[arg.substr(2)] = "1";
+    } else {
+      out[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> parse_numbers(const std::string& csv) {
+  std::vector<std::uint64_t> out;
+  std::stringstream ss(csv);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) out.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+  return out;
+}
+
+Graph load_graph(const std::string& spec, std::uint64_t seed) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) usage("graph spec needs a kind prefix: " + spec);
+  const std::string kind = spec.substr(0, colon);
+  const std::string rest = spec.substr(colon + 1);
+  if (kind == "file") return read_edge_list_file(rest);
+  if (kind == "analog") return dataset_analog(rest, 10, seed);
+  const auto nums = parse_numbers(rest);
+  if (kind == "ws") {
+    if (nums.size() != 3 && nums.size() != 2) usage("ws:N,K[,BETAx100]");
+    const double beta = nums.size() == 3 ? static_cast<double>(nums[2]) / 100.0 : 0.1;
+    return watts_strogatz(static_cast<VertexId>(nums[0]),
+                          static_cast<std::uint32_t>(nums[1]), beta, seed);
+  }
+  if (kind == "ba")
+    return barabasi_albert(static_cast<VertexId>(nums.at(0)),
+                           static_cast<std::uint32_t>(nums.at(1)), seed);
+  if (kind == "er")
+    return erdos_renyi(static_cast<VertexId>(nums.at(0)), nums.at(1), seed);
+  if (kind == "rmat")
+    return rmat({.scale = static_cast<std::uint32_t>(nums.at(0)), .target_edges = nums.at(1)},
+                seed);
+  usage("unknown graph kind " + kind);
+}
+
+SwathPolicy parse_swath(const std::string& spec, Bytes target) {
+  if (spec == "single") return SwathPolicy::single_swath();
+  if (spec == "sampling")
+    return SwathPolicy::make(std::make_shared<SamplingSwathSizer>(),
+                             std::make_shared<DynamicPeakInitiation>(), target);
+  if (spec == "adaptive")
+    return SwathPolicy::make(std::make_shared<AdaptiveSwathSizer>(),
+                             std::make_shared<DynamicPeakInitiation>(), target);
+  if (spec.rfind("static:", 0) == 0) {
+    const auto k = static_cast<std::uint32_t>(
+        std::strtoul(spec.c_str() + 7, nullptr, 10));
+    return SwathPolicy::make(std::make_shared<StaticSwathSizer>(std::max(k, 1u)),
+                             std::make_shared<SequentialInitiation>(), target);
+  }
+  usage("unknown swath policy " + spec);
+}
+
+void print_report(const JobMetrics& m, bool verbose) {
+  std::cout << "\nexecution report\n";
+  std::cout << "  supersteps:      " << m.total_supersteps() << "\n";
+  std::cout << "  messages:        " << format_count(m.total_messages()) << "\n";
+  std::cout << "  modeled time:    " << format_seconds(m.total_time) << "\n";
+  std::cout << "  modeled cost:    " << format_usd(m.cost_usd) << "\n";
+  std::cout << "  peak worker mem: " << format_bytes(m.peak_worker_memory()) << "\n";
+  std::cout << "  utilization:     " << fmt(m.utilization() * 100, 1) << "%\n";
+  if (!verbose) return;
+  TextTable t({"superstep", "workers", "active", "messages", "span", "max mem"});
+  for (const auto& s : m.supersteps)
+    t.add_row({std::to_string(s.superstep), std::to_string(s.active_workers),
+               format_count(s.active_vertices), format_count(s.messages_sent_total()),
+               format_seconds(s.span), format_bytes(s.max_worker_memory())});
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  auto get = [&args](const std::string& key, const std::string& fallback) {
+    auto it = args.find(key);
+    return it == args.end() ? fallback : it->second;
+  };
+
+  const std::uint64_t seed = std::strtoull(get("seed", "2013").c_str(), nullptr, 10);
+  const Graph g = load_graph(get("graph", "ws:10000,8,10"), seed);
+  std::cout << "graph: " << g.summary() << "\n";
+
+  const auto partitions =
+      static_cast<std::uint32_t>(std::strtoul(get("partitions", "8").c_str(), nullptr, 10));
+  const auto workers = static_cast<std::uint32_t>(
+      std::strtoul(get("workers", std::to_string(partitions)).c_str(), nullptr, 10));
+  ClusterConfig cluster;
+  cluster.num_partitions = partitions;
+  cluster.initial_workers = workers;
+
+  const auto partitioner = harness::make_partitioner(
+      get("partitioner", "hash") == "metis" ? "metis"
+      : get("partitioner", "hash") == "stream" ? "stream" : "hash",
+      seed);
+  const auto parts = partitioner->partition(g, partitions);
+  std::cout << "partitioner: " << partitioner->name() << ", " << partitions
+            << " partitions on " << workers << " worker VMs\n";
+
+  const bool verbose = args.contains("verbose");
+  const std::string algo = get("algo", "pagerank");
+  const Bytes target = static_cast<Bytes>(static_cast<double>(cluster.vm.ram) * 6 / 7);
+  const auto swath = parse_swath(get("swath", "single"), target);
+  const auto n_roots = std::strtoull(get("roots", "16").c_str(), nullptr, 10);
+  const auto roots = harness::pick_roots(g, n_roots, seed + 1);
+
+  using namespace pregel::algos;
+  if (algo == "pagerank") {
+    const int iters = std::atoi(get("iters", "30").c_str());
+    const auto r = run_pagerank(g, cluster, parts, iters);
+    VertexId best = 0;
+    for (VertexId v = 1; v < g.num_vertices(); ++v)
+      if (r.values[v].rank > r.values[best].rank) best = v;
+    std::cout << "top vertex: " << best << " rank " << r.values[best].rank << "\n";
+    print_report(r.metrics, verbose);
+  } else if (algo == "bc") {
+    const auto r = run_bc(g, cluster, parts, roots, swath);
+    VertexId best = 0;
+    for (VertexId v = 1; v < g.num_vertices(); ++v)
+      if (r.values[v].bc_score > r.values[best].bc_score) best = v;
+    std::cout << "roots completed: " << r.roots_completed << "/" << roots.size()
+              << "; most central vertex: " << best << " score "
+              << fmt(r.values[best].bc_score, 1) << "\n";
+    print_report(r.metrics, verbose);
+  } else if (algo == "apsp") {
+    const auto r = run_apsp(g, cluster, parts, roots, swath);
+    std::cout << "roots completed: " << r.roots_completed << "/" << roots.size() << "\n";
+    print_report(r.metrics, verbose);
+  } else if (algo == "sssp") {
+    const auto src = static_cast<VertexId>(std::strtoul(get("source", "0").c_str(), nullptr, 10));
+    const auto r = run_sssp(g, cluster, parts, src);
+    std::uint64_t reached = 0;
+    for (const auto& v : r.values) reached += v.distance != SsspProgram::kUnreached;
+    std::cout << "reached " << format_count(reached) << " vertices from " << src << "\n";
+    print_report(r.metrics, verbose);
+  } else if (algo == "components") {
+    const auto r = run_components(g, cluster, parts);
+    std::set<VertexId> labels;
+    for (const auto& v : r.values) labels.insert(v.label);
+    std::cout << "components: " << labels.size() << "\n";
+    print_report(r.metrics, verbose);
+  } else if (algo == "labelprop") {
+    const int iters = std::atoi(get("iters", "10").c_str());
+    const auto r = run_label_propagation(g, cluster, parts, iters);
+    std::set<VertexId> labels;
+    for (const auto& v : r.values) labels.insert(v.label);
+    std::cout << "communities: " << labels.size() << "\n";
+    print_report(r.metrics, verbose);
+  } else if (algo == "kcore") {
+    const auto k = static_cast<std::uint32_t>(std::strtoul(get("k", "2").c_str(), nullptr, 10));
+    const auto r = run_kcore(g, cluster, parts, k);
+    std::uint64_t in = 0;
+    for (const auto& v : r.values) in += v.in_core;
+    std::cout << k << "-core size: " << format_count(in) << "\n";
+    print_report(r.metrics, verbose);
+  } else if (algo == "triangles") {
+    const auto r = run_triangles(g, cluster, parts);
+    std::cout << "triangles: " << format_count(total_triangles(r)) << "\n";
+    print_report(r.metrics, verbose);
+  } else if (algo == "mis") {
+    const auto r = run_mis(g, cluster, parts, seed);
+    std::uint64_t in = 0;
+    for (const auto& v : r.values) in += v.state == MisProgram::State::kInSet;
+    std::cout << "independent set size: " << format_count(in) << "\n";
+    print_report(r.metrics, verbose);
+  } else if (algo == "semiclustering") {
+    const int iters = std::atoi(get("iters", "8").c_str());
+    const auto r = run_semi_clustering(g, cluster, parts, iters, 4, 8, /*f_B=*/0.1);
+    double best = -1e300;
+    std::size_t best_size = 0;
+    for (const auto& v : r.values)
+      for (const auto& c : v.clusters)
+        if (c.members.size() > 1 && c.score(0.1) > best) {
+          best = c.score(0.1);
+          best_size = c.members.size();
+        }
+    std::cout << "best semi-cluster score " << fmt(best, 3) << " (" << best_size
+              << " members)\n";
+    print_report(r.metrics, verbose);
+  } else if (algo == "coloring") {
+    const auto r = run_coloring(g, cluster, parts, seed);
+    std::uint32_t colors = 0;
+    for (const auto& v : r.values) colors = std::max(colors, v.color + 1);
+    std::cout << "colors used: " << colors << "\n";
+    print_report(r.metrics, verbose);
+  } else {
+    usage("unknown algorithm " + algo);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// All-pairs shortest paths (hop metric) as a root-scheduled BSP program.
+//
+// Each root starts a synchronous BFS; messages carry (root, distance) and
+// per-vertex state holds one distance entry per root. Like BC, the frontier
+// of each traversal ramps up near-exponentially on small-world graphs and
+// drains with the diameter — the triangle message waveform of Figure 3.
+// Root completion is detected by the master: a root whose forward-message
+// aggregate drops to zero has finished its BFS.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/aggregates.hpp"
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace pregel::algos {
+
+struct ApspProgram {
+  static constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+  /// Aggregate field ids (packed with the root by make_key).
+  static constexpr std::uint32_t kFwdCount = 1;
+
+  struct VertexValue {
+    /// (root, distance) pairs, insertion-ordered; linear scan is fine at
+    /// swath-scale root counts.
+    std::vector<std::pair<VertexId, std::uint32_t>> dist;
+
+    std::uint32_t distance_from(VertexId root) const {
+      for (const auto& [r, d] : dist)
+        if (r == root) return d;
+      return kUnreached;
+    }
+  };
+
+  struct MessageValue {
+    VertexId root;
+    std::uint32_t distance;
+  };
+
+  /// Modeled per-entry state bytes (vertex id + distance + container slack).
+  static constexpr std::int64_t kStateEntryBytes = 16;
+
+  static MessageValue seed_message(VertexId root) { return {root, 0}; }
+  static Bytes message_payload_bytes(const MessageValue&) { return 8; }
+  static std::uint64_t combine_key(const MessageValue& m) { return m.root; }
+  static void combine(MessageValue& acc, const MessageValue& in) {
+    acc.distance = std::min(acc.distance, in.distance);
+  }
+
+  template <class Ctx>
+  void compute(Ctx& ctx, VertexValue& v, std::span<const MessageValue> messages) const {
+    for (const MessageValue& m : messages) {
+      if (v.distance_from(m.root) != kUnreached) continue;  // already discovered
+      v.dist.emplace_back(m.root, m.distance);
+      ctx.charge_state_bytes(kStateEntryBytes);
+      ctx.aggregate(make_key(m.root, kFwdCount), static_cast<double>(ctx.out_degree()));
+      ctx.send_to_all_neighbors({m.root, m.distance + 1});
+    }
+  }
+
+  template <class MCtx>
+  void master_compute(MCtx& master) const {
+    // A root that generated no forward messages this superstep has finished
+    // its BFS. Freshly injected roots are not yet in active_roots() at this
+    // barrier (injection happens after master compute), so there is no race
+    // with their first superstep.
+    std::vector<VertexId> done;
+    for (VertexId root : master.active_roots())
+      if (master.aggregates().get(make_key(root, kFwdCount)) == 0.0) done.push_back(root);
+    for (VertexId root : done) master.mark_root_done(root);
+  }
+};
+
+inline JobResult<ApspProgram> run_apsp(const Graph& g, const ClusterConfig& cluster,
+                                       const Partitioning& parts,
+                                       std::vector<VertexId> roots,
+                                       SwathPolicy swath = SwathPolicy::single_swath()) {
+  Engine<ApspProgram> engine(g, {}, cluster, parts);
+  JobOptions opts;
+  opts.roots = std::move(roots);
+  opts.swath = std::move(swath);
+  return engine.run(opts);
+}
+
+}  // namespace pregel::algos

@@ -1,0 +1,187 @@
+// Betweenness centrality (Brandes) as a root-scheduled BSP program — the
+// paper's stress-case application.
+//
+// Each root r runs two phases across supersteps:
+//
+//   Forward (synchronous BFS): messages carry (dist, sigma, sender). A
+//   vertex discovered at superstep t accumulates sigma and its predecessor
+//   list from the discovery messages (which all arrive together, because
+//   unweighted BFS is level-synchronous), then floods its neighbors.
+//
+//   Successor census: the same forward flood doubles as successor discovery.
+//   A neighbor w with dist(w) == dist(v)+1 is a successor of v, and its
+//   forward message (carrying dist(v)+2) reaches v exactly two supersteps
+//   after v's own discovery. v schedules a wake at t+2 and counts them; a
+//   vertex with zero successors is a leaf of the BFS DAG.
+//
+//   Backward accumulation: leaves emit delta contributions
+//   sigma_u/sigma_v * (1 + delta_v) to each predecessor u; interior vertices
+//   emit once contributions from all succ_count successors have arrived.
+//   On emission a vertex adds delta to its centrality score and frees the
+//   per-root state (this release is what makes swath scheduling effective at
+//   bounding memory). The root itself emits nothing; when its successor
+//   countdown hits zero it raises a root-done aggregate that the master
+//   turns into a completion notification for the swath scheduler.
+//
+// The result convention matches reference_betweenness: undirected traversals
+// from each root, scores not halved, endpoints excluded.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/aggregates.hpp"
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace pregel::algos {
+
+struct BcProgram {
+  static constexpr std::uint32_t kRootDone = 2;
+
+  enum class Kind : std::uint8_t { kForward, kBackward };
+
+  struct MessageValue {
+    VertexId root;
+    std::uint32_t dist;   ///< forward: distance of the *receiver* if discovered
+    double value;         ///< forward: sender's sigma; backward: delta contribution
+    VertexId sender;      ///< forward only
+    Kind kind;
+  };
+
+  struct RootEntry {
+    VertexId root = 0;
+    std::uint32_t dist = 0;
+    std::uint64_t discovered_at = 0;
+    double sigma = 0.0;
+    double delta = 0.0;
+    std::uint32_t succ_remaining = 0;
+    bool census_done = false;
+    bool emitted = false;
+    std::vector<std::pair<VertexId, double>> preds;  ///< (pred, sigma_pred)
+  };
+
+  struct VertexValue {
+    double bc_score = 0.0;
+    std::vector<RootEntry> entries;
+
+    RootEntry* find(VertexId root) {
+      for (auto& e : entries)
+        if (e.root == root) return &e;
+      return nullptr;
+    }
+  };
+
+  /// Modeled per-root state footprint (entry body; predecessors extra).
+  static constexpr std::int64_t kEntryBytes = 96;
+  static constexpr std::int64_t kPredBytes = 16;
+
+  static MessageValue seed_message(VertexId root) {
+    return {root, 0, 1.0, root, Kind::kForward};
+  }
+  static Bytes message_payload_bytes(const MessageValue&) { return 24; }
+
+  template <class Ctx>
+  void compute(Ctx& ctx, VertexValue& v, std::span<const MessageValue> messages) const {
+    const std::uint64_t now = ctx.superstep();
+
+    for (const MessageValue& m : messages) {
+      if (m.kind == Kind::kForward) {
+        RootEntry* e = v.find(m.root);
+        if (e == nullptr) {
+          // Discovery. All same-root discovery messages arrive this
+          // superstep; later forward traffic only feeds the census.
+          RootEntry fresh;
+          fresh.root = m.root;
+          fresh.dist = m.dist;
+          fresh.discovered_at = now;
+          v.entries.push_back(std::move(fresh));
+          ctx.charge_state_bytes(kEntryBytes);
+          e = &v.entries.back();
+          ctx.wake_at(now + 2);  // successor census completes two steps later
+        }
+        if (m.dist == e->dist && e->discovered_at == now) {
+          e->sigma += m.value;
+          if (m.sender != ctx.vertex_id()) {  // seed carries sender == root
+            e->preds.emplace_back(m.sender, m.value);
+            ctx.charge_state_bytes(kPredBytes);
+          }
+        } else if (m.dist == e->dist + 2) {
+          // Sender sits one level below us: a successor in the BFS DAG.
+          ++e->succ_remaining;
+        }
+        // m.dist == e->dist + 1: same-level neighbor; ignore.
+      } else {
+        RootEntry* e = v.find(m.root);
+        if (e != nullptr) {
+          e->delta += m.value;
+          if (e->succ_remaining > 0) --e->succ_remaining;
+        }
+      }
+    }
+
+    // Phase transitions — processed after all of this superstep's messages.
+    for (std::size_t i = 0; i < v.entries.size();) {
+      RootEntry& e = v.entries[i];
+      bool erased = false;
+      if (e.discovered_at == now) {
+        // Newly discovered: flood the frontier.
+        ctx.send_to_all_neighbors(
+            {e.root, e.dist + 1, e.sigma, ctx.vertex_id(), Kind::kForward});
+      } else if (!e.census_done && now >= e.discovered_at + 2) {
+        e.census_done = true;
+        if (e.succ_remaining == 0) erased = emit_backward(ctx, v, e);
+      } else if (e.census_done && !e.emitted && e.succ_remaining == 0) {
+        erased = emit_backward(ctx, v, e);
+      }
+      if (erased) {
+        v.entries[i] = std::move(v.entries.back());
+        v.entries.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  template <class MCtx>
+  void master_compute(MCtx& master) const {
+    std::vector<VertexId> done;
+    for (VertexId root : master.active_roots())
+      if (master.aggregates().get(make_key(root, kRootDone)) > 0.0) done.push_back(root);
+    for (VertexId root : done) master.mark_root_done(root);
+  }
+
+ private:
+  /// Send delta contributions to predecessors, settle the score, release the
+  /// per-root state. Returns true (entry must be erased by the caller).
+  template <class Ctx>
+  bool emit_backward(Ctx& ctx, VertexValue& v, RootEntry& e) const {
+    e.emitted = true;
+    for (const auto& [pred, sigma_pred] : e.preds) {
+      const double contribution = sigma_pred / e.sigma * (1.0 + e.delta);
+      ctx.send(pred, {e.root, 0, contribution, ctx.vertex_id(), Kind::kBackward});
+    }
+    if (e.dist == 0) {
+      // The root: traversal complete. Endpoints score nothing.
+      ctx.aggregate(make_key(e.root, kRootDone), 1.0);
+    } else {
+      v.bc_score += e.delta;
+    }
+    ctx.charge_state_bytes(-(kEntryBytes +
+                             kPredBytes * static_cast<std::int64_t>(e.preds.size())));
+    return true;
+  }
+};
+
+inline JobResult<BcProgram> run_bc(const Graph& g, const ClusterConfig& cluster,
+                                   const Partitioning& parts, std::vector<VertexId> roots,
+                                   SwathPolicy swath = SwathPolicy::single_swath()) {
+  Engine<BcProgram> engine(g, {}, cluster, parts);
+  JobOptions opts;
+  opts.roots = std::move(roots);
+  opts.swath = std::move(swath);
+  return engine.run(opts);
+}
+
+}  // namespace pregel::algos

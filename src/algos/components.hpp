@@ -1,0 +1,49 @@
+// Connected components by hash-min label propagation: every vertex starts
+// with its own id and floods the minimum it has seen; converges in
+// O(diameter) supersteps. A PageRank-like "start all vertices" program but
+// with data-dependent (shrinking) message volume.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace pregel::algos {
+
+struct ComponentsProgram {
+  struct VertexValue {
+    VertexId label = kInvalidVertex;
+  };
+  using MessageValue = VertexId;
+
+  static Bytes message_payload_bytes(const MessageValue&) { return 4; }
+  static std::uint64_t combine_key(const MessageValue&) { return 0; }
+  static void combine(MessageValue& acc, const MessageValue& in) {
+    acc = std::min(acc, in);
+  }
+
+  template <class Ctx>
+  void compute(Ctx& ctx, VertexValue& v, std::span<const MessageValue> messages) const {
+    VertexId best = ctx.superstep() == 0 ? ctx.vertex_id() : v.label;
+    for (VertexId m : messages) best = std::min(best, m);
+    if (best < v.label || ctx.superstep() == 0) {
+      v.label = best;
+      ctx.send_to_all_neighbors(best);
+    }
+  }
+};
+
+inline JobResult<ComponentsProgram> run_components(const Graph& g,
+                                                   const ClusterConfig& cluster,
+                                                   const Partitioning& parts,
+                                                   bool use_combiner = false) {
+  Engine<ComponentsProgram> engine(g, {}, cluster, parts);
+  JobOptions opts;
+  opts.start_all_vertices = true;
+  opts.use_combiner = use_combiner;
+  return engine.run(opts);
+}
+
+}  // namespace pregel::algos

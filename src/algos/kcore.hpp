@@ -1,0 +1,50 @@
+// k-core membership by iterative peeling: vertices with fewer than k live
+// neighbors drop out and notify the rest; the survivors are the k-core.
+// A vote-to-halt cascade with data-dependent message volume.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace pregel::algos {
+
+struct KCoreProgram {
+  struct VertexValue {
+    std::uint32_t live_degree = 0;
+    bool in_core = true;
+  };
+  /// A message means "one of your neighbors left the core".
+  using MessageValue = std::uint8_t;
+
+  std::uint32_t k = 2;
+
+  static Bytes message_payload_bytes(const MessageValue&) { return 1; }
+
+  template <class Ctx>
+  void compute(Ctx& ctx, VertexValue& v, std::span<const MessageValue> messages) const {
+    if (ctx.superstep() == 0) {
+      v.live_degree = ctx.out_degree();
+    } else {
+      if (!v.in_core) return;  // already peeled; drain and stay out
+      v.live_degree -= static_cast<std::uint32_t>(
+          std::min<std::size_t>(messages.size(), v.live_degree));
+    }
+    if (v.in_core && v.live_degree < k) {
+      v.in_core = false;
+      ctx.send_to_all_neighbors(1);
+    }
+  }
+};
+
+inline JobResult<KCoreProgram> run_kcore(const Graph& g, const ClusterConfig& cluster,
+                                         const Partitioning& parts, std::uint32_t k) {
+  Engine<KCoreProgram> engine(g, {k}, cluster, parts);
+  JobOptions opts;
+  opts.start_all_vertices = true;
+  return engine.run(opts);
+}
+
+}  // namespace pregel::algos

@@ -1,0 +1,62 @@
+// Community detection by synchronous label propagation — the paper names
+// community detection (CD) among the high-complexity analytics BSP should
+// support. Each vertex adopts the most frequent label among its neighbors
+// (ties toward the smaller label) for a fixed number of rounds.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace pregel::algos {
+
+struct LabelPropagationProgram {
+  struct VertexValue {
+    VertexId label = kInvalidVertex;
+  };
+  using MessageValue = VertexId;
+
+  int iterations = 10;
+
+  static Bytes message_payload_bytes(const MessageValue&) { return 4; }
+
+  template <class Ctx>
+  void compute(Ctx& ctx, VertexValue& v, std::span<const MessageValue> messages) const {
+    if (ctx.superstep() == 0) {
+      v.label = ctx.vertex_id();
+    } else {
+      // Adopt the plurality label; ties break toward the smaller label so
+      // the outcome is deterministic and independent of message order.
+      std::unordered_map<VertexId, std::uint32_t> freq;
+      for (VertexId m : messages) ++freq[m];
+      VertexId best = v.label;
+      std::uint32_t best_count = 0;
+      for (const auto& [label, count] : freq) {
+        if (count > best_count || (count == best_count && label < best)) {
+          best = label;
+          best_count = count;
+        }
+      }
+      if (best_count > 0) v.label = best;
+    }
+    if (static_cast<int>(ctx.superstep()) < iterations) {
+      ctx.send_to_all_neighbors(v.label);
+      ctx.remain_active();
+    }
+  }
+};
+
+inline JobResult<LabelPropagationProgram> run_label_propagation(
+    const Graph& g, const ClusterConfig& cluster, const Partitioning& parts,
+    int iterations = 10) {
+  Engine<LabelPropagationProgram> engine(g, {iterations}, cluster, parts);
+  JobOptions opts;
+  opts.start_all_vertices = true;
+  return engine.run(opts);
+}
+
+}  // namespace pregel::algos

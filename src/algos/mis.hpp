@@ -1,0 +1,89 @@
+// Maximal independent set via Luby's algorithm on the BSP engine.
+//
+// Rounds of two supersteps each. In the PROPOSE superstep every undecided
+// vertex draws a deterministic pseudo-random priority for the round and
+// sends it to its neighbors; in the RESOLVE superstep a vertex whose
+// priority beat all undecided neighbors joins the set and notifies its
+// neighbors, which leave the race. Terminates in O(log n) rounds w.h.p.
+//
+// Exercises multi-phase round structure driven purely by superstep parity —
+// no master coordination needed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace pregel::algos {
+
+struct MisProgram {
+  enum class State : std::uint8_t { kUndecided, kInSet, kOut };
+
+  struct VertexValue {
+    State state = State::kUndecided;
+  };
+
+  struct MessageValue {
+    enum class Kind : std::uint8_t { kPriority, kJoined } kind;
+    std::uint64_t priority;  ///< for kPriority
+  };
+
+  std::uint64_t seed = 1;
+
+  static Bytes message_payload_bytes(const MessageValue&) { return 9; }
+
+  std::uint64_t priority_of(VertexId v, std::uint64_t round) const {
+    return mix64(mix64(v ^ seed) ^ (round + 0x1234));
+  }
+
+  template <class Ctx>
+  void compute(Ctx& ctx, VertexValue& v, std::span<const MessageValue> messages) const {
+    if (v.state == State::kOut) return;  // drain any stragglers and stay out
+    const std::uint64_t round = ctx.superstep() / 2;
+
+    if (ctx.superstep() % 2 == 0) {
+      // PROPOSE. A neighbor joining last round knocks us out first.
+      for (const MessageValue& m : messages)
+        if (m.kind == MessageValue::Kind::kJoined) {
+          v.state = State::kOut;
+          return;
+        }
+      if (v.state != State::kUndecided) return;
+      ctx.send_to_all_neighbors(
+          {MessageValue::Kind::kPriority, priority_of(ctx.vertex_id(), round)});
+      ctx.remain_active();
+    } else {
+      // RESOLVE. Win if our priority beats every undecided neighbor's
+      // (isolated vertices have no competitors and win round 0).
+      if (v.state != State::kUndecided) return;
+      const std::uint64_t mine = priority_of(ctx.vertex_id(), round);
+      bool win = true;
+      for (const MessageValue& m : messages)
+        if (m.kind == MessageValue::Kind::kPriority && m.priority < mine) {
+          win = false;
+          break;
+        }
+      // Ties are impossible: priority_of composes bijections of the vertex
+      // id, so distinct vertices draw distinct priorities each round.
+      if (win) {
+        v.state = State::kInSet;
+        ctx.send_to_all_neighbors({MessageValue::Kind::kJoined, 0});
+      } else {
+        ctx.remain_active();  // try again next round
+      }
+    }
+  }
+};
+
+inline JobResult<MisProgram> run_mis(const Graph& g, const ClusterConfig& cluster,
+                                     const Partitioning& parts, std::uint64_t seed = 1) {
+  Engine<MisProgram> engine(g, {seed}, cluster, parts);
+  JobOptions opts;
+  opts.start_all_vertices = true;
+  return engine.run(opts);
+}
+
+}  // namespace pregel::algos

@@ -1,0 +1,52 @@
+// Single-source shortest path (hop metric) — the canonical Pregel traversal
+// and the quickstart example. Demonstrates seed messages and the min
+// combiner.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace pregel::algos {
+
+struct SsspProgram {
+  static constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+  struct VertexValue {
+    std::uint32_t distance = kUnreached;
+  };
+  using MessageValue = std::uint32_t;  ///< candidate distance
+
+  static MessageValue seed_message(VertexId) { return 0; }
+  static Bytes message_payload_bytes(const MessageValue&) { return 4; }
+  static std::uint64_t combine_key(const MessageValue&) { return 0; }
+  static void combine(MessageValue& acc, const MessageValue& in) {
+    acc = std::min(acc, in);
+  }
+
+  template <class Ctx>
+  void compute(Ctx& ctx, VertexValue& v, std::span<const MessageValue> messages) const {
+    std::uint32_t best = v.distance;
+    for (std::uint32_t m : messages) best = std::min(best, m);
+    if (best < v.distance) {
+      v.distance = best;
+      ctx.send_to_all_neighbors(best + 1);
+    }
+    // Implicit vote-to-halt: reactivated only by a better candidate.
+  }
+};
+
+inline JobResult<SsspProgram> run_sssp(const Graph& g, const ClusterConfig& cluster,
+                                       const Partitioning& parts, VertexId source,
+                                       bool use_combiner = false) {
+  Engine<SsspProgram> engine(g, {}, cluster, parts);
+  JobOptions opts;
+  opts.roots = {source};
+  opts.use_combiner = use_combiner;
+  return engine.run(opts);
+}
+
+}  // namespace pregel::algos

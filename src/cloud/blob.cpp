@@ -1,0 +1,43 @@
+#include "cloud/blob.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace pregel::cloud {
+
+BlobStore::BlobStore(double throughput_bps, Seconds op_latency)
+    : throughput_bps_(throughput_bps), op_latency_(op_latency) {
+  PREGEL_CHECK_MSG(throughput_bps > 0.0, "BlobStore: throughput must be positive");
+}
+
+void BlobStore::put(const std::string& name, std::vector<std::byte> data) {
+  ++ops_;
+  blobs_[name] = std::move(data);
+}
+
+const std::vector<std::byte>& BlobStore::get(const std::string& name) const {
+  ++ops_;
+  auto it = blobs_.find(name);
+  if (it == blobs_.end()) throw std::out_of_range("BlobStore::get: no blob " + name);
+  return it->second;
+}
+
+bool BlobStore::exists(const std::string& name) const { return blobs_.contains(name); }
+
+void BlobStore::remove(const std::string& name) {
+  ++ops_;
+  blobs_.erase(name);
+}
+
+Bytes BlobStore::size_of(const std::string& name) const {
+  auto it = blobs_.find(name);
+  if (it == blobs_.end()) throw std::out_of_range("BlobStore::size_of: no blob " + name);
+  return static_cast<Bytes>(it->second.size());
+}
+
+Seconds BlobStore::transfer_time(Bytes bytes) const noexcept {
+  return op_latency_ + static_cast<double>(bytes) * 8.0 / throughput_bps_;
+}
+
+}  // namespace pregel::cloud

@@ -1,0 +1,46 @@
+// Simulated Azure blob storage.
+//
+// In the paper's architecture, the input graph file lives in blob (file)
+// storage; each partition worker accepting a job downloads the file and
+// loads the vertices belonging to its partition. The simulation models a
+// flat named byte store with throughput-based read/write timing, so graph
+// load time appears in job setup cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pregel::cloud {
+
+class BlobStore {
+ public:
+  /// `throughput_bps` is per-client download/upload rate in bits/second
+  /// (Azure 2012 storage targets were ~60 MB/s per blob; network usually
+  /// bound first, so default to a typical VM's NIC share).
+  explicit BlobStore(double throughput_bps = mbps(400), Seconds op_latency = 50_ms);
+
+  void put(const std::string& name, std::vector<std::byte> data);
+  /// Throws std::out_of_range when missing.
+  const std::vector<std::byte>& get(const std::string& name) const;
+  bool exists(const std::string& name) const;
+  void remove(const std::string& name);
+
+  Bytes size_of(const std::string& name) const;
+
+  /// Modeled wall time for one client to download/upload `bytes`.
+  Seconds transfer_time(Bytes bytes) const noexcept;
+
+  std::uint64_t total_ops() const noexcept { return ops_; }
+
+ private:
+  std::unordered_map<std::string, std::vector<std::byte>> blobs_;
+  double throughput_bps_;
+  Seconds op_latency_;
+  mutable std::uint64_t ops_ = 0;
+};
+
+}  // namespace pregel::cloud

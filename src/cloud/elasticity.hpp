@@ -1,0 +1,100 @@
+// Elastic scaling policies (Section VIII of the paper).
+//
+// BSP's synchronous barrier between supersteps is a natural window for
+// scaling the worker pool out or in: peak supersteps benefit from more
+// workers (the paper observes superlinear per-superstep speedup when active
+// vertices peak, due to relieved memory pressure), while trough supersteps
+// are dominated by barrier overhead that *grows* with worker count.
+//
+// A ScalingPolicy decides, at each barrier, how many workers run the next
+// superstep. The paper's heuristic scales between 4 and 8 workers on a
+// 50%-active-vertices threshold; the oracle picks per-superstep whichever
+// of the two fixed configurations was faster.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pregel::cloud {
+
+/// Snapshot a policy sees at a barrier.
+struct ScalingSignals {
+  std::uint64_t superstep = 0;
+  std::uint64_t active_vertices = 0;
+  std::uint64_t total_vertices = 0;  ///< vertices with any in-progress work this job
+  std::uint64_t messages_sent = 0;   ///< in the superstep just finished
+  Bytes max_worker_memory = 0;
+  std::uint32_t current_workers = 0;
+};
+
+class ScalingPolicy {
+ public:
+  virtual ~ScalingPolicy() = default;
+  /// Worker count for the next superstep.
+  virtual std::uint32_t decide(const ScalingSignals& signals) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Never scales.
+class FixedScaling final : public ScalingPolicy {
+ public:
+  explicit FixedScaling(std::uint32_t workers) : workers_(workers) {}
+  std::uint32_t decide(const ScalingSignals&) override { return workers_; }
+  std::string name() const override { return "fixed-" + std::to_string(workers_); }
+
+ private:
+  std::uint32_t workers_;
+};
+
+/// The paper's dynamic heuristic: `high` workers while the fraction of
+/// active vertices is at or above `threshold`, otherwise `low`.
+class ActiveVertexScaling final : public ScalingPolicy {
+ public:
+  ActiveVertexScaling(std::uint32_t low, std::uint32_t high, double threshold = 0.5);
+  std::uint32_t decide(const ScalingSignals& signals) override;
+  std::string name() const override;
+
+ private:
+  std::uint32_t low_, high_;
+  double threshold_;
+};
+
+/// Threshold scaling with hysteresis: scale out when the active-vertex
+/// fraction reaches `out_threshold`, back in only when it falls to
+/// `in_threshold` (< out). The band suppresses the flapping that makes
+/// plain threshold policies pay repeated scale-event costs on workloads
+/// hovering near the boundary.
+class HysteresisScaling final : public ScalingPolicy {
+ public:
+  HysteresisScaling(std::uint32_t low, std::uint32_t high, double in_threshold = 0.3,
+                    double out_threshold = 0.6);
+  std::uint32_t decide(const ScalingSignals& signals) override;
+  std::string name() const override;
+
+ private:
+  std::uint32_t low_, high_;
+  double in_, out_;
+  bool scaled_out_ = false;
+};
+
+/// Oracle scaling for the Figure 16 projection: given the recorded
+/// per-superstep times of two fixed runs, pick the cheaper configuration at
+/// every superstep. Constructed by the bench harness after both runs.
+class OracleScaling final : public ScalingPolicy {
+ public:
+  /// times_low[s] / times_high[s]: superstep s duration under each config.
+  OracleScaling(std::uint32_t low, std::uint32_t high, std::vector<Seconds> times_low,
+                std::vector<Seconds> times_high);
+  std::uint32_t decide(const ScalingSignals& signals) override;
+  std::string name() const override { return "oracle"; }
+
+ private:
+  std::uint32_t low_, high_;
+  std::vector<Seconds> times_low_, times_high_;
+};
+
+}  // namespace pregel::cloud

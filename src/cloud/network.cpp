@@ -1,0 +1,27 @@
+#include "cloud/network.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pregel::cloud {
+
+TenancyNoise::TenancyNoise(double sigma, std::uint64_t seed) : sigma_(sigma), seed_(seed) {
+  PREGEL_CHECK_MSG(sigma >= 0.0, "TenancyNoise: sigma must be non-negative");
+}
+
+double TenancyNoise::factor(std::uint32_t worker, std::uint64_t superstep) const noexcept {
+  if (sigma_ == 0.0) return 1.0;
+  // Hash (seed, worker, superstep) into a deterministic gaussian draw via a
+  // dedicated generator — stateless with respect to call order.
+  const std::uint64_t key = mix64(seed_ ^ (static_cast<std::uint64_t>(worker) << 40) ^
+                                  mix64(superstep + 0x9E37));
+  Xoshiro256 rng(key);
+  const double z = rng.next_gaussian();
+  // Lognormal centered so the median factor is 1; clamp at 1 from below
+  // (other tenants can only slow us down, never speed us up).
+  const double f = std::exp(sigma_ * z);
+  return f < 1.0 ? 1.0 : f;
+}
+
+}  // namespace pregel::cloud

@@ -1,0 +1,35 @@
+// Multi-tenancy performance noise.
+//
+// Public-cloud VMs share hosts and network fabric with other tenants; the
+// paper calls out that "multi-tenancy impacts performance consistency" and
+// that exact VM placement (and thus latency/bandwidth) cannot be controlled.
+// This model draws a per-worker, per-superstep multiplicative slowdown from
+// a seeded lognormal distribution, so experiments can run perfectly
+// deterministic (sigma = 0, the default) or with calibrated cloud noise.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pregel::cloud {
+
+class TenancyNoise {
+ public:
+  /// sigma = 0 disables noise (factor is exactly 1). Typical cloud
+  /// variability is sigma ~ 0.1-0.3 (10-35% swings).
+  explicit TenancyNoise(double sigma = 0.0, std::uint64_t seed = 1);
+
+  /// Slowdown factor (>= 1) for `worker` in `superstep`. Deterministic in
+  /// (sigma, seed, worker, superstep) — independent of call order.
+  double factor(std::uint32_t worker, std::uint64_t superstep) const noexcept;
+
+  double sigma() const noexcept { return sigma_; }
+
+ private:
+  double sigma_;
+  std::uint64_t seed_;
+};
+
+}  // namespace pregel::cloud

@@ -1,0 +1,56 @@
+#include "cloud/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace pregel::cloud {
+
+std::vector<std::uint32_t> ModuloPlacement::place(const PlacementSignals& signals) {
+  std::vector<std::uint32_t> out(signals.placement.size());
+  for (std::uint32_t p = 0; p < out.size(); ++p) out[p] = p % signals.workers;
+  return out;
+}
+
+GreedyRebalancePlacement::GreedyRebalancePlacement(double trigger, double ewma_alpha)
+    : trigger_(trigger), alpha_(ewma_alpha) {
+  PREGEL_CHECK_MSG(trigger >= 1.0, "GreedyRebalancePlacement: trigger must be >= 1");
+  PREGEL_CHECK_MSG(ewma_alpha > 0.0 && ewma_alpha <= 1.0,
+                   "GreedyRebalancePlacement: alpha in (0,1]");
+}
+
+std::vector<std::uint32_t> GreedyRebalancePlacement::place(const PlacementSignals& s) {
+  const std::size_t parts = s.placement.size();
+  PREGEL_CHECK(s.partition_load.size() == parts);
+  if (smoothed_.size() != parts) smoothed_.assign(parts, Ewma(alpha_));
+  for (std::size_t p = 0; p < parts; ++p) smoothed_[p].add(s.partition_load[p]);
+
+  // Current per-VM load with smoothed partition loads.
+  std::vector<double> vm_load(s.workers, 0.0);
+  for (std::size_t p = 0; p < parts; ++p) vm_load[s.placement[p]] += smoothed_[p].value();
+  const double total = std::accumulate(vm_load.begin(), vm_load.end(), 0.0);
+  if (total <= 0.0) return s.placement;
+  const double mean = total / s.workers;
+  const double worst = *std::max_element(vm_load.begin(), vm_load.end());
+  if (worst / mean < trigger_) return s.placement;  // balanced enough
+
+  // LPT bin packing: heaviest partitions first onto the lightest VM.
+  std::vector<std::size_t> order(parts);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return smoothed_[a].value() > smoothed_[b].value();
+  });
+  std::vector<double> bin(s.workers, 0.0);
+  std::vector<std::uint32_t> out(parts, 0);
+  for (std::size_t p : order) {
+    const auto lightest = static_cast<std::uint32_t>(
+        std::min_element(bin.begin(), bin.end()) - bin.begin());
+    out[p] = lightest;
+    bin[lightest] += smoothed_[p].value();
+  }
+  ++rebalances_;
+  return out;
+}
+
+}  // namespace pregel::cloud

@@ -1,0 +1,50 @@
+#include "cloud/queue.hpp"
+
+#include <stdexcept>
+
+namespace pregel::cloud {
+
+std::uint64_t AzureQueue::put(std::string body) {
+  ++ops_;
+  const std::uint64_t id = next_id_++;
+  visible_.push_back({id, std::move(body)});
+  return id;
+}
+
+std::optional<QueueMessage> AzureQueue::get() {
+  ++ops_;
+  if (visible_.empty()) return std::nullopt;
+  QueueMessage m = std::move(visible_.front());
+  visible_.pop_front();
+  const std::uint64_t id = m.id;
+  inflight_.emplace(id, m);
+  return m;
+}
+
+void AzureQueue::remove(std::uint64_t id) {
+  ++ops_;
+  if (inflight_.erase(id) == 0)
+    throw std::logic_error("AzureQueue::remove: message not in flight");
+}
+
+void AzureQueue::release(std::uint64_t id) {
+  auto it = inflight_.find(id);
+  if (it == inflight_.end())
+    throw std::logic_error("AzureQueue::release: message not in flight");
+  visible_.push_front(std::move(it->second));
+  inflight_.erase(it);
+}
+
+AzureQueue& QueueService::queue(const std::string& name) { return queues_[name]; }
+
+bool QueueService::has_queue(const std::string& name) const {
+  return queues_.contains(name);
+}
+
+std::uint64_t QueueService::total_ops() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, q] : queues_) total += q.total_ops();
+  return total;
+}
+
+}  // namespace pregel::cloud

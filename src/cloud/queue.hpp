@@ -1,0 +1,73 @@
+// Simulated Azure queue service.
+//
+// The paper's architecture (§III) uses Azure queues for all control traffic:
+// the web role submits job requests, the job manager replicates them into a
+// worker-acceptance queue, posts superstep tokens to a "step" queue, and
+// workers check in through a "barrier" queue carrying their active-vertex
+// counts. Queues are "a convenient and reliable transport" for small,
+// infrequent messages — with tens-of-milliseconds operation latency, which
+// is exactly why they are only used for control, not data.
+//
+// This simulation provides named FIFO queues with at-least-once semantics
+// (visibility timeout on dequeue, like real Azure storage queues) and an
+// operation meter the cost model reads.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pregel::cloud {
+
+struct QueueMessage {
+  std::uint64_t id = 0;
+  std::string body;
+};
+
+/// One named queue with Azure-like get/put/delete semantics.
+class AzureQueue {
+ public:
+  /// Enqueue a message; returns its id.
+  std::uint64_t put(std::string body);
+
+  /// Dequeue the oldest visible message. The message becomes invisible until
+  /// remove()d or released; a consumer that crashes before remove() would
+  /// see it reappear (at-least-once).
+  std::optional<QueueMessage> get();
+
+  /// Acknowledge (delete) a previously get()-ed message.
+  void remove(std::uint64_t id);
+
+  /// Make an un-removed in-flight message visible again (visibility timeout
+  /// expiry in real Azure; explicit in the simulation).
+  void release(std::uint64_t id);
+
+  std::size_t visible_count() const noexcept { return visible_.size(); }
+  std::size_t inflight_count() const noexcept { return inflight_.size(); }
+  std::uint64_t total_ops() const noexcept { return ops_; }
+
+ private:
+  std::deque<QueueMessage> visible_;
+  std::unordered_map<std::uint64_t, QueueMessage> inflight_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t ops_ = 0;
+};
+
+/// The queue service: named queues created on first use, plus an aggregate
+/// operation count for cost accounting.
+class QueueService {
+ public:
+  AzureQueue& queue(const std::string& name);
+  bool has_queue(const std::string& name) const;
+  std::uint64_t total_ops() const;
+
+ private:
+  std::unordered_map<std::string, AzureQueue> queues_;
+};
+
+}  // namespace pregel::cloud

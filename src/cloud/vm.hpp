@@ -1,0 +1,55 @@
+// Simulated cloud VM catalog.
+//
+// The paper ran on Microsoft Azure's 2012 instance types: "Large" VMs
+// (4 cores @ 1.6 GHz, 7 GB RAM, 400 Mbps NIC, $0.48/VM-hour) for partition
+// workers and "Small" (exactly one fourth of those specs) for the web UI and
+// job manager roles. The benches run on dataset analogs at 1/10 scale, so a
+// proportionally RAM-scaled VM keeps the memory-pressure regime identical
+// (see DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace pregel::cloud {
+
+struct VmSpec {
+  std::string name;
+  std::uint32_t cores = 1;
+  double clock_ghz = 1.0;
+  Bytes ram = 1_GiB;
+  double network_bps = mbps(100);  ///< NIC line rate, bits/second
+  Usd price_per_hour = 0.0;
+
+  friend bool operator==(const VmSpec&, const VmSpec&) = default;
+};
+
+/// Azure "Large" (2012): 4 cores @1.6 GHz, 7 GB, 400 Mbps, $0.48/h.
+VmSpec azure_large_2012();
+
+/// Azure "Small" (2012): exactly one fourth of Large.
+VmSpec azure_small_2012();
+
+/// Same VM with RAM scaled by `factor` (for scaled-down dataset analogs:
+/// same compute/network regime, proportionally smaller memory envelope).
+VmSpec with_scaled_ram(VmSpec vm, double factor);
+
+/// Accumulates VM-seconds per role and converts to dollars at each VM's
+/// hourly price (pro-rata per second, the paper's Figure 16 convention).
+class CostMeter {
+ public:
+  /// Charge `count` simultaneous VMs of `vm` for `duration` of virtual time.
+  void charge(const VmSpec& vm, std::uint32_t count, Seconds duration);
+
+  Usd total_usd() const noexcept { return usd_; }
+  Seconds total_vm_seconds() const noexcept { return vm_seconds_; }
+  void reset() noexcept { usd_ = 0.0; vm_seconds_ = 0.0; }
+
+ private:
+  Usd usd_ = 0.0;
+  Seconds vm_seconds_ = 0.0;
+};
+
+}  // namespace pregel::cloud

@@ -1,0 +1,64 @@
+// Keyed sum-aggregators and master-broadcast globals.
+//
+// Pregel's aggregators let every vertex contribute a value in superstep s
+// and read the combined result in superstep s+1; the paper lists them among
+// the "advanced Pregel features" its framework could support. We implement
+// them (plus GPS-style master-computed globals) because the BSP formulation
+// of betweenness-centrality needs global coordination: the master detects
+// per-root forward-phase completion from an aggregated message count and
+// broadcasts the backward-phase schedule.
+//
+// Keys are 64-bit: algorithms pack (root, field) pairs — see make_key.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace pregel {
+
+/// Pack a (root, field) pair into an aggregate key.
+constexpr std::uint64_t make_key(std::uint32_t root, std::uint32_t field) noexcept {
+  return (static_cast<std::uint64_t>(root) << 8) | (field & 0xFF);
+}
+
+/// Sum-combined values keyed by uint64. One instance per superstep;
+/// contributions from all vertices (and all partitions) sum together.
+class Aggregates {
+ public:
+  void add(std::uint64_t key, double value) { values_[key] += value; }
+  /// 0.0 when the key was never contributed to.
+  double get(std::uint64_t key) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? 0.0 : it->second;
+  }
+  bool contains(std::uint64_t key) const { return values_.contains(key); }
+  std::size_t size() const noexcept { return values_.size(); }
+  void clear() noexcept { values_.clear(); }
+  void merge(const Aggregates& other) {
+    for (const auto& [k, v] : other.values_) values_[k] += v;
+  }
+  const std::unordered_map<std::uint64_t, double>& items() const noexcept { return values_; }
+
+ private:
+  std::unordered_map<std::uint64_t, double> values_;
+};
+
+/// Master-written values broadcast to all vertices for the next superstep
+/// (GPS-style global computation results). Write in master_compute, read in
+/// compute via the vertex context.
+class Globals {
+ public:
+  void set(std::uint64_t key, double value) { values_[key] = value; }
+  double get(std::uint64_t key, double fallback = 0.0) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  bool contains(std::uint64_t key) const { return values_.contains(key); }
+  void erase(std::uint64_t key) { values_.erase(key); }
+  std::size_t size() const noexcept { return values_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, double> values_;
+};
+
+}  // namespace pregel

@@ -1,0 +1,20 @@
+#include "core/config.hpp"
+
+namespace pregel {
+
+namespace {
+std::string failure_text(std::uint64_t superstep, std::uint32_t worker, Bytes memory,
+                         Bytes ram) {
+  return "worker VM " + std::to_string(worker) + " restarted by cloud fabric at superstep " +
+         std::to_string(superstep) + ": buffered memory " + format_bytes(memory) +
+         " exceeded restart threshold on a " + format_bytes(ram) + " VM";
+}
+}  // namespace
+
+JobFailure::JobFailure(std::uint64_t superstep, std::uint32_t worker, Bytes memory, Bytes ram)
+    : std::runtime_error(failure_text(superstep, worker, memory, ram)),
+      superstep_(superstep),
+      worker_(worker),
+      memory_(memory) {}
+
+}  // namespace pregel

@@ -1,0 +1,112 @@
+// Cluster and job configuration + result types shared by all programs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cloud/cost_model.hpp"
+#include "cloud/elasticity.hpp"
+#include "cloud/placement.hpp"
+#include "cloud/vm.hpp"
+#include "core/swath.hpp"
+#include "graph/graph.hpp"
+#include "runtime/metrics.hpp"
+
+namespace pregel {
+
+/// The simulated deployment: how many graph partitions exist, how many
+/// worker VMs host them, what hardware each VM is, and how the environment
+/// behaves (cost model parameters, tenancy noise, elastic scaling policy).
+struct ClusterConfig {
+  /// Logical graph partitions. This is the paper's "number of partition
+  /// workers" at full scale; with elastic scaling, fewer VMs may host them
+  /// (partition p runs on VM p mod W).
+  std::uint32_t num_partitions = 8;
+  /// VMs at job start (must be in [1, num_partitions]).
+  std::uint32_t initial_workers = 8;
+  cloud::VmSpec vm = cloud::azure_large_2012();
+  cloud::CostParams cost;
+  /// Multi-tenancy noise amplitude (0 = perfectly deterministic timings).
+  double tenancy_sigma = 0.0;
+  std::uint64_t noise_seed = 1;
+  /// Worker-count policy consulted at each barrier; null = fixed at
+  /// initial_workers.
+  std::shared_ptr<cloud::ScalingPolicy> scaling;
+  /// Added to the superstep span whenever the worker count changes
+  /// (VM acquisition/release). The paper's Figure 16 projection uses 0.
+  Seconds scale_event_cost = 0.0;
+  /// Partition->VM placement policy consulted at each barrier; null = static
+  /// p mod workers. Useful with num_partitions > workers (overdecomposition):
+  /// rebalancing placement counters the partition-local activity maximas of
+  /// §VII. Migration time (partition bytes over the network) is charged.
+  std::shared_ptr<cloud::PlacementPolicy> placement;
+
+  // -- Fault tolerance (Pregel's checkpoint/recovery, which the paper lists
+  // -- among the advanced features its framework could support) ------------
+  /// Write a checkpoint to blob storage every N supersteps (0 = off).
+  std::uint64_t checkpoint_interval = 0;
+  /// Deterministic per-(VM, superstep) failure probability. A failure with
+  /// no checkpoint taken fails the job; with checkpoints the engine rolls
+  /// back and replays.
+  double failure_rate = 0.0;
+  std::uint64_t failure_seed = 7;
+  /// Explicitly scheduled failures: (superstep, worker VM). Each fires once.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> scheduled_failures;
+  /// Modeled time to detect a dead worker (missed barrier heartbeats),
+  /// acquire a replacement VM, and have every worker reload the checkpoint
+  /// (transfer time is charged separately from checkpoint size).
+  Seconds failure_detection_time = 30.0;
+  Seconds vm_reacquisition_time = 90.0;
+};
+
+/// Per-run options.
+struct JobOptions {
+  /// PageRank-style: every vertex active in superstep 0 (roots must be empty).
+  bool start_all_vertices = false;
+  /// Root-parallel algorithms (BC, APSP): traversal roots, scheduled in
+  /// swaths by `swath`.
+  std::vector<VertexId> roots;
+  SwathPolicy swath = SwathPolicy::single_swath();
+  /// Safety valve against runaway programs.
+  std::uint64_t max_supersteps = 1'000'000;
+  /// Apply the program's combiner (when it defines one) at message delivery.
+  /// Off by default: the paper's evaluation deliberately omits combiners;
+  /// the combiner ablation bench turns this on.
+  bool use_combiner = false;
+  /// When a worker VM exceeds the restart threshold: throw JobFailure (true)
+  /// or record the failure and keep simulating (false).
+  bool fail_on_vm_restart = true;
+};
+
+/// Thrown when the cloud fabric restarts an unresponsive (memory-thrashed)
+/// worker VM — the failure mode the paper observed when running swaths that
+/// were too large ("spilling to virtual memory can lead workers to seem
+/// unresponsive and the cloud fabric to restart the VM").
+class JobFailure : public std::runtime_error {
+ public:
+  JobFailure(std::uint64_t superstep, std::uint32_t worker, Bytes memory, Bytes ram);
+
+  std::uint64_t superstep() const noexcept { return superstep_; }
+  std::uint32_t worker() const noexcept { return worker_; }
+  Bytes memory() const noexcept { return memory_; }
+
+ private:
+  std::uint64_t superstep_;
+  std::uint32_t worker_;
+  Bytes memory_;
+};
+
+/// Per-job outcome common to all programs; Engine<Program>::run returns a
+/// typed subclass carrying the final vertex values.
+struct JobReport {
+  JobMetrics metrics;
+  bool failed = false;
+  std::string failure_reason;
+  std::uint64_t roots_completed = 0;
+  std::uint64_t swaths_initiated = 0;
+};
+
+}  // namespace pregel

@@ -1,0 +1,972 @@
+// The Pregel++ BSP engine: a deterministic virtual-time simulation of the
+// paper's Pregel.NET architecture (§III).
+//
+// One Engine instance hosts `num_partitions` graph partitions. Each
+// superstep it (1) drains every active vertex's inbox through the user
+// program's compute(), (2) routes emitted messages — in-memory to vertices
+// whose partition lives on the same worker VM, "bulk" serialized transfer to
+// remote VMs, (3) meters per-VM compute/serialization/network/memory through
+// the cloud CostModel, and (4) runs the barrier: master compute, swath
+// scheduling, elastic scaling, halt detection.
+//
+// All computation on vertex values is real; only *time* and *memory* are
+// modeled. Virtual time per superstep is
+//     max over VMs (compute + network, each x tenancy noise x thrash penalty)
+//     + barrier overhead(worker count),
+// which is exactly the BSP execution model the paper analyzes: "the time
+// taken in a superstep is determined by the slowest worker in that
+// superstep".
+//
+// Program requirements (static duck typing, checked by concept + constexpr):
+//   struct MyProgram {
+//     using VertexValue = ...;   // default-constructible per-vertex state
+//     using MessageValue = ...;  // message payload
+//     template <class Ctx>
+//     void compute(Ctx& ctx, VertexValue& value,
+//                  std::span<const MessageValue> messages) const;
+//     // optional:
+//     static Bytes message_payload_bytes(const MessageValue&);
+//     static std::uint64_t combine_key(const MessageValue&);
+//     static void combine(MessageValue& acc, const MessageValue& in);
+//     static MessageValue seed_message(VertexId root);   // root algorithms
+//     template <class MCtx> void master_compute(MCtx& master) const;
+//     std::int64_t vertex_state_bytes() const;  // resident per-vertex bytes
+//   };
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdlib>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/cost_model.hpp"
+#include "cloud/network.hpp"
+#include "cloud/queue.hpp"
+#include "core/aggregates.hpp"
+#include "core/config.hpp"
+#include "graph/graph.hpp"
+#include "partition/partitioner.hpp"
+#include "runtime/metrics.hpp"
+#include "util/check.hpp"
+
+namespace pregel {
+
+template <typename P>
+concept VertexProgramT = requires {
+  typename P::VertexValue;
+  typename P::MessageValue;
+} && std::default_initializable<typename P::VertexValue>;
+
+template <VertexProgramT Program>
+class Engine;
+
+/// Typed job outcome: the common report plus final vertex values by id.
+template <VertexProgramT Program>
+struct JobResult : JobReport {
+  std::vector<typename Program::VertexValue> values;
+};
+
+/// Handed to Program::compute for each active vertex.
+template <VertexProgramT Program>
+class VertexContext {
+ public:
+  using MessageValue = typename Program::MessageValue;
+
+  VertexId vertex_id() const noexcept { return vertex_; }
+  std::uint64_t superstep() const noexcept { return engine_->superstep_; }
+  std::span<const VertexId> out_neighbors() const {
+    return engine_->graph_->out_neighbors(vertex_);
+  }
+  std::uint32_t out_degree() const { return engine_->graph_->out_degree(vertex_); }
+  VertexId num_graph_vertices() const noexcept { return engine_->graph_->num_vertices(); }
+
+  /// Emit a message for delivery at the start of the next superstep.
+  void send(VertexId target, MessageValue message) {
+    engine_->route(partition_, target, std::move(message));
+  }
+  void send_to_all_neighbors(const MessageValue& message) {
+    for (VertexId u : out_neighbors()) send(u, message);
+  }
+
+  /// Stay active next superstep even without incoming messages
+  /// (by default a vertex votes to halt when compute returns).
+  void remain_active() { engine_->activate_local(partition_, local_); }
+  /// Request activation at an absolute future superstep (used by phase-
+  /// structured algorithms such as the BC backward sweep).
+  void wake_at(std::uint64_t superstep) {
+    engine_->schedule_wake(partition_, local_, superstep);
+  }
+
+  /// Contribute to a sum-aggregate readable by the master at this barrier
+  /// and by all vertices next superstep.
+  void aggregate(std::uint64_t key, double value) { engine_->agg_cur_.add(key, value); }
+  /// Read a master-broadcast global (or last superstep's aggregate).
+  double global(std::uint64_t key, double fallback = 0.0) const {
+    return engine_->globals_.get(key, fallback);
+  }
+  bool has_global(std::uint64_t key) const { return engine_->globals_.contains(key); }
+
+  /// Account algorithm state growth/shrink at this vertex (modeled bytes;
+  /// feeds the worker memory meter and thus the swath heuristics).
+  void charge_state_bytes(std::int64_t delta) {
+    engine_->charge_state(partition_, delta);
+  }
+
+  /// Declare a traversal root complete (root-scheduled algorithms).
+  void mark_root_done(VertexId root) { engine_->mark_root_done(root); }
+
+ private:
+  friend class Engine<Program>;
+  VertexContext(Engine<Program>* engine, std::uint32_t partition, std::uint32_t local,
+                VertexId vertex)
+      : engine_(engine), partition_(partition), local_(local), vertex_(vertex) {}
+
+  Engine<Program>* engine_;
+  std::uint32_t partition_;
+  std::uint32_t local_;
+  VertexId vertex_;
+};
+
+/// Handed to Program::master_compute at each barrier (GPS-style master task).
+template <VertexProgramT Program>
+class MasterContext {
+ public:
+  std::uint64_t superstep() const noexcept { return engine_->superstep_; }
+  const Aggregates& aggregates() const noexcept { return engine_->agg_cur_; }
+  Globals& globals() noexcept { return engine_->globals_next_; }
+  /// Roots initiated and not yet completed, in initiation order.
+  const std::vector<VertexId>& active_roots() const noexcept {
+    return engine_->outstanding_roots_;
+  }
+  void mark_root_done(VertexId root) { engine_->mark_root_done(root); }
+  void request_halt() { engine_->halt_requested_ = true; }
+  std::uint64_t active_vertices() const noexcept { return engine_->last_active_vertices_; }
+  VertexId num_graph_vertices() const noexcept { return engine_->graph_->num_vertices(); }
+
+ private:
+  friend class Engine<Program>;
+  explicit MasterContext(Engine<Program>* engine) : engine_(engine) {}
+  Engine<Program>* engine_;
+};
+
+template <VertexProgramT Program>
+class Engine {
+ public:
+  using V = typename Program::VertexValue;
+  using M = typename Program::MessageValue;
+
+  /// The graph and partitioning must outlive the engine.
+  Engine(const Graph& graph, Program program, ClusterConfig cluster,
+         const Partitioning& partitioning)
+      : graph_(&graph),
+        program_(std::move(program)),
+        cluster_(std::move(cluster)),
+        cost_(cluster_.cost),
+        noise_(cluster_.tenancy_sigma, cluster_.noise_seed) {
+    PREGEL_CHECK_MSG(cluster_.num_partitions >= 1, "Engine: need >= 1 partition");
+    PREGEL_CHECK_MSG(
+        cluster_.initial_workers >= 1 && cluster_.initial_workers <= cluster_.num_partitions,
+        "Engine: initial_workers must be in [1, num_partitions]");
+    PREGEL_CHECK_MSG(partitioning.num_vertices() == graph.num_vertices(),
+                     "Engine: partitioning does not match graph");
+    PREGEL_CHECK_MSG(partitioning.num_parts() == cluster_.num_partitions,
+                     "Engine: partitioning has wrong number of parts");
+    build_partitions(partitioning);
+  }
+
+  JobResult<Program> run(const JobOptions& opts) {
+    validate(opts);
+    reset_run_state(opts);
+
+    JobResult<Program> result;
+    simulate_setup(result);
+
+    // Barrier before superstep 0: activate all vertices (PageRank-style) or
+    // inject the first swath of roots.
+    if (opts.start_all_vertices) {
+      for (std::uint32_t p = 0; p < parts_.size(); ++p)
+        for (std::uint32_t l = 0; l < parts_[p].vertices.size(); ++l)
+          activate_local(p, l);
+    } else {
+      maybe_initiate_swath(/*at_startup=*/true);
+    }
+
+    // With fault tolerance on, the initial state is implicitly recoverable
+    // (the input graph lives in blob storage): a failure before the first
+    // periodic checkpoint restarts from superstep 0 instead of losing the
+    // job. No upload is charged — nothing new needs writing.
+    if (cluster_.checkpoint_interval > 0) take_snapshot(0);
+
+    std::uint64_t executed = 0;
+    while (superstep_ < opts_.max_supersteps && executed++ < 4 * opts_.max_supersteps) {
+      prepare_superstep();
+      if (!any_activity()) break;
+
+      // Control plane, exactly as §III describes: the manager posts one
+      // superstep token per worker to the "step" queue; each worker dequeues
+      // its token, computes, then checks in through the "barrier" queue with
+      // its active-vertex count, which the manager drains to decide halting.
+      control_superstep_begin();
+
+      SuperstepMetrics sm = execute_superstep();
+      const bool restarted = finalize_timing(sm, result);
+      control_superstep_end(sm, result);
+      result.metrics.supersteps.push_back(std::move(sm));
+      if (restarted) break;
+
+      // Worker failure (fault-injection model): a worker missing the barrier
+      // is detected by the job manager. With a checkpoint we roll back and
+      // replay; without one the job is lost (Pregel without fault tolerance).
+      if (failure_strikes()) {
+        ++result.metrics.worker_failures;
+        if (!checkpoint_.has_value()) {
+          result.failed = true;
+          result.failure_reason = "worker VM failed at superstep " +
+                                  std::to_string(superstep_) +
+                                  " with no checkpoint to recover from";
+          break;
+        }
+        recover_from_checkpoint(result);
+        continue;  // re-execute from the restored superstep
+      }
+
+      run_barrier(result);
+      maybe_checkpoint(result);
+      if (halt_requested_) break;
+      ++superstep_;
+    }
+
+    collect(result);
+    return result;
+  }
+
+ private:
+  friend class VertexContext<Program>;
+  friend class MasterContext<Program>;
+
+  // ---- static program-trait helpers --------------------------------------
+
+  static Bytes payload_bytes(const M& m) {
+    if constexpr (requires(const M& x) {
+                    { Program::message_payload_bytes(x) } -> std::convertible_to<Bytes>;
+                  }) {
+      return Program::message_payload_bytes(m);
+    } else {
+      return sizeof(M);
+    }
+  }
+
+  static constexpr bool has_combiner() {
+    return requires(M& a, const M& b) {
+      { Program::combine_key(b) } -> std::convertible_to<std::uint64_t>;
+      Program::combine(a, b);
+    };
+  }
+
+  // ---- per-partition state ------------------------------------------------
+
+  struct PartitionState {
+    std::vector<VertexId> vertices;  ///< global ids, ascending
+    std::vector<V> values;           ///< by local index
+    std::vector<std::vector<M>> inbox_cur, inbox_next;
+    /// Source VM of each buffered message, maintained only while a combiner
+    /// is active: a Pregel combiner is sender-side, so only messages that
+    /// left the same worker may merge.
+    std::vector<std::vector<std::uint8_t>> inbox_cur_src, inbox_next_src;
+    Bytes inbox_cur_bytes = 0, inbox_next_bytes = 0;
+    std::vector<std::uint32_t> active_cur, active_next;
+    std::vector<bool> in_active_next;
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> wakes;
+    std::int64_t state_bytes = 0;
+    Bytes graph_bytes = 0;
+    Bytes outbuf_bytes = 0;  ///< serialized remote sends buffered this superstep
+    cloud::WorkerLoad load;  ///< raw counters, reset each superstep
+  };
+
+  void build_partitions(const Partitioning& partitioning) {
+    const VertexId n = graph_->num_vertices();
+    part_of_.resize(n);
+    local_of_.resize(n);
+    parts_.assign(cluster_.num_partitions, {});
+    for (VertexId v = 0; v < n; ++v) {
+      const PartitionId p = partitioning.part_of(v);
+      part_of_[v] = p;
+      local_of_[v] = static_cast<std::uint32_t>(parts_[p].vertices.size());
+      parts_[p].vertices.push_back(v);
+    }
+    for (auto& ps : parts_) {
+      const std::size_t pn = ps.vertices.size();
+      ps.values.resize(pn);
+      ps.inbox_cur.resize(pn);
+      ps.inbox_next.resize(pn);
+      ps.inbox_cur_src.resize(pn);
+      ps.inbox_next_src.resize(pn);
+      ps.in_active_next.assign(pn, false);
+      EdgeIndex arcs = 0;
+      for (VertexId v : ps.vertices) arcs += graph_->out_degree(v);
+      // Managed-runtime partition footprint: ~64 B per vertex object and
+      // ~8 B per adjacency entry.
+      ps.graph_bytes = static_cast<Bytes>(pn) * 64 + arcs * 8;
+    }
+  }
+
+  // ---- run lifecycle -------------------------------------------------------
+
+  void validate(const JobOptions& opts) const {
+    PREGEL_CHECK_MSG(!(opts.start_all_vertices && !opts.roots.empty()),
+                     "JobOptions: start_all_vertices excludes explicit roots");
+    if (!opts.roots.empty()) {
+      if constexpr (!requires(VertexId r) {
+                      { Program::seed_message(r) } -> std::convertible_to<M>;
+                    }) {
+        PREGEL_CHECK_MSG(false, "JobOptions: program lacks seed_message but roots given");
+      }
+      for (VertexId r : opts.roots)
+        PREGEL_CHECK_MSG(r < graph_->num_vertices(), "JobOptions: root out of range");
+      PREGEL_CHECK_MSG(opts.swath.sizer && opts.swath.initiation,
+                       "JobOptions: swath policy incomplete");
+    }
+  }
+
+  void reset_run_state(const JobOptions& opts) {
+    opts_ = opts;
+    opts_combine_ = opts.use_combiner;
+    last_messages_sent_ = 0;
+    roots_completed_ = 0;
+    checkpoint_.reset();
+    scheduled_failures_ = cluster_.scheduled_failures;
+    failure_epoch_ = 0;
+    superstep_ = 0;
+    halt_requested_ = false;
+    pending_roots_ = opts.roots;
+    next_root_ = 0;
+    outstanding_roots_.clear();
+    swath_index_ = 0;
+    last_swath_size_ = 0;
+    supersteps_since_initiation_ = 0;
+    peak_memory_since_initiation_ = 0;
+    last_active_vertices_ = 0;
+    workers_now_ = cluster_.initial_workers;
+    workers_changed_ = false;
+    agg_cur_.clear();
+    globals_ = Globals{};
+    globals_next_ = Globals{};
+    for (auto& ps : parts_) {
+      std::fill(ps.values.begin(), ps.values.end(), V{});
+      for (auto& ib : ps.inbox_cur) ib.clear();
+      for (auto& ib : ps.inbox_next) ib.clear();
+      for (auto& sb : ps.inbox_cur_src) sb.clear();
+      for (auto& sb : ps.inbox_next_src) sb.clear();
+      ps.inbox_cur_bytes = ps.inbox_next_bytes = 0;
+      ps.active_cur.clear();
+      ps.active_next.clear();
+      std::fill(ps.in_active_next.begin(), ps.in_active_next.end(), false);
+      ps.wakes.clear();
+      ps.state_bytes = 0;
+      ps.outbuf_bytes = 0;
+      ps.load = {};
+    }
+    reset_placement_to_modulo();
+    pending_placement_cost_ = 0.0;
+    baseline_memory_ = 0;
+    for (std::uint32_t w = 0; w < workers_now_; ++w)
+      baseline_memory_ = std::max(baseline_memory_, vm_graph_bytes(w));
+  }
+
+  void simulate_setup(JobResult<Program>& result) {
+    // Workers download the graph file from blob storage in parallel, load
+    // their partitions, and the manager broadcasts the worker topology
+    // (§III: "Workers report back ... so the manager can build a mapping").
+    const Bytes graph_file = graph_->memory_footprint();
+    const double bw_Bps = cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
+    const Seconds download = static_cast<double>(graph_file) / bw_Bps;
+    const Seconds topology = 2.0 * cost_.params().queue_op_latency +
+                             cost_.params().connection_setup_per_peer * (workers_now_ - 1);
+    result.metrics.setup_time = download + topology;
+    result.metrics.total_time += result.metrics.setup_time;
+    meter_.charge(cluster_.vm, workers_now_, result.metrics.setup_time);
+  }
+
+  /// Worker VM hosting partition p (placement table; default p mod workers).
+  std::uint32_t vm_of(std::uint32_t partition) const noexcept {
+    return placement_[partition];
+  }
+
+  void reset_placement_to_modulo() {
+    placement_.resize(parts_.size());
+    for (std::uint32_t p = 0; p < placement_.size(); ++p) placement_[p] = p % workers_now_;
+  }
+
+  Bytes vm_graph_bytes(std::uint32_t vm) const {
+    Bytes total = 0;
+    for (std::uint32_t p = 0; p < parts_.size(); ++p)
+      if (placement_[p] == vm) total += parts_[p].graph_bytes;
+    return total;
+  }
+
+  Bytes partition_resident_bytes(const PartitionState& ps) const {
+    return ps.graph_bytes + static_cast<Bytes>(std::max<std::int64_t>(ps.state_bytes, 0)) +
+           ps.inbox_cur_bytes + ps.inbox_next_bytes;
+  }
+
+  void prepare_superstep() {
+    for (auto& ps : parts_) {
+      ps.inbox_cur.swap(ps.inbox_next);
+      ps.inbox_cur_src.swap(ps.inbox_next_src);
+      ps.inbox_cur_bytes = ps.inbox_next_bytes;
+      ps.inbox_next_bytes = 0;
+      ps.active_cur = std::move(ps.active_next);
+      ps.active_next.clear();
+      // The dedupe flags are still set for active_cur's members; reuse them
+      // to merge this superstep's wakes in O(actives + wakes), then clear.
+      if (auto it = ps.wakes.find(superstep_); it != ps.wakes.end()) {
+        for (std::uint32_t l : it->second) {
+          if (!ps.in_active_next[l]) {
+            ps.in_active_next[l] = true;
+            ps.active_cur.push_back(l);
+          }
+        }
+        ps.wakes.erase(it);
+      }
+      for (std::uint32_t l : ps.active_cur) ps.in_active_next[l] = false;
+      std::sort(ps.active_cur.begin(), ps.active_cur.end());
+      ps.load = {};
+      ps.outbuf_bytes = 0;
+    }
+  }
+
+  bool any_activity() const {
+    // Pending future wakes keep the job alive even through idle supersteps
+    // (e.g. the gap between a BC vertex's discovery and its successor
+    // census).
+    for (const auto& ps : parts_)
+      if (!ps.active_cur.empty() || !ps.wakes.empty()) return true;
+    return false;
+  }
+
+  SuperstepMetrics execute_superstep() {
+    agg_cur_.clear();
+    std::uint64_t active_total = 0;
+
+    for (std::uint32_t p = 0; p < parts_.size(); ++p) {
+      PartitionState& ps = parts_[p];
+      for (std::uint32_t l : ps.active_cur) {
+        VertexContext<Program> ctx(this, p, l, ps.vertices[l]);
+        std::vector<M>& box = ps.inbox_cur[l];
+        ++ps.load.vertices_computed;
+        ps.load.messages_processed += box.size();
+        program_.compute(ctx, ps.values[l], std::span<const M>(box));
+        // Drain: buffered incoming bytes are released after compute.
+        for (const M& m : box) {
+          const Bytes b = cost_.buffered_bytes(payload_bytes(m));
+          ps.inbox_cur_bytes -= std::min(ps.inbox_cur_bytes, b);
+        }
+        box.clear();
+        // Release large buffers back to the allocator but keep small-vector
+        // capacity cached — reallocating every box every superstep is pure
+        // churn for the common small-frontier case.
+        if (box.capacity() > 64) box.shrink_to_fit();
+        if (opts_combine_) {
+          ps.inbox_cur_src[l].clear();
+          if (ps.inbox_cur_src[l].capacity() > 64) ps.inbox_cur_src[l].shrink_to_fit();
+        }
+      }
+      active_total += ps.active_cur.size();
+    }
+    last_active_vertices_ = active_total;
+
+    SuperstepMetrics sm;
+    sm.superstep = superstep_;
+    sm.active_workers = workers_now_;
+    sm.active_vertices = active_total;
+    sm.active_roots = outstanding_roots_.size();
+    return sm;
+  }
+
+  /// Compute per-VM loads and modeled times; returns true when a VM restart
+  /// terminated the job.
+  bool finalize_timing(SuperstepMetrics& sm, JobResult<Program>& result) {
+    const std::uint32_t w = workers_now_;
+    sm.workers.assign(w, {});
+    std::vector<cloud::WorkerLoad> vm_load(w);
+
+    for (std::uint32_t p = 0; p < parts_.size(); ++p) {
+      const PartitionState& ps = parts_[p];
+      cloud::WorkerLoad& L = vm_load[vm_of(p)];
+      L.vertices_computed += ps.load.vertices_computed;
+      L.messages_processed += ps.load.messages_processed;
+      L.messages_sent_local += ps.load.messages_sent_local;
+      L.messages_sent_remote += ps.load.messages_sent_remote;
+      L.bytes_sent_remote += ps.load.bytes_sent_remote;
+      L.bytes_received_remote += ps.load.bytes_received_remote;
+      // Peak resident: partition graph + algorithm state + undrained inbox
+      // snapshot + next-superstep buffers + serialized outgoing.
+      L.memory_peak += ps.graph_bytes +
+                       static_cast<Bytes>(std::max<std::int64_t>(ps.state_bytes, 0)) +
+                       ps.inbox_cur_bytes + ps.inbox_next_bytes + ps.outbuf_bytes;
+    }
+
+    Seconds slowest = 0.0;
+    bool restart = false;
+    for (std::uint32_t i = 0; i < w; ++i) {
+      WorkerStepMetrics& wm = sm.workers[i];
+      const cloud::WorkerLoad& L = vm_load[i];
+      wm.vertices_computed = L.vertices_computed;
+      wm.messages_processed = L.messages_processed;
+      wm.messages_sent_local = L.messages_sent_local;
+      wm.messages_sent_remote = L.messages_sent_remote;
+      wm.bytes_sent_remote = L.bytes_sent_remote;
+      wm.bytes_received_remote = L.bytes_received_remote;
+      wm.memory_peak = L.memory_peak;
+
+      const double jitter = noise_.factor(i, superstep_);
+      wm.compute_time = cost_.compute_time(L, cluster_.vm) * jitter;
+      wm.network_time = cost_.network_time(L, cluster_.vm, w - 1) * jitter;
+      slowest = std::max(slowest, wm.busy_time());
+
+      if (cost_.triggers_restart(L.memory_peak, cluster_.vm)) restart = true;
+    }
+
+    sm.barrier_overhead = cost_.barrier_time(w);
+    sm.span = slowest + sm.barrier_overhead;
+    if (workers_changed_) {
+      sm.span += cluster_.scale_event_cost;
+      workers_changed_ = false;
+    }
+    if (pending_placement_cost_ > 0.0) {
+      sm.span += pending_placement_cost_;
+      pending_placement_cost_ = 0.0;
+    }
+    for (auto& wm : sm.workers) wm.barrier_wait = sm.span - wm.busy_time();
+
+    result.metrics.total_time += sm.span;
+    meter_.charge(cluster_.vm, w, sm.span);
+    peak_memory_since_initiation_ =
+        std::max(peak_memory_since_initiation_, sm.max_worker_memory());
+    last_messages_sent_ = sm.messages_sent_total();
+
+    if (restart) {
+      Bytes worst = 0;
+      std::uint32_t worst_vm = 0;
+      for (std::uint32_t i = 0; i < w; ++i)
+        if (vm_load[i].memory_peak > worst) {
+          worst = vm_load[i].memory_peak;
+          worst_vm = i;
+        }
+      if (opts_.fail_on_vm_restart)
+        throw JobFailure(superstep_, worst_vm, worst, cluster_.vm.ram);
+      result.failed = true;
+      result.failure_reason =
+          JobFailure(superstep_, worst_vm, worst, cluster_.vm.ram).what();
+      return true;
+    }
+    return false;
+  }
+
+  void run_barrier(JobResult<Program>& result) {
+    // 1. Master compute (aggregates from this superstep -> globals for next).
+    if constexpr (requires(Program & pr, MasterContext<Program> & mc) {
+                    pr.master_compute(mc);
+                  }) {
+      MasterContext<Program> mc(this);
+      program_.master_compute(mc);
+    }
+    globals_ = std::move(globals_next_);
+    globals_next_ = Globals{};
+
+    // 2. Swath scheduling.
+    ++supersteps_since_initiation_;
+    maybe_initiate_swath(/*at_startup=*/false);
+    result.roots_completed = roots_completed_;
+    result.swaths_initiated = swath_index_;
+
+    // 3. Elastic scaling decision for the next superstep.
+    if (cluster_.scaling) {
+      cloud::ScalingSignals sig;
+      sig.superstep = superstep_;
+      sig.active_vertices = last_active_vertices_;
+      sig.total_vertices = graph_->num_vertices();
+      sig.messages_sent = result.metrics.supersteps.back().messages_sent_total();
+      sig.max_worker_memory = result.metrics.supersteps.back().max_worker_memory();
+      sig.current_workers = workers_now_;
+      const std::uint32_t decided = std::clamp<std::uint32_t>(
+          cluster_.scaling->decide(sig), 1, cluster_.num_partitions);
+      if (decided != workers_now_) {
+        workers_now_ = decided;
+        workers_changed_ = true;
+        // New VM set: fall back to the default layout; the placement policy
+        // (if any) refines it below with fresh load data.
+        reset_placement_to_modulo();
+      }
+    }
+
+    // 4. Dynamic partition placement (overdecomposition rebalancing).
+    if (cluster_.placement) {
+      cloud::PlacementSignals sig;
+      sig.superstep = superstep_;
+      sig.workers = workers_now_;
+      sig.placement = placement_;
+      sig.partition_load.reserve(parts_.size());
+      sig.partition_bytes.reserve(parts_.size());
+      for (const auto& ps : parts_) {
+        sig.partition_load.push_back(
+            static_cast<double>(ps.load.messages_processed + ps.load.messages_sent_local +
+                                ps.load.messages_sent_remote + ps.load.vertices_computed));
+        sig.partition_bytes.push_back(partition_resident_bytes(ps));
+      }
+      std::vector<std::uint32_t> next = cluster_.placement->place(sig);
+      PREGEL_CHECK_MSG(next.size() == parts_.size(),
+                       "PlacementPolicy returned wrong-sized placement");
+      // Migration cost: each destination VM downloads the partitions that
+      // move to it; transfers overlap, so the slowest VM bounds the stall.
+      std::vector<Bytes> incoming(workers_now_, 0);
+      bool moved = false;
+      for (std::uint32_t p = 0; p < next.size(); ++p) {
+        PREGEL_CHECK_MSG(next[p] < workers_now_, "PlacementPolicy target out of range");
+        if (next[p] != placement_[p]) {
+          moved = true;
+          incoming[next[p]] += sig.partition_bytes[p];
+        }
+      }
+      if (moved) {
+        Bytes worst = 0;
+        for (Bytes b : incoming) worst = std::max(worst, b);
+        const double bw_Bps =
+            cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
+        pending_placement_cost_ = static_cast<double>(worst) / bw_Bps +
+                                  cost_.params().queue_op_latency;
+        placement_ = std::move(next);
+      }
+    }
+  }
+
+  void maybe_initiate_swath(bool at_startup) {
+    if (opts_.roots.empty() || next_root_ >= pending_roots_.size()) return;
+
+    if (!at_startup) {
+      InitiationSignals sig;
+      sig.superstep = superstep_;
+      sig.supersteps_since_initiation = supersteps_since_initiation_;
+      sig.messages_sent = last_messages_sent_;
+      sig.active_roots = outstanding_roots_.size();
+      sig.max_worker_memory = peak_memory_since_initiation_;
+      sig.memory_target = opts_.swath.memory_target;
+      if (!opts_.swath.initiation->should_initiate(sig)) return;
+    }
+
+    SwathSizeSignals ss;
+    ss.swath_index = swath_index_;
+    ss.last_swath_size = last_swath_size_;
+    ss.peak_memory_last_swath = peak_memory_since_initiation_;
+    ss.baseline_memory = baseline_memory_;
+    ss.memory_target = opts_.swath.memory_target;
+    ss.roots_remaining = static_cast<std::uint32_t>(pending_roots_.size() - next_root_);
+    std::uint32_t size = opts_.swath.sizer->next_size(ss);
+    size = std::min<std::uint32_t>(std::max<std::uint32_t>(size, 1), ss.roots_remaining);
+
+    for (std::uint32_t i = 0; i < size; ++i) {
+      const VertexId root = pending_roots_[next_root_++];
+      inject_seed(root);
+      outstanding_roots_.push_back(root);
+    }
+    ++swath_index_;
+    last_swath_size_ = size;
+    supersteps_since_initiation_ = 0;
+    peak_memory_since_initiation_ = 0;
+    opts_.swath.initiation->on_initiated();
+  }
+
+  // ---- fault tolerance -----------------------------------------------------
+
+  /// Deep snapshot of all state a recovery must restore: partition contents
+  /// plus master-side scheduling state. Deliberately excludes policy-object
+  /// internals (the job manager survives worker failures) and metrics (an
+  /// execution log, not job state).
+  struct Snapshot {
+    std::vector<PartitionState> parts;
+    std::uint64_t superstep;
+    Globals globals;
+    std::vector<VertexId> pending_roots;
+    std::size_t next_root;
+    std::vector<VertexId> outstanding_roots;
+    std::uint64_t roots_completed;
+    std::uint32_t swath_index;
+    std::uint32_t last_swath_size;
+    std::uint64_t supersteps_since_initiation;
+    Bytes peak_memory_since_initiation;
+    std::uint64_t last_messages_sent;
+  };
+
+  /// Modeled size of one worker's checkpoint: algorithm state + buffered
+  /// messages + per-vertex values (the graph itself stays in blob storage).
+  Bytes checkpoint_bytes(std::uint32_t vm) const {
+    Bytes total = 0;
+    for (std::uint32_t p = 0; p < parts_.size(); ++p) {
+      if (vm_of(p) != vm) continue;
+      const PartitionState& ps = parts_[p];
+      total += static_cast<Bytes>(std::max<std::int64_t>(ps.state_bytes, 0)) +
+               ps.inbox_cur_bytes + ps.inbox_next_bytes +
+               static_cast<Bytes>(ps.vertices.size()) * sizeof(V);
+    }
+    return total;
+  }
+
+  // ---- control plane (simulated Azure queues) -------------------------------
+
+  void control_superstep_begin() {
+    auto& step = queues_.queue("step");
+    for (std::uint32_t w = 0; w < workers_now_; ++w)
+      step.put("superstep:" + std::to_string(superstep_));
+    for (std::uint32_t w = 0; w < workers_now_; ++w) {
+      const auto token = step.get();
+      PREGEL_DCHECK(token.has_value());
+      step.remove(token->id);
+    }
+  }
+
+  void control_superstep_end(const SuperstepMetrics& sm, JobResult<Program>& result) {
+    auto& barrier = queues_.queue("barrier");
+    for (const auto& wm : sm.workers)
+      barrier.put("active:" + std::to_string(wm.vertices_computed));
+    std::uint64_t reported_active = 0;
+    for (std::uint32_t w = 0; w < workers_now_; ++w) {
+      const auto msg = barrier.get();
+      PREGEL_DCHECK(msg.has_value());
+      reported_active += std::strtoull(msg->body.c_str() + 7, nullptr, 10);
+      barrier.remove(msg->id);
+    }
+    PREGEL_DCHECK(reported_active == sm.active_vertices);
+    result.metrics.control_queue_ops = queues_.total_ops();
+  }
+
+  void take_snapshot(std::uint64_t resume_superstep) {
+    Snapshot s;
+    s.parts = parts_;
+    s.superstep = resume_superstep;
+    s.globals = globals_;
+    s.pending_roots = pending_roots_;
+    s.next_root = next_root_;
+    s.outstanding_roots = outstanding_roots_;
+    s.roots_completed = roots_completed_;
+    s.swath_index = swath_index_;
+    s.last_swath_size = last_swath_size_;
+    s.supersteps_since_initiation = supersteps_since_initiation_;
+    s.peak_memory_since_initiation = peak_memory_since_initiation_;
+    s.last_messages_sent = last_messages_sent_;
+    checkpoint_ = std::move(s);
+  }
+
+  void maybe_checkpoint(JobResult<Program>& result) {
+    if (cluster_.checkpoint_interval == 0) return;
+    if ((superstep_ + 1) % cluster_.checkpoint_interval != 0) return;
+    take_snapshot(superstep_ + 1);  // resume at the next superstep
+
+    // Workers upload in parallel; the slowest bounds the barrier extension.
+    Bytes biggest = 0;
+    for (std::uint32_t w = 0; w < workers_now_; ++w)
+      biggest = std::max(biggest, checkpoint_bytes(w));
+    const double bw_Bps = cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
+    const Seconds t = static_cast<double>(biggest) / bw_Bps + cost_.params().queue_op_latency;
+    ++result.metrics.checkpoints_written;
+    result.metrics.checkpoint_time += t;
+    result.metrics.total_time += t;
+    meter_.charge(cluster_.vm, workers_now_, t);
+  }
+
+  bool failure_strikes() {
+    for (auto it = scheduled_failures_.begin(); it != scheduled_failures_.end(); ++it) {
+      if (it->first == superstep_ && it->second < workers_now_) {
+        scheduled_failures_.erase(it);
+        return true;
+      }
+    }
+    if (cluster_.failure_rate <= 0.0) return false;
+    for (std::uint32_t w = 0; w < workers_now_; ++w) {
+      // Keyed by the failure epoch so a replayed superstep redraws.
+      const std::uint64_t key = mix64(cluster_.failure_seed ^ (superstep_ * 131) ^
+                                      (static_cast<std::uint64_t>(w) << 32) ^
+                                      (failure_epoch_ * 0x9E3779B9ULL));
+      if (static_cast<double>(key >> 11) * 0x1.0p-53 < cluster_.failure_rate) return true;
+    }
+    return false;
+  }
+
+  void recover_from_checkpoint(JobResult<Program>& result) {
+    const Snapshot& s = *checkpoint_;
+    result.metrics.replayed_supersteps += superstep_ + 1 - s.superstep;
+    ++failure_epoch_;
+
+    // Detection (missed heartbeats), replacement VM, checkpoint download by
+    // every worker (they all roll back, per the Pregel recovery model).
+    Bytes biggest = 0;
+    for (std::uint32_t w = 0; w < workers_now_; ++w)
+      biggest = std::max(biggest, checkpoint_bytes(w));
+    const double bw_Bps = cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
+    const Seconds t = cluster_.failure_detection_time + cluster_.vm_reacquisition_time +
+                      static_cast<double>(biggest) / bw_Bps;
+    result.metrics.recovery_time += t;
+    result.metrics.total_time += t;
+    meter_.charge(cluster_.vm, workers_now_, t);
+
+    parts_ = s.parts;
+    globals_ = s.globals;
+    globals_next_ = Globals{};
+    pending_roots_ = s.pending_roots;
+    next_root_ = s.next_root;
+    outstanding_roots_ = s.outstanding_roots;
+    roots_completed_ = s.roots_completed;
+    swath_index_ = s.swath_index;
+    last_swath_size_ = s.last_swath_size;
+    supersteps_since_initiation_ = s.supersteps_since_initiation;
+    peak_memory_since_initiation_ = s.peak_memory_since_initiation;
+    last_messages_sent_ = s.last_messages_sent;
+    superstep_ = s.superstep;
+  }
+
+  void inject_seed(VertexId root) {
+    if constexpr (requires(VertexId r) {
+                    { Program::seed_message(r) } -> std::convertible_to<M>;
+                  }) {
+      M seed = Program::seed_message(root);
+      const std::uint32_t p = part_of_[root];
+      const std::uint32_t l = local_of_[root];
+      PartitionState& ps = parts_[p];
+      ps.inbox_next_bytes += cost_.buffered_bytes(payload_bytes(seed));
+      ps.inbox_next[l].push_back(std::move(seed));
+      activate_local(p, l);
+    }
+  }
+
+  // ---- context callbacks ---------------------------------------------------
+
+  void route(std::uint32_t from_partition, VertexId target, M message) {
+    PREGEL_DCHECK(target < graph_->num_vertices());
+    const std::uint32_t tp = part_of_[target];
+    const std::uint32_t tl = local_of_[target];
+    PartitionState& src = parts_[from_partition];
+    PartitionState& dst = parts_[tp];
+
+    const Bytes payload = payload_bytes(message);
+    const bool remote =
+        vm_of(from_partition) != vm_of(tp);
+
+    // Combiner (when enabled): merge into an already-buffered message with
+    // the same combine key. Modeled as sender-side combining — a combined
+    // message adds no transfer bytes and no buffer growth, which is the
+    // benefit Pregel combiners exist to provide.
+    if constexpr (has_combiner()) {
+      if (opts_combine_) {
+        const std::uint64_t key = Program::combine_key(message);
+        const auto src_vm = static_cast<std::uint8_t>(vm_of(from_partition));
+        auto& box = dst.inbox_next[tl];
+        auto& srcs = dst.inbox_next_src[tl];
+        for (std::size_t i = 0; i < box.size(); ++i) {
+          if (srcs[i] == src_vm && Program::combine_key(box[i]) == key) {
+            Program::combine(box[i], message);
+            return;
+          }
+        }
+        srcs.push_back(src_vm);
+        // fall through to the normal (uncombined) accounting below
+      }
+    }
+
+    if (remote) {
+      ++src.load.messages_sent_remote;
+      const Bytes wire = cost_.wire_bytes(payload);
+      src.load.bytes_sent_remote += wire;
+      src.outbuf_bytes += wire;
+      dst.load.bytes_received_remote += wire;
+    } else {
+      ++src.load.messages_sent_local;
+    }
+    dst.inbox_next_bytes += cost_.buffered_bytes(payload);
+    dst.inbox_next[tl].push_back(std::move(message));
+    activate_local(tp, tl);
+  }
+
+  void activate_local(std::uint32_t partition, std::uint32_t local) {
+    PartitionState& ps = parts_[partition];
+    if (!ps.in_active_next[local]) {
+      ps.in_active_next[local] = true;
+      ps.active_next.push_back(local);
+    }
+  }
+
+  void schedule_wake(std::uint32_t partition, std::uint32_t local, std::uint64_t at) {
+    PREGEL_CHECK_MSG(at > superstep_, "wake_at: superstep must be in the future");
+    parts_[partition].wakes[at].push_back(local);
+  }
+
+  void charge_state(std::uint32_t partition, std::int64_t delta) {
+    parts_[partition].state_bytes += delta;
+  }
+
+  void mark_root_done(VertexId root) {
+    auto it = std::find(outstanding_roots_.begin(), outstanding_roots_.end(), root);
+    if (it != outstanding_roots_.end()) {
+      outstanding_roots_.erase(it);
+      ++roots_completed_;
+    }
+  }
+
+  void collect(JobResult<Program>& result) {
+    result.values.resize(graph_->num_vertices());
+    for (const auto& ps : parts_)
+      for (std::uint32_t l = 0; l < ps.vertices.size(); ++l)
+        result.values[ps.vertices[l]] = ps.values[l];
+    result.metrics.cost_usd = meter_.total_usd();
+    result.metrics.vm_seconds = meter_.total_vm_seconds();
+    result.roots_completed = roots_completed_;
+    result.swaths_initiated = swath_index_;
+  }
+
+  // ---- data ----------------------------------------------------------------
+
+  const Graph* graph_;
+  Program program_;
+  ClusterConfig cluster_;
+  cloud::CostModel cost_;
+  cloud::TenancyNoise noise_;
+  cloud::CostMeter meter_;
+  cloud::QueueService queues_;
+
+  std::vector<PartitionState> parts_;
+  std::vector<PartitionId> part_of_;
+  std::vector<std::uint32_t> local_of_;
+
+  JobOptions opts_;
+  bool opts_combine_ = false;
+  std::uint64_t superstep_ = 0;
+  bool halt_requested_ = false;
+  std::uint32_t workers_now_ = 1;
+  bool workers_changed_ = false;
+
+  Aggregates agg_cur_;
+  Globals globals_, globals_next_;
+
+  std::vector<VertexId> pending_roots_;
+  std::size_t next_root_ = 0;
+  std::vector<VertexId> outstanding_roots_;
+  std::uint64_t roots_completed_ = 0;
+  std::uint32_t swath_index_ = 0;
+  std::uint32_t last_swath_size_ = 0;
+  std::uint64_t supersteps_since_initiation_ = 0;
+  Bytes peak_memory_since_initiation_ = 0;
+  Bytes baseline_memory_ = 0;
+  std::uint64_t last_active_vertices_ = 0;
+  std::uint64_t last_messages_sent_ = 0;
+
+  std::optional<Snapshot> checkpoint_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> scheduled_failures_;
+  std::uint64_t failure_epoch_ = 0;
+
+  std::vector<std::uint32_t> placement_;
+  Seconds pending_placement_cost_ = 0.0;
+};
+
+}  // namespace pregel

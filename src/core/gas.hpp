@@ -1,0 +1,102 @@
+// Gather-Apply-Scatter (GAS) adapter.
+//
+// Section II of the paper surveys "alternative programming abstractions"
+// next to Pregel's vertex-centric messaging — GraphLab/PowerGraph's GAS
+// model being the prominent one. This adapter runs GAS programs unchanged on
+// the Pregel++ engine: each GAS iteration is one superstep in which a vertex
+// gathers the accumulated signals its neighbors scattered in the previous
+// superstep, applies its update, and (if still active) scatters a new signal
+// along its out-edges. The gather accumulator doubles as a Pregel combiner,
+// so GAS programs get message combining for free.
+//
+// A GAS program provides:
+//   struct MyGas {
+//     using VertexValue;   // per-vertex state (default-constructible)
+//     using GatherValue;   // commutative gather monoid element
+//     static GatherValue scatter(const GasContext&, const VertexValue&);
+//     static void accumulate(GatherValue& acc, const GatherValue& in);
+//     // Update from the gathered sum (nullopt on the first iteration or
+//     // when no neighbor signalled). Return true to scatter again.
+//     bool apply(const GasContext&, VertexValue&,
+//                const std::optional<GatherValue>& gathered) const;
+//   };
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace pregel {
+
+/// What a GAS program sees about the current vertex.
+struct GasContext {
+  VertexId id = 0;
+  std::uint32_t degree = 0;
+  std::uint64_t iteration = 0;
+  VertexId num_graph_vertices = 0;
+};
+
+template <typename G>
+concept GasProgramT = requires(const G& g, GasContext ctx, typename G::VertexValue& v,
+                               typename G::GatherValue& acc,
+                               const typename G::GatherValue& in,
+                               const std::optional<typename G::GatherValue>& gathered) {
+  { G::scatter(ctx, v) } -> std::convertible_to<typename G::GatherValue>;
+  G::accumulate(acc, in);
+  { g.apply(ctx, v, gathered) } -> std::convertible_to<bool>;
+};
+
+/// The Pregel vertex program that hosts a GAS program.
+template <GasProgramT G>
+struct GasAdapter {
+  using VertexValue = typename G::VertexValue;
+  using MessageValue = typename G::GatherValue;
+
+  G gas;
+  std::uint64_t max_iterations = 1'000'000;
+
+  static Bytes message_payload_bytes(const MessageValue&) { return sizeof(MessageValue); }
+  static std::uint64_t combine_key(const MessageValue&) { return 0; }
+  static void combine(MessageValue& acc, const MessageValue& in) {
+    G::accumulate(acc, in);
+  }
+
+  template <class Ctx>
+  void compute(Ctx& ctx, VertexValue& v, std::span<const MessageValue> messages) const {
+    GasContext gctx{ctx.vertex_id(), ctx.out_degree(), ctx.superstep(),
+                    ctx.num_graph_vertices()};
+    std::optional<MessageValue> gathered;
+    for (const MessageValue& m : messages) {
+      if (gathered) {
+        G::accumulate(*gathered, m);
+      } else {
+        gathered = m;
+      }
+    }
+    const bool active = gas.apply(gctx, v, gathered);
+    if (active && ctx.superstep() + 1 < max_iterations) {
+      ctx.send_to_all_neighbors(G::scatter(gctx, v));
+      // Activity is purely signal-driven (GraphLab semantics): a vertex runs
+      // again only when a neighbor's scatter reaches it; the engine halts
+      // when no signals remain in flight.
+    }
+  }
+};
+
+/// Run a GAS program over the whole graph (all vertices active initially).
+template <GasProgramT G>
+JobResult<GasAdapter<G>> run_gas(const Graph& g, const ClusterConfig& cluster,
+                                 const Partitioning& parts, G gas,
+                                 std::uint64_t max_iterations = 1'000'000,
+                                 bool use_combiner = true) {
+  Engine<GasAdapter<G>> engine(g, {std::move(gas), max_iterations}, cluster, parts);
+  JobOptions opts;
+  opts.start_all_vertices = true;
+  opts.use_combiner = use_combiner;
+  return engine.run(opts);
+}
+
+}  // namespace pregel

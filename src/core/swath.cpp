@@ -1,0 +1,161 @@
+#include "core/swath.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace pregel {
+
+StaticSwathSizer::StaticSwathSizer(std::uint32_t size) : size_(size) {
+  PREGEL_CHECK_MSG(size >= 1, "StaticSwathSizer: size must be >= 1");
+}
+
+SamplingSwathSizer::SamplingSwathSizer(std::uint32_t sample_size, std::uint32_t sample_count)
+    : sample_size_(sample_size), sample_count_(sample_count) {
+  PREGEL_CHECK_MSG(sample_size >= 1, "SamplingSwathSizer: sample size must be >= 1");
+  PREGEL_CHECK_MSG(sample_count >= 1, "SamplingSwathSizer: sample count must be >= 1");
+}
+
+std::uint32_t SamplingSwathSizer::next_size(const SwathSizeSignals& s) {
+  if (s.swath_index > 0 && s.last_swath_size > 0) {
+    // Record the observation from the completed swath (only sampling swaths
+    // feed the estimate; later swaths confirm but don't shrink it).
+    if (s.swath_index <= sample_count_) {
+      const double incremental =
+          s.peak_memory_last_swath > s.baseline_memory
+              ? static_cast<double>(s.peak_memory_last_swath - s.baseline_memory)
+              : 0.0;
+      max_per_root_bytes_ =
+          std::max(max_per_root_bytes_, incremental / s.last_swath_size);
+    }
+  }
+  if (s.swath_index < sample_count_) return sample_size_;  // still sampling
+  if (extrapolated_ == 0) {
+    const double budget = s.memory_target > s.baseline_memory
+                              ? static_cast<double>(s.memory_target - s.baseline_memory)
+                              : 0.0;
+    if (max_per_root_bytes_ <= 0.0) {
+      extrapolated_ = sample_size_ * 4;  // no pressure observed: grow boldly
+    } else {
+      extrapolated_ = static_cast<std::uint32_t>(
+          std::max(1.0, std::floor(budget / max_per_root_bytes_)));
+    }
+  }
+  return extrapolated_;
+}
+
+AdaptiveSwathSizer::AdaptiveSwathSizer(std::uint32_t initial_size, double smoothing,
+                                       double growth_cap)
+    : initial_size_(initial_size),
+      smoothing_(smoothing),
+      growth_cap_(growth_cap),
+      ewma_(smoothing) {
+  PREGEL_CHECK_MSG(initial_size >= 1, "AdaptiveSwathSizer: initial size must be >= 1");
+  PREGEL_CHECK_MSG(smoothing > 0.0 && smoothing <= 1.0,
+                   "AdaptiveSwathSizer: smoothing in (0,1]");
+  PREGEL_CHECK_MSG(growth_cap >= 1.0, "AdaptiveSwathSizer: growth cap >= 1");
+}
+
+std::uint32_t AdaptiveSwathSizer::next_size(const SwathSizeSignals& s) {
+  if (s.swath_index == 0 || s.last_swath_size == 0) return initial_size_;
+
+  const double budget = s.memory_target > s.baseline_memory
+                            ? static_cast<double>(s.memory_target - s.baseline_memory)
+                            : 0.0;
+  const double used = s.peak_memory_last_swath > s.baseline_memory
+                          ? static_cast<double>(s.peak_memory_last_swath - s.baseline_memory)
+                          : 0.0;
+  double proposal;
+  if (used <= 0.0 || budget <= 0.0) {
+    proposal = static_cast<double>(s.last_swath_size) * growth_cap_;
+  } else {
+    // Linear interpolation: scale last size by how far below/above target
+    // the last swath's peak landed.
+    proposal = static_cast<double>(s.last_swath_size) * budget / used;
+  }
+  proposal = std::clamp(proposal, 1.0,
+                        static_cast<double>(s.last_swath_size) * growth_cap_);
+  ewma_.add(proposal);
+  return static_cast<std::uint32_t>(std::max(1.0, std::round(ewma_.value())));
+}
+
+StaticNInitiation::StaticNInitiation(std::uint64_t n) : n_(n) {
+  PREGEL_CHECK_MSG(n >= 1, "StaticNInitiation: N must be >= 1");
+}
+
+bool StaticNInitiation::should_initiate(const InitiationSignals& s) {
+  return s.supersteps_since_initiation >= n_ || s.active_roots == 0;
+}
+
+DynamicPeakInitiation::DynamicPeakInitiation(double tolerance) : detector_(tolerance) {}
+
+bool DynamicPeakInitiation::should_initiate(const InitiationSignals& s) {
+  if (s.active_roots == 0) return true;  // drained: always allowed
+  if (detector_.add(static_cast<double>(s.messages_sent))) armed_ = true;
+  if (!armed_) return false;
+  // Memory guard: postpone while above target (initiating into an
+  // overloaded cluster exacerbates the very pressure swaths exist to avoid).
+  if (s.memory_target > 0 && s.max_worker_memory > s.memory_target) return false;
+  return true;
+}
+
+void DynamicPeakInitiation::on_initiated() {
+  armed_ = false;
+  detector_.reset();
+}
+
+MemoryHeadroomInitiation::MemoryHeadroomInitiation(double headroom_fraction)
+    : headroom_(headroom_fraction) {
+  PREGEL_CHECK_MSG(headroom_fraction > 0.0 && headroom_fraction <= 1.0,
+                   "MemoryHeadroomInitiation: fraction in (0,1]");
+}
+
+bool MemoryHeadroomInitiation::should_initiate(const InitiationSignals& s) {
+  if (s.active_roots == 0) return true;
+  if (s.memory_target == 0) return true;  // no budget declared: never defer
+  return static_cast<double>(s.max_worker_memory) <
+         headroom_ * static_cast<double>(s.memory_target);
+}
+
+std::string MemoryHeadroomInitiation::name() const {
+  return "mem<" + std::to_string(static_cast<int>(headroom_ * 100)) + "%";
+}
+
+TrafficDecayInitiation::TrafficDecayInitiation(double decay_fraction)
+    : decay_(decay_fraction) {
+  PREGEL_CHECK_MSG(decay_fraction > 0.0 && decay_fraction < 1.0,
+                   "TrafficDecayInitiation: fraction in (0,1)");
+}
+
+bool TrafficDecayInitiation::should_initiate(const InitiationSignals& s) {
+  if (s.active_roots == 0) return true;
+  window_peak_ = std::max(window_peak_, static_cast<double>(s.messages_sent));
+  if (window_peak_ <= 0.0) return false;
+  return static_cast<double>(s.messages_sent) < decay_ * window_peak_;
+}
+
+void TrafficDecayInitiation::on_initiated() { window_peak_ = 0.0; }
+
+std::string TrafficDecayInitiation::name() const {
+  return "decay<" + std::to_string(static_cast<int>(decay_ * 100)) + "%";
+}
+
+SwathPolicy SwathPolicy::single_swath() {
+  SwathPolicy p;
+  p.sizer = std::make_shared<StaticSwathSizer>(std::numeric_limits<std::uint32_t>::max());
+  p.initiation = std::make_shared<SequentialInitiation>();
+  p.memory_target = 0;
+  return p;
+}
+
+SwathPolicy SwathPolicy::make(std::shared_ptr<SwathSizer> sizer,
+                              std::shared_ptr<InitiationPolicy> initiation,
+                              Bytes memory_target) {
+  PREGEL_CHECK_MSG(sizer != nullptr, "SwathPolicy: sizer required");
+  PREGEL_CHECK_MSG(initiation != nullptr, "SwathPolicy: initiation policy required");
+  return {std::move(sizer), std::move(initiation), memory_target};
+}
+
+}  // namespace pregel

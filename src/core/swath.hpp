@@ -1,0 +1,189 @@
+// Swath scheduling heuristics — the paper's primary contribution (§IV).
+//
+// Root-parallel algorithms (BC, APSP) logically start |V| traversals at
+// once; buffering the frontier of all of them overwhelms worker memory.
+// The swath scheduler instead *initiates* computation for k roots at a time
+// (a swath) and decides (a) how large each swath should be and (b) when the
+// next swath may begin, possibly overlapping the tail of the previous one.
+//
+//   Swath size  : Static(k) | Sampling (measure small swaths, extrapolate)
+//                 | Adaptive (linear-interpolation controller on peak memory)
+//   Initiation  : Sequential (previous swath fully done) | StaticN (every N
+//                 supersteps) | DynamicPeak (message-traffic phase change)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace pregel {
+
+/// What the sizer sees when asked for the next swath's size.
+struct SwathSizeSignals {
+  std::uint32_t swath_index = 0;        ///< 0 for the first swath
+  std::uint32_t last_swath_size = 0;    ///< 0 before any swath ran
+  Bytes peak_memory_last_swath = 0;     ///< max worker memory since last initiation
+  Bytes baseline_memory = 0;            ///< graph + resident state, no traffic
+  Bytes memory_target = 0;              ///< per-worker budget (paper: 6 GB of 7)
+  std::uint32_t roots_remaining = 0;
+};
+
+class SwathSizer {
+ public:
+  virtual ~SwathSizer() = default;
+  /// Number of roots for the next swath (>= 1; engine clamps to remaining).
+  virtual std::uint32_t next_size(const SwathSizeSignals& signals) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Fixed swath size — the baseline of Figure 4 ("largest swath that
+/// completes") when sized by hand.
+class StaticSwathSizer final : public SwathSizer {
+ public:
+  explicit StaticSwathSizer(std::uint32_t size);
+  std::uint32_t next_size(const SwathSizeSignals&) override { return size_; }
+  std::string name() const override { return "static-" + std::to_string(size_); }
+
+ private:
+  std::uint32_t size_;
+};
+
+/// Paper's sampling heuristic: run `sample_count` swaths of `sample_size`
+/// roots, estimate the per-root incremental peak memory, then use a fixed
+/// extrapolated size (target - baseline) / per-root for the rest.
+class SamplingSwathSizer final : public SwathSizer {
+ public:
+  explicit SamplingSwathSizer(std::uint32_t sample_size = 4, std::uint32_t sample_count = 2);
+  std::uint32_t next_size(const SwathSizeSignals& signals) override;
+  std::string name() const override { return "sampling"; }
+
+  /// Extrapolated size once sampling completed (0 while still sampling).
+  std::uint32_t extrapolated_size() const noexcept { return extrapolated_; }
+
+ private:
+  std::uint32_t sample_size_;
+  std::uint32_t sample_count_;
+  double max_per_root_bytes_ = 0.0;
+  std::uint32_t extrapolated_ = 0;
+};
+
+/// Paper's adaptive heuristic: each swath's size is linearly interpolated
+/// from the previous swath's peak memory:
+///   next = prev_size * (target - baseline) / (peak - baseline)
+/// smoothed with an EWMA and clamped to [1, growth_cap * prev].
+class AdaptiveSwathSizer final : public SwathSizer {
+ public:
+  explicit AdaptiveSwathSizer(std::uint32_t initial_size = 4, double smoothing = 0.7,
+                              double growth_cap = 4.0);
+  std::uint32_t next_size(const SwathSizeSignals& signals) override;
+  std::string name() const override { return "adaptive"; }
+
+ private:
+  std::uint32_t initial_size_;
+  double smoothing_;
+  double growth_cap_;
+  Ewma ewma_;
+};
+
+/// What initiation policies see after every superstep.
+struct InitiationSignals {
+  std::uint64_t superstep = 0;                  ///< global superstep index
+  std::uint64_t supersteps_since_initiation = 0;
+  std::uint64_t messages_sent = 0;              ///< this superstep, all workers
+  std::uint64_t active_roots = 0;               ///< initiated but not completed
+  Bytes max_worker_memory = 0;
+  Bytes memory_target = 0;
+};
+
+class InitiationPolicy {
+ public:
+  virtual ~InitiationPolicy() = default;
+  /// May the next swath start at the coming superstep?
+  virtual bool should_initiate(const InitiationSignals& signals) = 0;
+  /// Called when a swath is actually initiated (reset internal detectors).
+  virtual void on_initiated() {}
+  virtual std::string name() const = 0;
+};
+
+/// Baseline: wait until every root of the previous swath completed.
+class SequentialInitiation final : public InitiationPolicy {
+ public:
+  bool should_initiate(const InitiationSignals& s) override { return s.active_roots == 0; }
+  std::string name() const override { return "sequential"; }
+};
+
+/// Static-N: initiate a new swath every N supersteps.
+class StaticNInitiation final : public InitiationPolicy {
+ public:
+  explicit StaticNInitiation(std::uint64_t n);
+  bool should_initiate(const InitiationSignals& s) override;
+  void on_initiated() override {}
+  std::string name() const override { return "static-" + std::to_string(n_); }
+
+ private:
+  std::uint64_t n_;
+};
+
+/// Paper's dynamic heuristic: monitor sent-message statistics superstep to
+/// superstep; initiate when an increase followed by a decrease is seen
+/// (the frontier peak of the current swath has passed). A memory guard
+/// suppresses initiation while the worker peak is above the target.
+class DynamicPeakInitiation final : public InitiationPolicy {
+ public:
+  explicit DynamicPeakInitiation(double tolerance = 0.05);
+  bool should_initiate(const InitiationSignals& s) override;
+  void on_initiated() override;
+  std::string name() const override { return "dynamic"; }
+
+ private:
+  PeakDetector detector_;
+  bool armed_ = false;  ///< peak seen, waiting for initiation to happen
+};
+
+/// §IV also names "memory utilization" as a trigger signal: initiate
+/// whenever the observed worker-memory peak since the last initiation has
+/// fallen back below `headroom_fraction` of the target (i.e. there is room
+/// for another swath's buffers). Strictly reactive — no peak detection.
+class MemoryHeadroomInitiation final : public InitiationPolicy {
+ public:
+  explicit MemoryHeadroomInitiation(double headroom_fraction = 0.6);
+  bool should_initiate(const InitiationSignals& s) override;
+  std::string name() const override;
+
+ private:
+  double headroom_;
+};
+
+/// §IV's third named signal, the "number of active vertices (those that
+/// have not voted to halt)": track the running peak of sent messages for
+/// the current swath window and initiate once traffic decays below
+/// `decay_fraction` of that peak (the wave is draining).
+class TrafficDecayInitiation final : public InitiationPolicy {
+ public:
+  explicit TrafficDecayInitiation(double decay_fraction = 0.5);
+  bool should_initiate(const InitiationSignals& s) override;
+  void on_initiated() override;
+  std::string name() const override;
+
+ private:
+  double decay_;
+  double window_peak_ = 0.0;
+};
+
+/// Convenience factory bundle used by JobConfig.
+struct SwathPolicy {
+  std::shared_ptr<SwathSizer> sizer;
+  std::shared_ptr<InitiationPolicy> initiation;
+  /// Per-worker memory budget handed to the sizer (paper: 6 GB on 7 GB VMs).
+  Bytes memory_target = 0;
+
+  /// Default: everything in one swath, sequential — plain Pregel semantics.
+  static SwathPolicy single_swath();
+  static SwathPolicy make(std::shared_ptr<SwathSizer> sizer,
+                          std::shared_ptr<InitiationPolicy> initiation, Bytes memory_target);
+};
+
+}  // namespace pregel

@@ -1,0 +1,84 @@
+// Sequential graph analysis used for (a) regenerating Table 1's dataset
+// statistics for the analogs and (b) providing trusted reference results the
+// BSP algorithm tests validate against.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+namespace pregel {
+
+inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+/// BFS hop distances from `source` (kUnreachable where not reachable).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source);
+
+/// Connected components over the undirected view; returns component id per
+/// vertex (ids are the smallest vertex id in the component) and the count.
+struct ComponentResult {
+  std::vector<VertexId> component;
+  std::size_t count = 0;
+  /// Size of the largest component.
+  VertexId giant_size = 0;
+};
+ComponentResult connected_components(const Graph& g);
+
+/// Degree distribution summary.
+struct DegreeStats {
+  RunningStats stats;       ///< over out-degrees
+  Log2Histogram histogram;  ///< log-binned degree histogram
+  VertexId max_degree_vertex = kInvalidVertex;
+};
+DegreeStats degree_stats(const Graph& g);
+
+/// 90% effective diameter: the distance within which 90% of reachable
+/// ordered vertex pairs lie, estimated from `samples` BFS traversals with
+/// linear interpolation between integer hop counts (the SNAP convention,
+/// which is what Table 1's fractional values like "4.7" use).
+struct DiameterResult {
+  double effective_90 = 0.0;   ///< interpolated 90% effective diameter
+  std::uint32_t max_seen = 0;  ///< largest finite distance in the sample
+  double mean_distance = 0.0;  ///< mean pairwise distance in the sample
+};
+DiameterResult effective_diameter(const Graph& g, std::size_t samples, std::uint64_t seed);
+
+/// Average local clustering coefficient estimated over `samples` vertices.
+double clustering_coefficient(const Graph& g, std::size_t samples, std::uint64_t seed);
+
+// -- Reference (sequential, trusted) algorithm implementations -------------
+// These are the oracles for the BSP engine's algorithm tests.
+
+/// PageRank with uniform teleport; returns per-vertex score summing to ~1.
+std::vector<double> reference_pagerank(const Graph& g, int iterations, double damping = 0.85);
+
+/// Exact betweenness centrality (Brandes 2001) on the undirected unweighted
+/// graph, optionally restricted to traversals rooted at `roots` (empty means
+/// all vertices). Scores are *not* halved for undirectedness — the BSP
+/// implementation uses the same convention so results compare exactly.
+std::vector<double> reference_betweenness(const Graph& g,
+                                          const std::vector<VertexId>& roots = {});
+
+/// All-pairs shortest path lengths from each root (hop metric):
+/// result[i] is the distance vector from roots[i].
+std::vector<std::vector<std::uint32_t>> reference_apsp(const Graph& g,
+                                                       const std::vector<VertexId>& roots);
+
+/// Exact triangle count on the undirected simple graph (sorted-adjacency
+/// intersection over oriented edges).
+std::uint64_t reference_triangles(const Graph& g);
+
+/// The vertex-induced subgraph on `vertices` (ids are compacted to [0, k) in
+/// the order given; duplicate ids are rejected).
+Graph induced_subgraph(const Graph& g, const std::vector<VertexId>& vertices);
+
+/// The induced subgraph of the largest connected component (vertex ids
+/// compacted ascending). The paper's algorithms assume a giant component;
+/// this is the standard cleanup for datasets that lack one.
+Graph largest_component_subgraph(const Graph& g);
+
+}  // namespace pregel

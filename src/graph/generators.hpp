@@ -1,0 +1,115 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on four SNAP datasets (SlashDot0922, web-Google,
+// cit-Patents, LiveJournal). Those exact files are not redistributable inside
+// this repository, so the benches run on *analogs*: synthetic graphs whose
+// vertex/edge counts are the published values scaled by 1/10 and whose
+// generator/parameters are chosen so the measured small-world statistics
+// (average degree, 90% effective diameter ordering, heavy-tailed degrees)
+// match the originals. See DESIGN.md §1 for the substitution argument and
+// bench_table1_datasets for the regenerated Table 1.
+//
+// All generators are deterministic in (parameters, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pregel {
+
+/// Erdős–Rényi G(n, m): exactly m distinct undirected edges.
+Graph erdos_renyi(VertexId n, EdgeIndex m, std::uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with k neighbors per vertex
+/// (k even), each edge rewired with probability beta. High clustering,
+/// diameter tunable via beta — used for the higher-diameter analogs.
+Graph watts_strogatz(VertexId n, std::uint32_t k, double beta, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches
+/// `m_attach` edges to existing vertices chosen proportionally to degree.
+/// Scale-free with very small diameter — used for the social-network analogs.
+Graph barabasi_albert(VertexId n, std::uint32_t m_attach, std::uint64_t seed);
+
+/// Citation-network generator (growing network with aging): vertices arrive
+/// in id order; each new vertex cites `edges_per_vertex` older vertices,
+/// drawn with probability `p_far` log-uniformly over the whole past (the
+/// occasional seminal old patent — early vertices accumulate a moderately
+/// enriched in-degree "old core") and otherwise uniformly from the last
+/// `window` vertices (recency bias — patents mostly cite recent work).
+/// The result has strong temporal locality: partitions of it are
+/// id-contiguous, and every traversal funnels through the old core, which
+/// is exactly the structure behind cit-Patents' partition-local activity
+/// maximas in the paper's §VII.
+Graph citation_graph(VertexId n, std::uint32_t edges_per_vertex, VertexId window,
+                     double p_far, std::uint64_t seed);
+
+/// Planted-partition (stochastic block model): `communities` equal-sized
+/// groups over n vertices; each intra-community pair is an edge with
+/// probability p_in, each inter-community pair with p_out << p_in. The
+/// ground-truth community of vertex v is v / ceil(n/communities).
+/// The standard benchmark for community-detection algorithms (label
+/// propagation, semi-clustering).
+Graph planted_partition(VertexId n, std::uint32_t communities, double p_in, double p_out,
+                        std::uint64_t seed);
+
+/// Ground-truth community of vertex v for a planted_partition graph.
+std::uint32_t planted_community_of(VertexId v, VertexId n, std::uint32_t communities);
+
+/// R-MAT / Kronecker-style recursive generator producing `m` distinct
+/// undirected edges over 2^scale vertices (isolated vertices possible).
+/// Probabilities (a, b, c, d) must sum to ~1; Graph500 uses
+/// (0.57, 0.19, 0.19, 0.05).
+struct RmatParams {
+  std::uint32_t scale;
+  EdgeIndex target_edges;
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+  /// Per-level multiplicative noise on the quadrant probabilities, which
+  /// avoids the perfectly self-similar degree artifacts of pure R-MAT.
+  double noise = 0.10;
+};
+Graph rmat(const RmatParams& params, std::uint64_t seed);
+
+// -- Deterministic shapes for tests and pathological baselines -------------
+
+/// Path 0-1-2-...-(n-1): maximal diameter.
+Graph path_graph(VertexId n);
+/// Cycle of n vertices.
+Graph ring_graph(VertexId n);
+/// Star: vertex 0 connected to all others — the extreme supernode.
+Graph star_graph(VertexId n);
+/// sqrt(n) x sqrt(n) 4-neighbor torus-free grid (rows*cols vertices).
+Graph grid_graph(VertexId rows, VertexId cols);
+/// Complete graph K_n (tests only; quadratic).
+Graph complete_graph(VertexId n);
+/// Full binary tree with n vertices.
+Graph binary_tree(VertexId n);
+
+/// Apply a uniformly random permutation to the vertex ids. Generators like
+/// Watts–Strogatz produce ids with near-perfect locality (the ring lattice),
+/// which real datasets do not have; relabeling removes that artifact so
+/// partitioning experiments are honest.
+Graph relabel_vertices(const Graph& g, std::uint64_t seed);
+
+// -- Dataset analogs (Table 1 of the paper, at `scale_div` reduction) ------
+
+struct DatasetSpec {
+  std::string short_name;   ///< "SD", "WG", "CP", "LJ"
+  std::string full_name;    ///< paper's dataset name
+  VertexId paper_vertices;  ///< published |V|
+  EdgeIndex paper_edges;    ///< published |E|
+  double paper_eff_diameter;  ///< published 90% effective diameter
+};
+
+/// The four datasets of Table 1 with their published statistics.
+const std::vector<DatasetSpec>& paper_datasets();
+
+/// Build the analog of a paper dataset at 1/scale_div size. The generator
+/// family and parameters per dataset are fixed (documented in the .cpp) so
+/// analogs are reproducible; `seed` perturbs only the random stream.
+Graph dataset_analog(const std::string& short_name, unsigned scale_div = 10,
+                     std::uint64_t seed = 2013);
+
+}  // namespace pregel

@@ -1,0 +1,75 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace pregel {
+
+std::string Graph::summary() const {
+  std::string s = "n=" + format_count(n_) + " m=" + format_count(num_edges());
+  s += undirected_ ? " (undirected)" : " (directed)";
+  if (!name_.empty()) s = name_ + ": " + s;
+  return s;
+}
+
+Graph Graph::transposed() const {
+  if (undirected_) return *this;
+  GraphBuilder b(n_, /*undirected=*/false);
+  b.keep_duplicates();  // transpose preserves multiplicity; input is simple anyway
+  b.keep_self_loops();
+  for (VertexId v = 0; v < n_; ++v)
+    for (VertexId u : out_neighbors(v)) b.add_edge(u, v);
+  Graph t = b.build();
+  t.set_name(name_.empty() ? "" : name_ + "-T");
+  return t;
+}
+
+GraphBuilder::GraphBuilder(VertexId num_vertices, bool undirected)
+    : n_(num_vertices), undirected_(undirected) {}
+
+GraphBuilder& GraphBuilder::add_edge(VertexId src, VertexId dst) {
+  if (src >= n_ || dst >= n_)
+    throw std::invalid_argument("GraphBuilder::add_edge: vertex id out of range");
+  edges_.push_back({src, dst});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::add_edges(std::span<const Edge> edges) {
+  for (const Edge& e : edges) add_edge(e.src, e.dst);
+  return *this;
+}
+
+Graph GraphBuilder::build() {
+  std::vector<Edge> arcs;
+  arcs.reserve(edges_.size() * (undirected_ ? 2 : 1));
+  for (const Edge& e : edges_) {
+    if (drop_loops_ && e.src == e.dst) continue;
+    arcs.push_back(e);
+    if (undirected_) arcs.push_back({e.dst, e.src});
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  if (dedupe_) {
+    std::sort(arcs.begin(), arcs.end());
+    arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  } else {
+    std::sort(arcs.begin(), arcs.end());
+  }
+
+  Graph g;
+  g.n_ = n_;
+  g.undirected_ = undirected_;
+  g.offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  g.adj_.resize(arcs.size());
+  for (const Edge& e : arcs) ++g.offsets_[e.src + 1];
+  for (std::size_t i = 1; i <= n_; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  PREGEL_DCHECK(g.offsets_[n_] == arcs.size());
+  for (std::size_t i = 0; i < arcs.size(); ++i) g.adj_[i] = arcs[i].dst;
+  return g;
+}
+
+}  // namespace pregel

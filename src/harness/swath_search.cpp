@@ -1,0 +1,97 @@
+#include "harness/swath_search.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "algos/bc.hpp"
+#include "core/swath.hpp"
+#include "harness/experiment.hpp"
+
+namespace pregel::harness {
+
+namespace {
+
+bool completes(const Graph& g, const ClusterConfig& cluster, const Partitioning& parts,
+               const std::vector<VertexId>& roots, std::uint32_t k) {
+  const auto take =
+      static_cast<std::ptrdiff_t>(std::min<std::size_t>(k, roots.size()));
+  std::vector<VertexId> subset(roots.begin(), roots.begin() + take);
+  try {
+    const auto r = algos::run_bc(g, cluster, parts, subset);
+    return !r.failed;
+  } catch (const JobFailure&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+SwathSearchResult find_largest_completing_bc_swath(const Graph& g,
+                                                   const ClusterConfig& cluster,
+                                                   const Partitioning& parts,
+                                                   const std::vector<VertexId>& roots) {
+  SwathSearchResult result;
+  const auto cap = static_cast<std::uint32_t>(roots.size());
+
+  // Exponential probe upward from 4 until a failure (or the cap).
+  std::uint32_t lo = 0, hi = 0;
+  for (std::uint32_t k = std::min(4u, cap);; k = std::min(k * 2, cap)) {
+    ++result.probes;
+    std::cout << "  probe swath=" << k << " ... " << std::flush;
+    if (completes(g, cluster, parts, roots, k)) {
+      std::cout << "completes\n";
+      lo = k;
+      if (k == cap) break;
+    } else {
+      std::cout << "VM restart\n";
+      hi = k;
+      break;
+    }
+  }
+  if (hi == 0) {  // never failed
+    result.largest_completing = lo;
+    return result;
+  }
+  // Bisect to ~10% granularity.
+  while (hi - lo > std::max(1u, lo / 10)) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    ++result.probes;
+    std::cout << "  probe swath=" << mid << " ... " << std::flush;
+    if (completes(g, cluster, parts, roots, mid)) {
+      std::cout << "completes\n";
+      lo = mid;
+    } else {
+      std::cout << "VM restart\n";
+      hi = mid;
+    }
+  }
+  result.largest_completing = lo;
+  result.smallest_failing = hi;
+  return result;
+}
+
+std::uint32_t cached_baseline_swath(const std::string& dataset_name, const Graph& g,
+                                    const ClusterConfig& cluster, const Partitioning& parts,
+                                    const std::vector<VertexId>& roots) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::path(env().results_dir) /
+                        ("baseline_swath_" + dataset_name + "_div" +
+                         std::to_string(env().scale_div) + ".txt");
+  if (std::ifstream in(path); in) {
+    std::uint32_t cached = 0;
+    if (in >> cached && cached >= 1 && cached <= roots.size()) {
+      std::cout << "  baseline swath (cached): " << cached << "\n";
+      return cached;
+    }
+  }
+  const auto search = find_largest_completing_bc_swath(g, cluster, parts, roots);
+  const std::uint32_t size = std::max(search.largest_completing, 2u);
+  fs::create_directories(env().results_dir);
+  std::ofstream out(path);
+  out << size << "\n";
+  return size;
+}
+
+}  // namespace pregel::harness

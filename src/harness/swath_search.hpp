@@ -1,0 +1,36 @@
+// Baseline swath-size search: the paper's Figure 4 baseline is "the largest
+// swath size we could successfully complete ... while allowing them to spill
+// to virtual memory" — found manually by the authors (40 for WG, 25 for CP).
+// We automate that manual search: exponential probing followed by bisection,
+// where "fails" means the cloud fabric restarts a thrashing worker VM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/graph.hpp"
+#include "partition/partitioner.hpp"
+
+namespace pregel::harness {
+
+struct SwathSearchResult {
+  std::uint32_t largest_completing = 0;  ///< the paper's baseline swath size
+  std::uint32_t smallest_failing = 0;    ///< 0 if nothing failed up to the cap
+  std::uint32_t probes = 0;
+};
+
+/// Probe BC runs with a single static swath of k of the given roots (the
+/// first k) until the largest completing k in [1, roots.size()] is bracketed.
+SwathSearchResult find_largest_completing_bc_swath(const Graph& g,
+                                                   const ClusterConfig& cluster,
+                                                   const Partitioning& parts,
+                                                   const std::vector<VertexId>& roots);
+
+/// Same search, memoized in the results directory (keyed by dataset name and
+/// scale) so fig4/fig5 and friends don't each re-pay for the probe runs.
+std::uint32_t cached_baseline_swath(const std::string& dataset_name, const Graph& g,
+                                    const ClusterConfig& cluster, const Partitioning& parts,
+                                    const std::vector<VertexId>& roots);
+
+}  // namespace pregel::harness

@@ -1,0 +1,272 @@
+#include "partition/multilevel.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pregel {
+
+namespace {
+
+/// Weighted graph used internally across coarsening levels.
+struct WGraph {
+  std::vector<std::uint64_t> vweight;                      // per vertex
+  std::vector<std::vector<std::pair<VertexId, std::uint64_t>>> adj;  // (nbr, edge weight)
+
+  VertexId n() const { return static_cast<VertexId>(vweight.size()); }
+  std::uint64_t total_weight() const {
+    return std::accumulate(vweight.begin(), vweight.end(), std::uint64_t{0});
+  }
+};
+
+WGraph from_graph(const Graph& g) {
+  WGraph w;
+  const VertexId n = g.num_vertices();
+  w.vweight.assign(n, 1);
+  w.adj.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    w.adj[v].reserve(g.out_degree(v));
+    for (VertexId u : g.out_neighbors(v)) w.adj[v].push_back({u, 1});
+  }
+  return w;
+}
+
+/// One level of heavy-edge matching; returns the coarse graph and the
+/// fine->coarse vertex map.
+struct CoarseLevel {
+  WGraph graph;
+  std::vector<VertexId> fine_to_coarse;
+};
+
+CoarseLevel coarsen_once(const WGraph& g, Xoshiro256& rng) {
+  const VertexId n = g.n();
+  std::vector<VertexId> match(n, kInvalidVertex);
+  std::vector<VertexId> visit(n);
+  std::iota(visit.begin(), visit.end(), VertexId{0});
+  for (VertexId i = n; i > 1; --i) std::swap(visit[i - 1], visit[rng.next_below(i)]);
+
+  for (VertexId v : visit) {
+    if (match[v] != kInvalidVertex) continue;
+    VertexId best = kInvalidVertex;
+    std::uint64_t best_w = 0;
+    for (const auto& [u, w] : g.adj[v]) {
+      if (u != v && match[u] == kInvalidVertex && w >= best_w) {
+        best = u;
+        best_w = w;
+      }
+    }
+    if (best == kInvalidVertex) {
+      match[v] = v;  // stays single
+    } else {
+      match[v] = best;
+      match[best] = v;
+    }
+  }
+
+  CoarseLevel lvl;
+  lvl.fine_to_coarse.assign(n, kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (lvl.fine_to_coarse[v] != kInvalidVertex) continue;
+    lvl.fine_to_coarse[v] = next;
+    const VertexId m = match[v];
+    if (m != v && m != kInvalidVertex) lvl.fine_to_coarse[m] = next;
+    ++next;
+  }
+
+  lvl.graph.vweight.assign(next, 0);
+  lvl.graph.adj.resize(next);
+  // Accumulate vertex weights.
+  for (VertexId v = 0; v < n; ++v) lvl.graph.vweight[lvl.fine_to_coarse[v]] += g.vweight[v];
+  // Accumulate edge weights between coarse vertices.
+  std::unordered_map<VertexId, std::uint64_t> acc;
+  for (VertexId cv = 0; cv < next; ++cv) lvl.graph.adj[cv].reserve(4);
+  std::vector<std::vector<VertexId>> coarse_members(next);
+  for (VertexId v = 0; v < n; ++v) coarse_members[lvl.fine_to_coarse[v]].push_back(v);
+  for (VertexId cv = 0; cv < next; ++cv) {
+    acc.clear();
+    for (VertexId v : coarse_members[cv]) {
+      for (const auto& [u, w] : g.adj[v]) {
+        const VertexId cu = lvl.fine_to_coarse[u];
+        if (cu != cv) acc[cu] += w;
+      }
+    }
+    for (const auto& [cu, w] : acc) lvl.graph.adj[cv].push_back({cu, w});
+  }
+  return lvl;
+}
+
+/// Greedy balanced region growing on the coarsest graph: grow partitions
+/// 0..k-2 one at a time via weight-bounded BFS from an unassigned seed;
+/// leftover vertices go to the last partition.
+std::vector<PartitionId> initial_partition(const WGraph& g, PartitionId parts,
+                                           Xoshiro256& rng) {
+  const VertexId n = g.n();
+  std::vector<PartitionId> assign(n, parts);
+  const double target =
+      static_cast<double>(g.total_weight()) / static_cast<double>(parts);
+
+  std::vector<VertexId> queue;
+  for (PartitionId p = 0; p + 1 < parts; ++p) {
+    double weight = 0.0;
+    // Seed: random unassigned vertex.
+    VertexId seed = kInvalidVertex;
+    for (int tries = 0; tries < 64 && seed == kInvalidVertex; ++tries) {
+      const auto c = static_cast<VertexId>(rng.next_below(n));
+      if (assign[c] == parts) seed = c;
+    }
+    if (seed == kInvalidVertex) {
+      for (VertexId v = 0; v < n && seed == kInvalidVertex; ++v)
+        if (assign[v] == parts) seed = v;
+    }
+    if (seed == kInvalidVertex) break;  // everything assigned
+
+    queue.clear();
+    queue.push_back(seed);
+    assign[seed] = p;
+    weight += static_cast<double>(g.vweight[seed]);
+    std::size_t head = 0;
+    while (weight < target && head < queue.size()) {
+      const VertexId v = queue[head++];
+      for (const auto& [u, w] : g.adj[v]) {
+        (void)w;
+        if (assign[u] == parts && weight < target) {
+          assign[u] = p;
+          weight += static_cast<double>(g.vweight[u]);
+          queue.push_back(u);
+        }
+      }
+    }
+    // If BFS exhausted the component before reaching target weight, jump to
+    // another unassigned seed and continue growing this same partition.
+    while (weight < target) {
+      VertexId extra = kInvalidVertex;
+      for (VertexId v = 0; v < n && extra == kInvalidVertex; ++v)
+        if (assign[v] == parts) extra = v;
+      if (extra == kInvalidVertex) break;
+      assign[extra] = p;
+      weight += static_cast<double>(g.vweight[extra]);
+      queue.push_back(extra);
+      std::size_t h2 = queue.size() - 1;
+      while (weight < target && h2 < queue.size()) {
+        const VertexId v = queue[h2++];
+        for (const auto& [u, w] : g.adj[v]) {
+          (void)w;
+          if (assign[u] == parts && weight < target) {
+            assign[u] = p;
+            weight += static_cast<double>(g.vweight[u]);
+            queue.push_back(u);
+          }
+        }
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; ++v)
+    if (assign[v] == parts) assign[v] = parts - 1;
+  return assign;
+}
+
+/// Boundary FM-style refinement: repeatedly move boundary vertices to the
+/// neighboring partition with the largest positive edge-weight gain, subject
+/// to the balance constraint. Greedy (no hill-climbing) but applied at every
+/// level of the hierarchy, which is where multilevel schemes get their power.
+void refine(const WGraph& g, std::vector<PartitionId>& assign, PartitionId parts,
+            int passes, double tolerance, Xoshiro256& rng) {
+  const VertexId n = g.n();
+  std::vector<double> part_weight(parts, 0.0);
+  for (VertexId v = 0; v < n; ++v)
+    part_weight[assign[v]] += static_cast<double>(g.vweight[v]);
+  const double max_weight = static_cast<double>(g.total_weight()) /
+                            static_cast<double>(parts) * tolerance;
+
+  std::vector<std::uint64_t> conn(parts, 0);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+
+  for (int pass = 0; pass < passes; ++pass) {
+    for (VertexId i = n; i > 1; --i) std::swap(order[i - 1], order[rng.next_below(i)]);
+    std::uint64_t moves = 0;
+    for (VertexId v : order) {
+      const PartitionId from = assign[v];
+      std::fill(conn.begin(), conn.end(), 0);
+      bool boundary = false;
+      for (const auto& [u, w] : g.adj[v]) {
+        conn[assign[u]] += w;
+        if (assign[u] != from) boundary = true;
+      }
+      if (!boundary) continue;
+      PartitionId best = from;
+      std::uint64_t best_conn = conn[from];
+      for (PartitionId p = 0; p < parts; ++p) {
+        if (p == from) continue;
+        if (part_weight[p] + static_cast<double>(g.vweight[v]) > max_weight) continue;
+        if (conn[p] > best_conn) {
+          best_conn = conn[p];
+          best = p;
+        }
+      }
+      if (best != from) {
+        assign[v] = best;
+        part_weight[from] -= static_cast<double>(g.vweight[v]);
+        part_weight[best] += static_cast<double>(g.vweight[v]);
+        ++moves;
+      }
+    }
+    if (moves == 0) break;
+  }
+}
+
+}  // namespace
+
+MultilevelPartitioner::MultilevelPartitioner(Options options) : opt_(options) {
+  PREGEL_CHECK_MSG(opt_.imbalance_tolerance >= 1.0,
+                   "MultilevelPartitioner: tolerance must be >= 1");
+  PREGEL_CHECK_MSG(opt_.refine_passes >= 0, "MultilevelPartitioner: passes must be >= 0");
+}
+
+Partitioning MultilevelPartitioner::partition(const Graph& g, PartitionId num_parts) const {
+  PREGEL_CHECK(num_parts > 0);
+  const VertexId n = g.num_vertices();
+  if (num_parts == 1 || n == 0)
+    return {std::vector<PartitionId>(n, 0), std::max<PartitionId>(num_parts, 1)};
+
+  Xoshiro256 rng(opt_.seed);
+  const VertexId stop_at =
+      std::max<VertexId>(opt_.coarsen_target_per_part * num_parts, 64);
+
+  // Phase 1: coarsen. graphs[0] is the input; maps[i] sends graphs[i]'s
+  // vertices to graphs[i+1]'s. Each level roughly halves, so keeping the
+  // whole hierarchy costs ~2x the input graph.
+  std::vector<WGraph> graphs;
+  std::vector<std::vector<VertexId>> maps;
+  graphs.push_back(from_graph(g));
+  while (graphs.back().n() > stop_at) {
+    CoarseLevel lvl = coarsen_once(graphs.back(), rng);
+    // Matching stalls (e.g. a star) once coarse size stops shrinking.
+    if (lvl.graph.n() >= graphs.back().n()) break;
+    maps.push_back(std::move(lvl.fine_to_coarse));
+    graphs.push_back(std::move(lvl.graph));
+  }
+
+  // Phase 2: initial partition on the coarsest graph.
+  std::vector<PartitionId> assign = initial_partition(graphs.back(), num_parts, rng);
+  refine(graphs.back(), assign, num_parts, opt_.refine_passes, opt_.imbalance_tolerance,
+         rng);
+
+  // Phase 3: uncoarsen, refining at every level.
+  for (std::size_t lvl = maps.size(); lvl-- > 0;) {
+    std::vector<PartitionId> fine_assign(maps[lvl].size());
+    for (VertexId v = 0; v < fine_assign.size(); ++v) fine_assign[v] = assign[maps[lvl][v]];
+    assign = std::move(fine_assign);
+    refine(graphs[lvl], assign, num_parts, opt_.refine_passes, opt_.imbalance_tolerance,
+           rng);
+  }
+
+  return {std::move(assign), num_parts};
+}
+
+}  // namespace pregel

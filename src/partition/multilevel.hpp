@@ -1,0 +1,47 @@
+// Multilevel k-way graph partitioner in the style of METIS
+// (Karypis & Kumar 1995 — reference [27] of the paper).
+//
+// Three phases:
+//   1. Coarsening: repeated heavy-edge matching collapses the graph until it
+//      is small (vertex and edge weights accumulate).
+//   2. Initial partitioning: greedy balanced region growing on the coarsest
+//      graph.
+//   3. Uncoarsening: project the assignment back level by level, running a
+//      boundary Kernighan–Lin / Fiduccia–Mattheyses refinement pass at each
+//      level under a balance constraint.
+//
+// The goal is not to beat METIS but to land in the same edge-cut regime the
+// paper reports (remote-edge fraction ~17-18% at 8 parts on WG/CP vs ~87%
+// for hash), so the partitioning analysis of Section VII reproduces.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/partitioner.hpp"
+
+namespace pregel {
+
+class MultilevelPartitioner final : public Partitioner {
+ public:
+  struct Options {
+    /// Coarsening stops when the graph has at most
+    /// max(coarsen_target_per_part * parts, 64) vertices.
+    VertexId coarsen_target_per_part = 32;
+    /// Refinement passes per level (each pass scans all boundary vertices).
+    int refine_passes = 6;
+    /// Allowed max-partition weight as a multiple of perfect balance.
+    double imbalance_tolerance = 1.05;
+    std::uint64_t seed = 1;
+  };
+
+  MultilevelPartitioner() = default;
+  explicit MultilevelPartitioner(Options options);
+
+  Partitioning partition(const Graph& g, PartitionId num_parts) const override;
+  std::string name() const override { return "metis-like"; }
+
+ private:
+  Options opt_;
+};
+
+}  // namespace pregel

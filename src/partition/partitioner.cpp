@@ -1,0 +1,50 @@
+#include "partition/partitioner.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pregel {
+
+Partitioning::Partitioning(std::vector<PartitionId> assignment, PartitionId num_parts)
+    : assignment_(std::move(assignment)), num_parts_(num_parts) {
+  PREGEL_CHECK_MSG(num_parts_ > 0, "Partitioning: need at least one partition");
+  for (PartitionId p : assignment_)
+    PREGEL_CHECK_MSG(p < num_parts_, "Partitioning: assignment out of range");
+}
+
+std::vector<VertexId> Partitioning::part_sizes() const {
+  std::vector<VertexId> sizes(num_parts_, 0);
+  for (PartitionId p : assignment_) ++sizes[p];
+  return sizes;
+}
+
+std::vector<VertexId> Partitioning::members(PartitionId p) const {
+  PREGEL_CHECK(p < num_parts_);
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < assignment_.size(); ++v)
+    if (assignment_[v] == p) out.push_back(v);
+  return out;
+}
+
+Partitioning HashPartitioner::partition(const Graph& g, PartitionId num_parts) const {
+  PREGEL_CHECK(num_parts > 0);
+  std::vector<PartitionId> a(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    a[v] = static_cast<PartitionId>(mix64(v ^ seed_) % num_parts);
+  return {std::move(a), num_parts};
+}
+
+Partitioning RangePartitioner::partition(const Graph& g, PartitionId num_parts) const {
+  PREGEL_CHECK(num_parts > 0);
+  const VertexId n = g.num_vertices();
+  std::vector<PartitionId> a(n);
+  for (VertexId v = 0; v < n; ++v) {
+    // Balanced ranges even when n % parts != 0.
+    a[v] = static_cast<PartitionId>((static_cast<std::uint64_t>(v) * num_parts) / std::max<VertexId>(n, 1));
+  }
+  return {std::move(a), num_parts};
+}
+
+}  // namespace pregel

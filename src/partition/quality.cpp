@@ -1,0 +1,48 @@
+#include "partition/quality.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pregel {
+
+PartitionQuality evaluate_partition(const Graph& g, const Partitioning& p) {
+  PREGEL_CHECK_MSG(p.num_vertices() == g.num_vertices(),
+                   "evaluate_partition: partitioning size mismatch");
+  PartitionQuality q;
+  const PartitionId parts = p.num_parts();
+  q.part_vertices.assign(parts, 0);
+  q.part_arcs.assign(parts, 0);
+  q.part_cut_arcs.assign(parts, 0);
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartitionId pv = p.part_of(v);
+    ++q.part_vertices[pv];
+    for (VertexId u : g.out_neighbors(v)) {
+      ++q.part_arcs[pv];
+      if (p.part_of(u) != pv) {
+        ++q.part_cut_arcs[pv];
+        ++q.cut_arcs;
+      }
+    }
+  }
+
+  const EdgeIndex arcs = g.num_arcs();
+  q.remote_edge_fraction =
+      arcs ? static_cast<double>(q.cut_arcs) / static_cast<double>(arcs) : 0.0;
+
+  auto balance = [parts](const auto& sizes) {
+    double total = 0.0, mx = 0.0;
+    for (auto s : sizes) {
+      total += static_cast<double>(s);
+      mx = std::max(mx, static_cast<double>(s));
+    }
+    const double avg = total / static_cast<double>(parts);
+    return avg > 0.0 ? mx / avg : 1.0;
+  };
+  q.vertex_balance = balance(q.part_vertices);
+  q.edge_balance = balance(q.part_arcs);
+  return q;
+}
+
+}  // namespace pregel

@@ -1,0 +1,30 @@
+// Partition quality metrics: the quantities Section VII of the paper reports
+// (remote-edge percentage, edge-cut, balance) plus per-partition detail used
+// by the load-imbalance analysis.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/partitioner.hpp"
+
+namespace pregel {
+
+struct PartitionQuality {
+  /// Arcs whose endpoints live in different partitions.
+  EdgeIndex cut_arcs = 0;
+  /// cut_arcs / total arcs — the paper's "percentage of remote edges"
+  /// (87% hash / 18% METIS / 35% streaming on WG at 8 parts).
+  double remote_edge_fraction = 0.0;
+  /// max partition size / average partition size (1.0 = perfect).
+  double vertex_balance = 1.0;
+  /// max partition arc count / average partition arc count.
+  double edge_balance = 1.0;
+  std::vector<VertexId> part_vertices;  ///< per partition
+  std::vector<EdgeIndex> part_arcs;     ///< per partition (arcs originating there)
+  std::vector<EdgeIndex> part_cut_arcs; ///< per partition remote arcs
+};
+
+PartitionQuality evaluate_partition(const Graph& g, const Partitioning& p);
+
+}  // namespace pregel

@@ -1,0 +1,159 @@
+#include "partition/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pregel {
+
+std::string to_string(StreamHeuristic h) {
+  switch (h) {
+    case StreamHeuristic::kRandom: return "random";
+    case StreamHeuristic::kChunking: return "chunking";
+    case StreamHeuristic::kBalanced: return "balanced";
+    case StreamHeuristic::kGreedy: return "greedy";
+    case StreamHeuristic::kLinearGreedy: return "ldg";
+    case StreamHeuristic::kExpGreedy: return "exp-greedy";
+  }
+  return "?";
+}
+
+std::string to_string(StreamOrder o) {
+  switch (o) {
+    case StreamOrder::kNatural: return "natural";
+    case StreamOrder::kRandom: return "random";
+    case StreamOrder::kBfs: return "bfs";
+  }
+  return "?";
+}
+
+StreamingPartitioner::StreamingPartitioner(StreamHeuristic heuristic, StreamOrder order,
+                                           double slack, std::uint64_t seed)
+    : heuristic_(heuristic), order_(order), slack_(slack), seed_(seed) {
+  PREGEL_CHECK_MSG(slack >= 1.0, "StreamingPartitioner: slack must be >= 1");
+}
+
+std::string StreamingPartitioner::name() const { return "stream-" + to_string(heuristic_); }
+
+namespace {
+
+std::vector<VertexId> stream_order(const Graph& g, StreamOrder order, std::uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> vs(n);
+  std::iota(vs.begin(), vs.end(), VertexId{0});
+  switch (order) {
+    case StreamOrder::kNatural:
+      break;
+    case StreamOrder::kRandom: {
+      Xoshiro256 rng(seed);
+      for (VertexId i = n; i > 1; --i)
+        std::swap(vs[i - 1], vs[rng.next_below(i)]);
+      break;
+    }
+    case StreamOrder::kBfs: {
+      // BFS from every unvisited vertex in id order; visited-order is the
+      // stream. Matches the "breadth-first traversal" arrival model of
+      // Stanton–Kliot.
+      std::vector<bool> seen(n, false);
+      std::vector<VertexId> out;
+      out.reserve(n);
+      std::vector<VertexId> queue;
+      for (VertexId s = 0; s < n; ++s) {
+        if (seen[s]) continue;
+        seen[s] = true;
+        queue.clear();
+        queue.push_back(s);
+        std::size_t head = 0;
+        while (head < queue.size()) {
+          const VertexId u = queue[head++];
+          out.push_back(u);
+          for (VertexId w : g.out_neighbors(u)) {
+            if (!seen[w]) {
+              seen[w] = true;
+              queue.push_back(w);
+            }
+          }
+        }
+      }
+      vs = std::move(out);
+      break;
+    }
+  }
+  return vs;
+}
+
+}  // namespace
+
+Partitioning StreamingPartitioner::partition(const Graph& g, PartitionId num_parts) const {
+  PREGEL_CHECK(num_parts > 0);
+  const VertexId n = g.num_vertices();
+  const double capacity =
+      std::ceil(static_cast<double>(n) / static_cast<double>(num_parts)) * slack_;
+
+  std::vector<PartitionId> assign(n, num_parts);  // num_parts == unassigned
+  std::vector<double> size(num_parts, 0.0);
+  std::vector<double> nbr_count(num_parts, 0.0);
+  Xoshiro256 rng(seed_ ^ 0x5741544Bu);
+
+  const auto order = stream_order(g, order_, seed_);
+  PartitionId chunk_cursor = 0;
+
+  for (VertexId v : order) {
+    PartitionId chosen = 0;
+    switch (heuristic_) {
+      case StreamHeuristic::kRandom:
+        chosen = static_cast<PartitionId>(rng.next_below(num_parts));
+        break;
+      case StreamHeuristic::kChunking: {
+        while (size[chunk_cursor] >= capacity && chunk_cursor + 1 < num_parts) ++chunk_cursor;
+        chosen = chunk_cursor;
+        break;
+      }
+      case StreamHeuristic::kBalanced: {
+        chosen = static_cast<PartitionId>(
+            std::min_element(size.begin(), size.end()) - size.begin());
+        break;
+      }
+      case StreamHeuristic::kGreedy:
+      case StreamHeuristic::kLinearGreedy:
+      case StreamHeuristic::kExpGreedy: {
+        std::fill(nbr_count.begin(), nbr_count.end(), 0.0);
+        for (VertexId u : g.out_neighbors(v))
+          if (assign[u] < num_parts) nbr_count[assign[u]] += 1.0;
+        double best = -1.0;
+        chosen = 0;
+        for (PartitionId p = 0; p < num_parts; ++p) {
+          double score = nbr_count[p];
+          if (heuristic_ == StreamHeuristic::kLinearGreedy) {
+            score *= (1.0 - size[p] / capacity);
+          } else if (heuristic_ == StreamHeuristic::kExpGreedy) {
+            score *= (1.0 - std::exp(size[p] - capacity));
+          } else {
+            // plain greedy: hard capacity constraint
+            if (size[p] >= capacity) score = -2.0;
+          }
+          // Ties break toward the smaller partition for balance.
+          if (score > best || (score == best && size[p] < size[chosen])) {
+            best = score;
+            chosen = p;
+          }
+        }
+        // All scores zero/negative: fall back to least-loaded.
+        if (best <= 0.0) {
+          chosen = static_cast<PartitionId>(
+              std::min_element(size.begin(), size.end()) - size.begin());
+        }
+        break;
+      }
+    }
+    assign[v] = chosen;
+    size[chosen] += 1.0;
+  }
+  return {std::move(assign), num_parts};
+}
+
+}  // namespace pregel

@@ -1,0 +1,53 @@
+// Streaming (one-pass) partitioners after Stanton & Kliot, "Streaming Graph
+// Partitioning for Large Distributed Graphs" (MSR-TR-2011-121) — reference
+// [26] of the paper. Vertices arrive in a stream; each is assigned to a
+// partition immediately using only the already-assigned portion of the graph.
+//
+// The paper's Figure 8 uses the best heuristic from that work — the
+// "linear-weighted deterministic greedy" (LDG) — as its Streaming strategy.
+// We implement the whole family so the ablation bench can sweep them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "partition/partitioner.hpp"
+
+namespace pregel {
+
+enum class StreamHeuristic {
+  kRandom,        ///< uniformly random partition (baseline B1)
+  kChunking,      ///< fill partitions in stream order (B2)
+  kBalanced,      ///< always the currently smallest partition (B3)
+  kGreedy,        ///< argmax |N(v) ∩ P_i|, ties -> smaller partition
+  kLinearGreedy,  ///< LDG: argmax |N(v) ∩ P_i| * (1 - |P_i|/C)  [the paper's pick]
+  kExpGreedy,     ///< exponential penalty: |N(v) ∩ P_i| * (1 - e^{|P_i|-C})
+};
+
+enum class StreamOrder {
+  kNatural,  ///< vertex id order (what a loader reading blob storage sees)
+  kRandom,   ///< random permutation
+  kBfs,      ///< BFS order from vertex 0 (connected-first arrival)
+};
+
+std::string to_string(StreamHeuristic h);
+std::string to_string(StreamOrder o);
+
+class StreamingPartitioner final : public Partitioner {
+ public:
+  /// `slack` sets partition capacity C = ceil(n/k) * slack (LDG uses 1.0).
+  explicit StreamingPartitioner(StreamHeuristic heuristic = StreamHeuristic::kLinearGreedy,
+                                StreamOrder order = StreamOrder::kNatural,
+                                double slack = 1.0, std::uint64_t seed = 42);
+
+  Partitioning partition(const Graph& g, PartitionId num_parts) const override;
+  std::string name() const override;
+
+ private:
+  StreamHeuristic heuristic_;
+  StreamOrder order_;
+  double slack_;
+  std::uint64_t seed_;
+};
+
+}  // namespace pregel

@@ -1,0 +1,66 @@
+#include "runtime/metrics.hpp"
+
+#include <algorithm>
+
+namespace pregel {
+
+std::uint64_t SuperstepMetrics::messages_sent_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& w : workers) total += w.messages_sent_total();
+  return total;
+}
+
+std::uint64_t SuperstepMetrics::messages_sent_remote() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& w : workers) total += w.messages_sent_remote;
+  return total;
+}
+
+Bytes SuperstepMetrics::max_worker_memory() const noexcept {
+  Bytes peak = 0;
+  for (const auto& w : workers) peak = std::max(peak, w.memory_peak);
+  return peak;
+}
+
+double SuperstepMetrics::utilization() const noexcept {
+  Seconds busy = 0.0, total = 0.0;
+  for (const auto& w : workers) {
+    busy += w.busy_time();
+    total += w.busy_time() + w.barrier_wait;
+  }
+  return total > 0.0 ? busy / total : 1.0;
+}
+
+std::uint64_t JobMetrics::total_messages() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : supersteps) total += s.messages_sent_total();
+  return total;
+}
+
+Bytes JobMetrics::peak_worker_memory() const noexcept {
+  Bytes peak = 0;
+  for (const auto& s : supersteps) peak = std::max(peak, s.max_worker_memory());
+  return peak;
+}
+
+Seconds JobMetrics::total_barrier_wait() const noexcept {
+  Seconds total = 0.0;
+  for (const auto& s : supersteps)
+    for (const auto& w : s.workers) total += w.barrier_wait;
+  return total;
+}
+
+Seconds JobMetrics::total_busy_time() const noexcept {
+  Seconds total = 0.0;
+  for (const auto& s : supersteps)
+    for (const auto& w : s.workers) total += w.busy_time();
+  return total;
+}
+
+double JobMetrics::utilization() const noexcept {
+  const Seconds busy = total_busy_time();
+  const Seconds total = busy + total_barrier_wait();
+  return total > 0.0 ? busy / total : 1.0;
+}
+
+}  // namespace pregel

@@ -1,0 +1,89 @@
+// Per-superstep, per-worker execution metrics.
+//
+// Every figure in the paper's evaluation is a projection of these records:
+// messages per superstep (Figs 3, 7, 10-14), memory over time (Fig 5),
+// compute+I/O vs barrier-wait split and utilization (Figs 9, 12), active
+// vertices and per-superstep speedups (Fig 15), elastic time/cost
+// projections (Fig 16).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pregel {
+
+/// One worker VM's activity and modeled timing within one superstep.
+struct WorkerStepMetrics {
+  std::uint64_t vertices_computed = 0;
+  std::uint64_t messages_processed = 0;
+  std::uint64_t messages_sent_local = 0;
+  std::uint64_t messages_sent_remote = 0;
+  Bytes bytes_sent_remote = 0;
+  Bytes bytes_received_remote = 0;
+  Bytes memory_peak = 0;
+
+  Seconds compute_time = 0.0;
+  Seconds network_time = 0.0;
+  /// span - (compute + network): idle time at the barrier waiting for the
+  /// slowest worker. The paper's Figures 9/12 "Barrier Wait".
+  Seconds barrier_wait = 0.0;
+
+  std::uint64_t messages_sent_total() const noexcept {
+    return messages_sent_local + messages_sent_remote;
+  }
+  Seconds busy_time() const noexcept { return compute_time + network_time; }
+};
+
+/// One superstep across the whole cluster.
+struct SuperstepMetrics {
+  std::uint64_t superstep = 0;
+  std::uint32_t active_workers = 0;
+  std::vector<WorkerStepMetrics> workers;  ///< size == active_workers
+
+  std::uint64_t active_vertices = 0;  ///< vertices that computed
+  std::uint64_t active_roots = 0;     ///< initiated-but-incomplete roots (root algos)
+  /// Modeled wall time of the superstep: max over workers of busy time,
+  /// plus the barrier/control overhead.
+  Seconds span = 0.0;
+  Seconds barrier_overhead = 0.0;
+
+  std::uint64_t messages_sent_total() const noexcept;
+  std::uint64_t messages_sent_remote() const noexcept;
+  Bytes max_worker_memory() const noexcept;
+  /// Paper's "VM utilization %": busy time over total worker-seconds.
+  double utilization() const noexcept;
+};
+
+/// Whole-job rollup.
+struct JobMetrics {
+  std::vector<SuperstepMetrics> supersteps;
+
+  Seconds total_time = 0.0;   ///< setup + sum of spans + recovery
+  Seconds setup_time = 0.0;   ///< graph download/load/topology
+  Usd cost_usd = 0.0;
+  Seconds vm_seconds = 0.0;
+
+  // Fault tolerance (checkpoint/recovery — Pregel's omitted-in-the-paper
+  // extension, implemented here).
+  std::uint32_t checkpoints_written = 0;
+  Seconds checkpoint_time = 0.0;  ///< included in total_time
+  std::uint32_t worker_failures = 0;
+  Seconds recovery_time = 0.0;    ///< detection + reacquire + reload; in total_time
+  std::uint64_t replayed_supersteps = 0;  ///< work re-executed after rollbacks
+
+  /// Azure-queue operations used by the control plane (step tokens + barrier
+  /// check-ins through the simulated queue service).
+  std::uint64_t control_queue_ops = 0;
+
+  std::uint64_t total_messages() const noexcept;
+  std::uint64_t total_supersteps() const noexcept { return supersteps.size(); }
+  Bytes peak_worker_memory() const noexcept;
+  Seconds total_barrier_wait() const noexcept;
+  Seconds total_busy_time() const noexcept;
+  /// busy / (busy + wait): aggregate utilization over the job.
+  double utilization() const noexcept;
+};
+
+}  // namespace pregel

@@ -1,0 +1,68 @@
+#include "runtime/metrics_io.hpp"
+
+#include "util/csv.hpp"
+
+namespace pregel {
+
+void write_worker_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
+  CsvWriter w(out);
+  w.header({"superstep", "worker", "vertices_computed", "messages_processed",
+            "messages_sent_local", "messages_sent_remote", "bytes_sent_remote",
+            "bytes_received_remote", "memory_peak_bytes", "compute_seconds",
+            "network_seconds", "barrier_wait_seconds"});
+  for (const auto& sm : metrics.supersteps) {
+    for (std::size_t i = 0; i < sm.workers.size(); ++i) {
+      const auto& wm = sm.workers[i];
+      w.field(sm.superstep)
+          .field(static_cast<std::uint64_t>(i))
+          .field(wm.vertices_computed)
+          .field(wm.messages_processed)
+          .field(wm.messages_sent_local)
+          .field(wm.messages_sent_remote)
+          .field(wm.bytes_sent_remote)
+          .field(wm.bytes_received_remote)
+          .field(wm.memory_peak)
+          .field(wm.compute_time)
+          .field(wm.network_time)
+          .field(wm.barrier_wait)
+          .end_row();
+    }
+  }
+}
+
+void write_superstep_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
+  CsvWriter w(out);
+  w.header({"superstep", "workers", "active_vertices", "active_roots", "messages",
+            "remote_messages", "span_seconds", "barrier_seconds", "max_worker_memory",
+            "utilization"});
+  for (const auto& sm : metrics.supersteps) {
+    w.field(sm.superstep)
+        .field(static_cast<std::uint64_t>(sm.active_workers))
+        .field(sm.active_vertices)
+        .field(sm.active_roots)
+        .field(sm.messages_sent_total())
+        .field(sm.messages_sent_remote())
+        .field(sm.span)
+        .field(sm.barrier_overhead)
+        .field(sm.max_worker_memory())
+        .field(sm.utilization())
+        .end_row();
+  }
+}
+
+void write_job_summary(const JobMetrics& metrics, std::ostream& out) {
+  out << "supersteps=" << metrics.total_supersteps()
+      << " messages=" << metrics.total_messages()
+      << " total_time_s=" << metrics.total_time
+      << " setup_time_s=" << metrics.setup_time
+      << " cost_usd=" << metrics.cost_usd
+      << " vm_seconds=" << metrics.vm_seconds
+      << " peak_worker_memory=" << metrics.peak_worker_memory()
+      << " utilization=" << metrics.utilization()
+      << " checkpoints=" << metrics.checkpoints_written
+      << " failures=" << metrics.worker_failures
+      << " replayed_supersteps=" << metrics.replayed_supersteps
+      << " control_queue_ops=" << metrics.control_queue_ops << "\n";
+}
+
+}  // namespace pregel

@@ -1,0 +1,25 @@
+// Metrics export: dump a JobMetrics record as CSV (one row per worker per
+// superstep plus a summary row stream) so any run — bench, example, or user
+// job — can be replotted outside the simulator.
+#pragma once
+
+#include <ostream>
+
+#include "runtime/metrics.hpp"
+
+namespace pregel {
+
+/// Per-superstep, per-worker long-format CSV:
+/// superstep,worker,vertices,msgs_processed,msgs_local,msgs_remote,
+/// bytes_sent,bytes_recv,memory_peak,compute_s,network_s,wait_s
+void write_worker_metrics_csv(const JobMetrics& metrics, std::ostream& out);
+
+/// Per-superstep rollup CSV:
+/// superstep,workers,active_vertices,active_roots,messages,remote_messages,
+/// span_s,barrier_s,max_memory,utilization
+void write_superstep_metrics_csv(const JobMetrics& metrics, std::ostream& out);
+
+/// One-line key=value job summary (human- and grep-friendly).
+void write_job_summary(const JobMetrics& metrics, std::ostream& out);
+
+}  // namespace pregel

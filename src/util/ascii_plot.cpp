@@ -1,0 +1,113 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace pregel {
+
+namespace {
+constexpr const char kGlyphs[] = "*o+x#@%&";
+
+std::string y_label(double v) {
+  char buf[32];
+  if (std::fabs(v) >= 1e6 || (std::fabs(v) < 1e-2 && v != 0.0)) {
+    std::snprintf(buf, sizeof buf, "%9.2e", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%9.2f", v);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string ascii_line_chart(const std::vector<Series>& series, std::size_t width,
+                             std::size_t height, const std::string& title) {
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  std::size_t n = 0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    n = std::max(n, s.values.size());
+    for (double v : s.values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (n == 0 || !(hi >= lo)) return out + "(no data)\n";
+  if (hi == lo) hi = lo + 1.0;
+
+  const std::size_t plot_w = std::max<std::size_t>(width, 10);
+  std::vector<std::string> grid(height, std::string(plot_w, ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    const auto& vals = series[si].values;
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      const std::size_t col =
+          n <= 1 ? 0
+                 : static_cast<std::size_t>(std::llround(static_cast<double>(i) /
+                                                         static_cast<double>(n - 1) *
+                                                         static_cast<double>(plot_w - 1)));
+      const double frac = (vals[i] - lo) / (hi - lo);
+      const auto row_from_bottom = static_cast<std::size_t>(
+          std::llround(frac * static_cast<double>(height - 1)));
+      const std::size_t row = height - 1 - std::min(row_from_bottom, height - 1);
+      grid[row][col] = glyph;
+    }
+  }
+
+  for (std::size_t r = 0; r < height; ++r) {
+    const double y =
+        hi - (hi - lo) * static_cast<double>(r) / static_cast<double>(height - 1);
+    out += y_label(y) + " |" + grid[r] + "\n";
+  }
+  out += std::string(10, ' ') + "+" + std::string(plot_w, '-') + "\n";
+  char xaxis[64];
+  std::snprintf(xaxis, sizeof xaxis, "%10s x: 0 .. %zu", "", n - 1);
+  out += std::string(xaxis) + "\n";
+  out += "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += "  ";
+    out.push_back(kGlyphs[si % (sizeof(kGlyphs) - 1)]);
+    out += "=" + series[si].name;
+  }
+  out += "\n";
+  return out;
+}
+
+std::string ascii_bar_chart(const std::vector<std::pair<std::string, double>>& bars,
+                            std::size_t width, const std::string& title, double baseline) {
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  if (bars.empty()) return out + "(no data)\n";
+  double hi = baseline;
+  std::size_t label_w = 0;
+  for (const auto& [name, v] : bars) {
+    hi = std::max(hi, v);
+    label_w = std::max(label_w, name.size());
+  }
+  if (hi <= 0.0) hi = 1.0;
+  const std::size_t base_col =
+      baseline > 0.0 ? static_cast<std::size_t>(baseline / hi * static_cast<double>(width))
+                     : 0;
+  for (const auto& [name, v] : bars) {
+    std::string line = name;
+    line.append(label_w - name.size() + 1, ' ');
+    line += "|";
+    const auto len = static_cast<std::size_t>(std::max(0.0, v) / hi *
+                                              static_cast<double>(width));
+    std::string bar(len, '=');
+    if (baseline > 0.0 && base_col < width) {
+      if (bar.size() <= base_col) bar.append(base_col - bar.size() + 1, ' ');
+      bar[base_col] = '|';
+    }
+    char val[32];
+    std::snprintf(val, sizeof val, " %.3f", v);
+    out += line + bar + val + "\n";
+  }
+  return out;
+}
+
+}  // namespace pregel

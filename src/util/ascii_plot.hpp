@@ -1,0 +1,30 @@
+// ASCII line/bar charts so each bench binary can render the figure it
+// reproduces directly in the console (the CSVs carry the exact numbers).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pregel {
+
+/// One named series for an AsciiChart.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Render multiple series over a shared x axis (index-based) as a compact
+/// character plot. Each series is drawn with its own glyph; a legend and the
+/// y-range are included. Useful for figure-shaped bench output
+/// (messages-per-superstep, memory-over-time, speedup-per-superstep).
+std::string ascii_line_chart(const std::vector<Series>& series, std::size_t width = 78,
+                             std::size_t height = 16, const std::string& title = {});
+
+/// Horizontal bar chart for categorical comparisons (speedup bars, relative
+/// time bars). `baseline` draws a vertical reference marker at that value.
+std::string ascii_bar_chart(const std::vector<std::pair<std::string, double>>& bars,
+                            std::size_t width = 60, const std::string& title = {},
+                            double baseline = 0.0);
+
+}  // namespace pregel

@@ -1,0 +1,71 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pregel {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  double pos = (x - lo_) / width_;
+  auto idx = pos <= 0.0 ? std::size_t{0}
+                        : std::min(static_cast<std::size_t>(pos), counts_.size() - 1);
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }
+
+double Histogram::quantile_upper_edge(double fraction) const {
+  if (total_ == 0) return lo_;
+  const double target = fraction * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += static_cast<double>(counts_[i]);
+    if (cum >= target) return bin_hi(i);
+  }
+  return hi_;
+}
+
+std::size_t Log2Histogram::bin_index(std::uint64_t x) noexcept {
+  return static_cast<std::size_t>(std::bit_width(x));
+}
+
+void Log2Histogram::add(std::uint64_t x, std::uint64_t weight) {
+  const std::size_t idx = bin_index(x);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+std::string Log2Histogram::to_string(std::size_t max_width) const {
+  std::string out;
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty)\n";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t lo = i == 0 ? 0 : (1ULL << (i - 1));
+    const std::uint64_t hi = i == 0 ? 0 : (1ULL << i) - 1;
+    char label[64];
+    std::snprintf(label, sizeof label, "[%8llu..%8llu] %10llu ",
+                  static_cast<unsigned long long>(lo), static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += label;
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                 static_cast<double>(peak) * static_cast<double>(max_width));
+    out.append(bar, '#');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace pregel

@@ -1,0 +1,53 @@
+// Fixed-bin and log-scale histograms for degree distributions and
+// per-superstep resource profiles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pregel {
+
+/// Linear-bin histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bin so totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+  std::uint64_t total() const noexcept { return total_; }
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// Smallest x such that at least `fraction` of the mass lies at or below x
+  /// (bin upper edge granularity). This is how the 90% effective diameter is
+  /// read off a BFS-distance histogram.
+  double quantile_upper_edge(double fraction) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Power-of-two log-bin histogram for heavy-tailed data (vertex degrees).
+class Log2Histogram {
+ public:
+  void add(std::uint64_t x, std::uint64_t weight = 1);
+  std::uint64_t total() const noexcept { return total_; }
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  /// Bin i covers [2^i - 1 ... ): bin 0 holds x==0 and x==1, bin i holds
+  /// x in [2^(i-1)+1, 2^i] for i>=1. Simpler: bin index = bit_width(x).
+  static std::size_t bin_index(std::uint64_t x) noexcept;
+  std::string to_string(std::size_t max_width = 50) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pregel

@@ -1,0 +1,32 @@
+#include "util/log.hpp"
+
+#include <atomic>
+
+namespace pregel {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view component, std::string_view message) {
+  if (level < log_level()) return;
+  std::clog << '[' << level_name(level) << "] [" << component << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace pregel

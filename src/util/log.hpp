@@ -1,0 +1,54 @@
+// Minimal leveled logger. The simulator is deterministic and single-process,
+// so the logger is deliberately simple: a global level, stderr sink, printf
+// formatting avoided in favor of streams.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace pregel {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view component, std::string_view message);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, component_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream os_;
+};
+
+struct NullLine {
+  template <typename T>
+  NullLine& operator<<(const T&) {
+    return *this;
+  }
+};
+}  // namespace detail
+
+/// Usage: pregel::log_info("engine") << "superstep " << s << " done";
+inline detail::LogLine log_debug(std::string_view c) { return {LogLevel::kDebug, c}; }
+inline detail::LogLine log_info(std::string_view c) { return {LogLevel::kInfo, c}; }
+inline detail::LogLine log_warn(std::string_view c) { return {LogLevel::kWarn, c}; }
+inline detail::LogLine log_error(std::string_view c) { return {LogLevel::kError, c}; }
+
+}  // namespace pregel

@@ -1,0 +1,39 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace pregel {
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::next_gaussian() noexcept {
+  // Box-Muller; u1 is kept away from 0 so log() stays finite.
+  double u1 = next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Xoshiro256::next_exponential(double rate) noexcept {
+  double u = next_double();
+  if (u < 1e-300) u = 1e-300;
+  return -std::log(u) / rate;
+}
+
+}  // namespace pregel

@@ -1,0 +1,105 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulator (graph generators, hash
+// partitioners, multi-tenancy jitter) draws from one of these engines with an
+// explicit seed, so that every experiment is bit-reproducible across runs and
+// platforms. We provide SplitMix64 (seed expansion / hashing) and
+// Xoshiro256** (bulk generation), both public-domain algorithms by
+// Blackman & Vigna.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pregel {
+
+/// SplitMix64: tiny, fast, passes BigCrush; ideal for seed expansion and as a
+/// mixing/finalization hash for integer keys.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless avalanche mix of a 64-bit key (the SplitMix64 finalizer).
+/// Used wherever we need a high-quality hash of a vertex id.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Xoshiro256**: the workhorse generator for bulk random draws.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Xoshiro256(std::uint64_t seed) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Bernoulli draw with probability p.
+  constexpr bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Standard normal via Box-Muller (one value per call; no caching so the
+  /// stream position stays easy to reason about).
+  double next_gaussian() noexcept;
+
+  /// Exponential with the given rate (lambda).
+  double next_exponential(double rate) noexcept;
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace pregel

@@ -1,0 +1,90 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pregel {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  sum_ += other.sum_;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::sample_variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::imbalance() const noexcept {
+  if (n_ == 0 || mean_ <= 0.0) return 1.0;
+  return max_ / mean_;
+}
+
+double Percentiles::quantile(double q) {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+bool PeakDetector::add(double x) noexcept {
+  if (!has_prev_) {
+    prev_ = x;
+    has_prev_ = true;
+    return false;
+  }
+  const double base = std::max(std::abs(prev_), 1.0);
+  const double rel = (x - prev_) / base;
+  if (rel > tol_) {
+    rise_seen_ = true;
+  } else if (rel < -tol_ && rise_seen_) {
+    prev_ = x;
+    rise_seen_ = false;  // one firing per peak
+    return true;
+  }
+  prev_ = x;
+  return false;
+}
+
+void PeakDetector::reset() noexcept {
+  has_prev_ = false;
+  rise_seen_ = false;
+  prev_ = 0.0;
+}
+
+}  // namespace pregel

@@ -1,0 +1,108 @@
+// Streaming statistics used throughout the metrics and heuristics layers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace pregel {
+
+/// Welford online accumulator: mean / variance / min / max in one pass with
+/// no stored samples. Used for per-superstep metric summaries.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+  /// Population variance (n denominator); 0 for fewer than 2 samples.
+  double variance() const noexcept;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double sample_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// max/mean; 1.0 means perfectly flat. Used as the load-imbalance factor
+  /// across workers in a superstep. Returns 1 when empty or mean==0.
+  double imbalance() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stored-sample accumulator when percentiles are needed (diameter
+/// estimation, per-superstep distributions in bench reports).
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  /// Linear-interpolated quantile, q in [0,1]. Sorts lazily.
+  double quantile(double q);
+  double median() { return quantile(0.5); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Exponentially weighted moving average — the smoothing primitive behind the
+/// adaptive swath-size controller and the dynamic initiation detector.
+class Ewma {
+ public:
+  /// alpha in (0,1]: weight of the newest observation.
+  explicit Ewma(double alpha) noexcept : alpha_(alpha) {}
+
+  void add(double x) noexcept {
+    value_ = seeded_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    seeded_ = true;
+  }
+  bool seeded() const noexcept { return seeded_; }
+  double value() const noexcept { return value_; }
+  void reset() noexcept { seeded_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Rise-then-fall phase-change detector over a scalar series.
+///
+/// This is the paper's "dynamic initiation" trigger: watch the per-superstep
+/// sent-message count; once the series has shown an increase followed by a
+/// decrease (i.e. the frontier peak of the current swath has passed), fire.
+/// Hysteresis: a relative tolerance suppresses jitter around the peak.
+class PeakDetector {
+ public:
+  /// `tolerance` is the minimum relative change treated as a real move
+  /// (e.g. 0.05 = 5%); smaller wiggles are ignored.
+  explicit PeakDetector(double tolerance = 0.05) noexcept : tol_(tolerance) {}
+
+  /// Feed the next observation; returns true exactly once per detected peak
+  /// (an observed rise followed by an observed fall).
+  bool add(double x) noexcept;
+
+  /// Forget rise/fall state (e.g. when a new swath is initiated).
+  void reset() noexcept;
+
+  bool rising_seen() const noexcept { return rise_seen_; }
+
+ private:
+  double tol_;
+  double prev_ = 0.0;
+  bool has_prev_ = false;
+  bool rise_seen_ = false;
+};
+
+}  // namespace pregel

@@ -1,0 +1,69 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace pregel {
+
+std::string format_bytes(Bytes b) {
+  static constexpr std::array<const char*, 5> kSuffix = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(b);
+  std::size_t i = 0;
+  while (v >= 1024.0 && i + 1 < kSuffix.size()) {
+    v /= 1024.0;
+    ++i;
+  }
+  char buf[48];
+  if (i == 0) {
+    std::snprintf(buf, sizeof buf, "%.0f %s", v, kSuffix[i]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", v, kSuffix[i]);
+  }
+  return buf;
+}
+
+std::string format_seconds(Seconds s) {
+  char buf[48];
+  const double a = std::fabs(s);
+  if (a >= 3600.0) {
+    std::snprintf(buf, sizeof buf, "%.2f h", s / 3600.0);
+  } else if (a >= 60.0) {
+    std::snprintf(buf, sizeof buf, "%.2f min", s / 60.0);
+  } else if (a >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f s", s);
+  } else if (a >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", s * 1e3);
+  } else if (a >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.2f us", s * 1e6);
+  } else if (a == 0.0) {
+    std::snprintf(buf, sizeof buf, "0 s");
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f ns", s * 1e9);
+  }
+  return buf;
+}
+
+std::string format_usd(Usd usd) {
+  char buf[48];
+  if (std::fabs(usd) < 0.10) {
+    std::snprintf(buf, sizeof buf, "$%.4f", usd);
+  } else {
+    std::snprintf(buf, sizeof buf, "$%.2f", usd);
+  }
+  return buf;
+}
+
+std::string format_count(std::uint64_t n) {
+  std::string raw = std::to_string(n);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  std::size_t lead = raw.size() % 3 == 0 ? 3 : raw.size() % 3;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(raw[i]);
+  }
+  return out;
+}
+
+}  // namespace pregel

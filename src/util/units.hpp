@@ -1,0 +1,54 @@
+// Units for the virtual-time cluster simulation: bytes, seconds, money.
+//
+// All simulated quantities in Pregel++ use explicit, strongly-suggestive
+// vocabulary types rather than bare doubles where confusion is likely.
+// Virtual time is kept as double seconds (summed per superstep, never
+// wall-clock); memory as uint64_t bytes; money as double USD.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pregel {
+
+/// Simulated duration in seconds of virtual (modeled) time.
+using Seconds = double;
+
+/// Simulated memory footprint in bytes.
+using Bytes = std::uint64_t;
+
+/// Monetary cost in US dollars.
+using Usd = double;
+
+inline namespace literals {
+
+constexpr Bytes operator""_B(unsigned long long v) { return static_cast<Bytes>(v); }
+constexpr Bytes operator""_KiB(unsigned long long v) { return static_cast<Bytes>(v) << 10; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return static_cast<Bytes>(v) << 20; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return static_cast<Bytes>(v) << 30; }
+
+constexpr Seconds operator""_ms(unsigned long long v) { return static_cast<Seconds>(v) / 1000.0; }
+constexpr Seconds operator""_ms(long double v) { return static_cast<Seconds>(v) / 1000.0; }
+constexpr Seconds operator""_s(unsigned long long v) { return static_cast<Seconds>(v); }
+constexpr Seconds operator""_s(long double v) { return static_cast<Seconds>(v); }
+constexpr Seconds operator""_us(unsigned long long v) { return static_cast<Seconds>(v) / 1e6; }
+constexpr Seconds operator""_ns(unsigned long long v) { return static_cast<Seconds>(v) / 1e9; }
+
+}  // namespace literals
+
+/// Network rate in bits per second (cloud NICs are specified in Mbps).
+constexpr double mbps(double megabits_per_second) { return megabits_per_second * 1e6; }
+
+/// Human-readable byte count, e.g. "6.0 GiB", "713 MiB", "1.2 KiB".
+std::string format_bytes(Bytes b);
+
+/// Human-readable duration, e.g. "1.2 s", "34 ms", "2.1 h".
+std::string format_seconds(Seconds s);
+
+/// Human-readable dollar amount, e.g. "$0.48", "$12.30".
+std::string format_usd(Usd usd);
+
+/// Human-readable count with thousands separators, e.g. "4,847,571".
+std::string format_count(std::uint64_t n);
+
+}  // namespace pregel

@@ -1,0 +1,354 @@
+// Algorithm correctness: every BSP program is validated against the trusted
+// sequential reference implementations from graph/analysis.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algos/apsp.hpp"
+#include "algos/bc.hpp"
+#include "algos/components.hpp"
+#include "algos/kcore.hpp"
+#include "algos/label_propagation.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/sssp.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "partition/partitioner.hpp"
+
+namespace pregel::algos {
+namespace {
+
+ClusterConfig cluster(std::uint32_t parts = 4) {
+  ClusterConfig c;
+  c.num_partitions = parts;
+  c.initial_workers = parts;
+  return c;
+}
+
+std::vector<VertexId> all_roots(const Graph& g) {
+  std::vector<VertexId> roots(g.num_vertices());
+  std::iota(roots.begin(), roots.end(), VertexId{0});
+  return roots;
+}
+
+// ---- PageRank --------------------------------------------------------------
+
+TEST(PageRankBsp, MatchesReferenceOnUndirected) {
+  Graph g = barabasi_albert(200, 3, 7);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_pagerank(g, cluster(), parts, 20);
+  const auto ref = reference_pagerank(g, 20);
+  ASSERT_FALSE(r.failed);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_NEAR(r.values[v].rank, ref[v], 1e-12) << "vertex " << v;
+}
+
+TEST(PageRankBsp, MatchesReferenceWithDanglingVertices) {
+  // Directed graph with sinks exercises the aggregator/master path.
+  GraphBuilder b(6, /*undirected=*/false);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0).add_edge(0, 3).add_edge(4, 0).add_edge(5, 2);
+  Graph g = b.build();  // vertex 3 is a sink (dangling)
+  const auto parts = HashPartitioner{}.partition(g, 2);
+  const auto r = run_pagerank(g, cluster(2), parts, 25);
+  const auto ref = reference_pagerank(g, 25);
+  for (VertexId v = 0; v < 6; ++v) ASSERT_NEAR(r.values[v].rank, ref[v], 1e-12);
+}
+
+TEST(PageRankBsp, RanksSumToOne) {
+  Graph g = watts_strogatz(300, 6, 0.1, 3);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_pagerank(g, cluster(), parts, 30);
+  double sum = 0.0;
+  for (const auto& v : r.values) sum += v.rank;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRankBsp, FlatMessageProfile) {
+  // The paper's Figure 3 baseline: PageRank's per-superstep message count is
+  // constant across iterations.
+  Graph g = barabasi_albert(500, 4, 9);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_pagerank(g, cluster(), parts, 10);
+  const auto& ss = r.metrics.supersteps;
+  ASSERT_GE(ss.size(), 10u);
+  const auto first = ss[0].messages_sent_total();
+  EXPECT_EQ(first, g.num_arcs());
+  for (std::size_t s = 1; s + 1 < ss.size(); ++s)
+    EXPECT_EQ(ss[s].messages_sent_total(), first) << "superstep " << s;
+}
+
+// ---- SSSP ------------------------------------------------------------------
+
+class SsspGraphs : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsspGraphs, MatchesBfsDistances) {
+  Graph g;
+  switch (GetParam()) {
+    case 0: g = path_graph(30); break;
+    case 1: g = ring_graph(21); break;
+    case 2: g = binary_tree(63); break;
+    case 3: g = barabasi_albert(200, 2, 3); break;
+    case 4: g = watts_strogatz(150, 4, 0.2, 5); break;
+    default: g = GraphBuilder(5).add_edge(0, 1).add_edge(2, 3).build(); break;  // disconnected
+  }
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_sssp(g, cluster(), parts, 0);
+  const auto ref = bfs_distances(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto got = r.values[v].distance;
+    if (ref[v] == kUnreachable) {
+      EXPECT_EQ(got, SsspProgram::kUnreached);
+    } else {
+      EXPECT_EQ(got, ref[v]) << "vertex " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SsspGraphs, ::testing::Range(0, 6));
+
+TEST(SsspBsp, CombinerPreservesResultWithFewerBufferedMessages) {
+  Graph g = barabasi_albert(400, 3, 11);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto plain = run_sssp(g, cluster(), parts, 5, /*use_combiner=*/false);
+  const auto combined = run_sssp(g, cluster(), parts, 5, /*use_combiner=*/true);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(plain.values[v].distance, combined.values[v].distance);
+  EXPECT_LT(combined.metrics.total_messages(), plain.metrics.total_messages());
+}
+
+// ---- APSP ------------------------------------------------------------------
+
+TEST(ApspBsp, MatchesReferenceMultiRoot) {
+  Graph g = watts_strogatz(120, 4, 0.15, 7);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const std::vector<VertexId> roots{0, 17, 55, 119};
+  const auto r = run_apsp(g, cluster(), parts, roots);
+  const auto ref = reference_apsp(g, roots);
+  ASSERT_EQ(r.roots_completed, roots.size());
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const auto got = r.values[v].distance_from(roots[i]);
+      if (ref[i][v] == kUnreachable) {
+        EXPECT_EQ(got, ApspProgram::kUnreached);
+      } else {
+        ASSERT_EQ(got, ref[i][v]) << "root " << roots[i] << " vertex " << v;
+      }
+    }
+  }
+}
+
+TEST(ApspBsp, SwathSchedulingDoesNotChangeResults) {
+  Graph g = barabasi_albert(150, 3, 13);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  std::vector<VertexId> roots{0, 5, 10, 15, 20, 25, 30, 35, 40, 45};
+
+  const auto single = run_apsp(g, cluster(), parts, roots);
+  const auto swathed = run_apsp(
+      g, cluster(), parts, roots,
+      SwathPolicy::make(std::make_shared<StaticSwathSizer>(3),
+                        std::make_shared<SequentialInitiation>(), 6_GiB));
+  const auto overlapped = run_apsp(
+      g, cluster(), parts, roots,
+      SwathPolicy::make(std::make_shared<StaticSwathSizer>(3),
+                        std::make_shared<StaticNInitiation>(2), 6_GiB));
+
+  EXPECT_EQ(single.roots_completed, roots.size());
+  EXPECT_EQ(swathed.roots_completed, roots.size());
+  EXPECT_EQ(overlapped.roots_completed, roots.size());
+  EXPECT_GE(swathed.swaths_initiated, 4u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId root : roots) {
+      const auto a = single.values[v].distance_from(root);
+      ASSERT_EQ(a, swathed.values[v].distance_from(root));
+      ASSERT_EQ(a, overlapped.values[v].distance_from(root));
+    }
+  }
+  // Sequential swaths take more supersteps than a single batch.
+  EXPECT_GT(swathed.metrics.total_supersteps(), single.metrics.total_supersteps());
+  // Overlap reduces supersteps vs sequential.
+  EXPECT_LT(overlapped.metrics.total_supersteps(), swathed.metrics.total_supersteps());
+}
+
+TEST(ApspBsp, TriangleMessageWaveform) {
+  // BC/APSP message profile ramps up then drains (Figure 3's triangle wave).
+  Graph g = watts_strogatz(2000, 6, 0.1, 17);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_apsp(g, cluster(), parts, {0, 1, 2});
+  std::vector<double> msgs;
+  for (const auto& s : r.metrics.supersteps)
+    msgs.push_back(static_cast<double>(s.messages_sent_total()));
+  const auto peak_it = std::max_element(msgs.begin(), msgs.end());
+  const auto peak_at = static_cast<std::size_t>(peak_it - msgs.begin());
+  EXPECT_GT(peak_at, 0u);
+  EXPECT_LT(peak_at, msgs.size() - 1);
+  EXPECT_GT(*peak_it, 4.0 * msgs.front());
+  EXPECT_GT(*peak_it, 4.0 * msgs.back());
+}
+
+// ---- Betweenness centrality -----------------------------------------------
+
+class BcGraphs : public ::testing::TestWithParam<int> {};
+
+TEST_P(BcGraphs, MatchesBrandesAllRoots) {
+  Graph g;
+  switch (GetParam()) {
+    case 0: g = path_graph(9); break;
+    case 1: g = star_graph(10); break;
+    case 2: g = ring_graph(11); break;
+    case 3: g = binary_tree(15); break;
+    case 4: g = complete_graph(7); break;
+    case 5: g = grid_graph(4, 5); break;
+    case 6: g = barabasi_albert(60, 2, 3); break;
+    case 7: g = watts_strogatz(80, 4, 0.2, 9); break;
+    default: g = erdos_renyi(50, 100, 21); break;  // may be disconnected
+  }
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_bc(g, cluster(), parts, all_roots(g));
+  const auto ref = reference_betweenness(g);
+  ASSERT_EQ(r.roots_completed, g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_NEAR(r.values[v].bc_score, ref[v], 1e-6) << "vertex " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BcGraphs, ::testing::Range(0, 9));
+
+TEST(BcBsp, SubsetOfRootsMatchesReference) {
+  Graph g = barabasi_albert(120, 3, 31);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const std::vector<VertexId> roots{3, 77, 118};
+  const auto r = run_bc(g, cluster(), parts, roots);
+  const auto ref = reference_betweenness(g, roots);
+  ASSERT_EQ(r.roots_completed, roots.size());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_NEAR(r.values[v].bc_score, ref[v], 1e-6);
+}
+
+TEST(BcBsp, SwathSchedulingInvariant) {
+  Graph g = watts_strogatz(100, 4, 0.15, 23);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  std::vector<VertexId> roots(20);
+  std::iota(roots.begin(), roots.end(), VertexId{0});
+  const auto ref = reference_betweenness(g, roots);
+
+  for (auto policy :
+       {SwathPolicy::single_swath(),
+        SwathPolicy::make(std::make_shared<StaticSwathSizer>(4),
+                          std::make_shared<SequentialInitiation>(), 6_GiB),
+        SwathPolicy::make(std::make_shared<StaticSwathSizer>(4),
+                          std::make_shared<StaticNInitiation>(3), 6_GiB),
+        SwathPolicy::make(std::make_shared<StaticSwathSizer>(5),
+                          std::make_shared<DynamicPeakInitiation>(), 6_GiB),
+        SwathPolicy::make(std::make_shared<AdaptiveSwathSizer>(3),
+                          std::make_shared<DynamicPeakInitiation>(), 6_GiB)}) {
+    const auto r = run_bc(g, cluster(), parts, roots, policy);
+    ASSERT_EQ(r.roots_completed, roots.size()) << policy.sizer->name();
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      ASSERT_NEAR(r.values[v].bc_score, ref[v], 1e-6)
+          << policy.sizer->name() << " vertex " << v;
+  }
+}
+
+TEST(BcBsp, StateIsReleasedAfterTraversals) {
+  Graph g = barabasi_albert(100, 3, 37);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_bc(g, cluster(), parts, {0, 1, 2, 3, 4});
+  // All per-root entries must be freed once scores settle.
+  for (const auto& v : r.values) EXPECT_TRUE(v.entries.empty());
+}
+
+TEST(BcBsp, ElasticScalingPreservesResults) {
+  Graph g = watts_strogatz(90, 4, 0.2, 41);
+  const auto parts = HashPartitioner{}.partition(g, 8);
+  std::vector<VertexId> roots{0, 9, 33, 71};
+  const auto ref = reference_betweenness(g, roots);
+
+  ClusterConfig c = cluster(8);
+  c.initial_workers = 4;
+  c.scaling = std::make_shared<cloud::ActiveVertexScaling>(4, 8, 0.3);
+  Engine<BcProgram> e(g, {}, c, parts);
+  JobOptions opts;
+  opts.roots = roots;
+  const auto r = e.run(opts);
+  ASSERT_EQ(r.roots_completed, roots.size());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_NEAR(r.values[v].bc_score, ref[v], 1e-6);
+  // The policy actually scaled at least once.
+  bool saw4 = false, saw8 = false;
+  for (const auto& sm : r.metrics.supersteps) {
+    saw4 |= sm.active_workers == 4;
+    saw8 |= sm.active_workers == 8;
+  }
+  EXPECT_TRUE(saw4);
+  EXPECT_TRUE(saw8);
+}
+
+// ---- Connected components ---------------------------------------------------
+
+TEST(ComponentsBsp, MatchesUnionFind) {
+  Graph g = GraphBuilder(12)
+                .add_edge(0, 1)
+                .add_edge(1, 2)
+                .add_edge(3, 4)
+                .add_edge(6, 7)
+                .add_edge(7, 8)
+                .add_edge(8, 6)
+                .build();
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_components(g, cluster(), parts);
+  const auto ref = connected_components(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(r.values[v].label, ref.component[v]) << "vertex " << v;
+}
+
+TEST(ComponentsBsp, CombinerInvariant) {
+  Graph g = watts_strogatz(300, 4, 0.1, 51);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto a = run_components(g, cluster(), parts, false);
+  const auto b = run_components(g, cluster(), parts, true);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(a.values[v].label, b.values[v].label);
+}
+
+// ---- Label propagation -------------------------------------------------------
+
+TEST(LabelPropagationBsp, TwoCliquesTwoCommunities) {
+  GraphBuilder b(16);
+  for (VertexId u = 0; u < 8; ++u)
+    for (VertexId v = u + 1; v < 8; ++v) b.add_edge(u, v);
+  for (VertexId u = 8; u < 16; ++u)
+    for (VertexId v = u + 1; v < 16; ++v) b.add_edge(u, v);
+  b.add_edge(0, 8);  // weak bridge
+  Graph g = b.build();
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_label_propagation(g, cluster(), parts, 8);
+  // Within each clique all labels agree.
+  for (VertexId v = 1; v < 8; ++v) EXPECT_EQ(r.values[v].label, r.values[1].label);
+  for (VertexId v = 9; v < 16; ++v) EXPECT_EQ(r.values[v].label, r.values[9].label);
+}
+
+// ---- k-core -------------------------------------------------------------------
+
+TEST(KCoreBsp, PeelsTailsFromLollipop) {
+  // K5 with a path tail: 2-core = the clique; tail peels away.
+  GraphBuilder b(9);
+  for (VertexId u = 0; u < 5; ++u)
+    for (VertexId v = u + 1; v < 5; ++v) b.add_edge(u, v);
+  b.add_edge(4, 5).add_edge(5, 6).add_edge(6, 7).add_edge(7, 8);
+  Graph g = b.build();
+  const auto parts = HashPartitioner{}.partition(g, 2);
+  const auto r = run_kcore(g, cluster(2), parts, 2);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_TRUE(r.values[v].in_core) << v;
+  for (VertexId v = 5; v < 9; ++v) EXPECT_FALSE(r.values[v].in_core) << v;
+}
+
+TEST(KCoreBsp, WholeCliqueSurvivesHighK) {
+  Graph g = complete_graph(8);
+  const auto parts = HashPartitioner{}.partition(g, 2);
+  const auto r = run_kcore(g, cluster(2), parts, 7);
+  for (const auto& v : r.values) EXPECT_TRUE(v.in_core);
+  const auto r2 = run_kcore(g, cluster(2), parts, 8);
+  for (const auto& v : r2.values) EXPECT_FALSE(v.in_core);
+}
+
+}  // namespace
+}  // namespace pregel::algos

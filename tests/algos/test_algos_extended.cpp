@@ -1,0 +1,189 @@
+// Correctness tests for the extended algorithm set: triangle counting,
+// Luby's maximal independent set, and Jones-Plassmann greedy coloring.
+#include <gtest/gtest.h>
+
+#include "algos/coloring.hpp"
+#include "algos/mis.hpp"
+#include "algos/triangles.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "partition/partitioner.hpp"
+
+namespace pregel::algos {
+namespace {
+
+ClusterConfig cluster(std::uint32_t parts = 4) {
+  ClusterConfig c;
+  c.num_partitions = parts;
+  c.initial_workers = parts;
+  return c;
+}
+
+// ---- Triangles --------------------------------------------------------------
+
+TEST(ReferenceTriangles, KnownCounts) {
+  EXPECT_EQ(reference_triangles(complete_graph(3)), 1u);
+  EXPECT_EQ(reference_triangles(complete_graph(5)), 10u);  // C(5,3)
+  EXPECT_EQ(reference_triangles(ring_graph(6)), 0u);
+  EXPECT_EQ(reference_triangles(star_graph(10)), 0u);
+  EXPECT_EQ(reference_triangles(binary_tree(15)), 0u);
+}
+
+TEST(TrianglesBsp, CompleteGraph) {
+  Graph g = complete_graph(8);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_triangles(g, cluster(), parts);
+  EXPECT_EQ(total_triangles(r), 56u);  // C(8,3)
+}
+
+TEST(TrianglesBsp, TriangleFreeGraphs) {
+  for (Graph g : {ring_graph(10), star_graph(12), binary_tree(15), grid_graph(4, 4)}) {
+    const auto parts = HashPartitioner{}.partition(g, 4);
+    EXPECT_EQ(total_triangles(run_triangles(g, cluster(), parts)), 0u) << g.summary();
+  }
+}
+
+class TriangleGraphs : public ::testing::TestWithParam<int> {};
+
+TEST_P(TriangleGraphs, MatchesReference) {
+  Graph g;
+  switch (GetParam()) {
+    case 0: g = barabasi_albert(300, 4, 3); break;
+    case 1: g = watts_strogatz(400, 6, 0.1, 5); break;  // high clustering
+    case 2: g = erdos_renyi(200, 1200, 7); break;
+    default: g = rmat({.scale = 9, .target_edges = 2000}, 9); break;
+  }
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_triangles(g, cluster(), parts);
+  EXPECT_EQ(total_triangles(r), reference_triangles(g)) << g.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, TriangleGraphs, ::testing::Range(0, 4));
+
+TEST(TrianglesBsp, TwoSuperstepsOnly) {
+  Graph g = watts_strogatz(200, 4, 0.1, 3);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_triangles(g, cluster(), parts);
+  EXPECT_EQ(r.metrics.total_supersteps(), 2u);
+}
+
+// ---- Maximal independent set -------------------------------------------------
+
+void expect_valid_mis(const Graph& g, const JobResult<MisProgram>& r) {
+  // Independence: no two adjacent in-set vertices.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (r.values[v].state != MisProgram::State::kInSet) continue;
+    for (VertexId u : g.out_neighbors(v))
+      ASSERT_NE(r.values[u].state, MisProgram::State::kInSet)
+          << "adjacent vertices " << v << " and " << u << " both in set";
+  }
+  // Maximality: every excluded vertex has an in-set neighbor; none undecided.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_NE(r.values[v].state, MisProgram::State::kUndecided) << v;
+    if (r.values[v].state == MisProgram::State::kOut) {
+      bool covered = false;
+      for (VertexId u : g.out_neighbors(v))
+        covered |= r.values[u].state == MisProgram::State::kInSet;
+      ASSERT_TRUE(covered) << "vertex " << v << " out but uncovered";
+    }
+  }
+}
+
+class MisGraphs : public ::testing::TestWithParam<int> {};
+
+TEST_P(MisGraphs, ProducesValidMaximalIndependentSet) {
+  Graph g;
+  switch (GetParam()) {
+    case 0: g = path_graph(50); break;
+    case 1: g = ring_graph(51); break;
+    case 2: g = complete_graph(10); break;
+    case 3: g = star_graph(20); break;
+    case 4: g = barabasi_albert(500, 3, 5); break;
+    case 5: g = watts_strogatz(400, 6, 0.2, 7); break;
+    default: g = GraphBuilder(6).add_edge(0, 1).build(); break;  // mostly isolated
+  }
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_mis(g, cluster(), parts, 11);
+  expect_valid_mis(g, r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MisGraphs, ::testing::Range(0, 7));
+
+TEST(MisBsp, CompleteGraphPicksExactlyOne) {
+  Graph g = complete_graph(12);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_mis(g, cluster(), parts, 3);
+  int in_set = 0;
+  for (const auto& v : r.values) in_set += v.state == MisProgram::State::kInSet ? 1 : 0;
+  EXPECT_EQ(in_set, 1);
+}
+
+TEST(MisBsp, IsolatedVerticesAllJoin) {
+  Graph g = GraphBuilder(5).build();  // no edges
+  const auto parts = HashPartitioner{}.partition(g, 2);
+  const auto r = run_mis(g, cluster(2), parts, 3);
+  for (const auto& v : r.values) EXPECT_EQ(v.state, MisProgram::State::kInSet);
+}
+
+TEST(MisBsp, DeterministicInSeed) {
+  Graph g = barabasi_albert(200, 3, 9);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto a = run_mis(g, cluster(), parts, 5);
+  const auto b = run_mis(g, cluster(), parts, 5);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(a.values[v].state, b.values[v].state);
+}
+
+// ---- Greedy coloring ----------------------------------------------------------
+
+void expect_proper_coloring(const Graph& g, const JobResult<ColoringProgram>& r,
+                            std::uint32_t max_colors) {
+  std::uint32_t used = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_NE(r.values[v].color, ColoringProgram::kUncolored) << v;
+    used = std::max(used, r.values[v].color + 1);
+    for (VertexId u : g.out_neighbors(v))
+      ASSERT_NE(r.values[v].color, r.values[u].color)
+          << "edge " << v << "-" << u << " monochromatic";
+  }
+  EXPECT_LE(used, max_colors);
+}
+
+class ColoringGraphs : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColoringGraphs, ProperColoringWithinDeltaPlusOne) {
+  Graph g;
+  switch (GetParam()) {
+    case 0: g = path_graph(40); break;
+    case 1: g = ring_graph(41); break;
+    case 2: g = complete_graph(9); break;
+    case 3: g = grid_graph(8, 8); break;
+    case 4: g = barabasi_albert(400, 3, 13); break;
+    default: g = watts_strogatz(300, 6, 0.15, 17); break;
+  }
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_coloring(g, cluster(), parts, 7);
+  const auto d = degree_stats(g);
+  expect_proper_coloring(g, r, static_cast<std::uint32_t>(d.stats.max()) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ColoringGraphs, ::testing::Range(0, 6));
+
+TEST(ColoringBsp, CompleteGraphNeedsAllColors) {
+  Graph g = complete_graph(7);
+  const auto parts = HashPartitioner{}.partition(g, 2);
+  const auto r = run_coloring(g, cluster(2), parts, 5);
+  std::set<std::uint32_t> colors;
+  for (const auto& v : r.values) colors.insert(v.color);
+  EXPECT_EQ(colors.size(), 7u);
+}
+
+TEST(ColoringBsp, StateBytesReleasedAfterCommit) {
+  Graph g = barabasi_albert(100, 4, 19);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_coloring(g, cluster(), parts, 23);
+  for (const auto& v : r.values) EXPECT_TRUE(v.neighbor_colors.empty());
+}
+
+}  // namespace
+}  // namespace pregel::algos

@@ -1,0 +1,127 @@
+#include "algos/semi_clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/partitioner.hpp"
+
+namespace pregel::algos {
+namespace {
+
+ClusterConfig cluster(std::uint32_t parts = 4) {
+  ClusterConfig c;
+  c.num_partitions = parts;
+  c.initial_workers = parts;
+  return c;
+}
+
+TEST(SemiCluster, ScoreFormula) {
+  SemiCluster c;
+  c.members = {0, 1, 2};
+  c.internal_edges = 3;  // triangle
+  c.boundary_edges = 2;
+  // (3 - 0.5*2) / (3*2/2) = 2/3
+  EXPECT_NEAR(c.score(0.5), 2.0 / 3.0, 1e-12);
+  // Singletons score 0.
+  SemiCluster s;
+  s.members = {7};
+  s.boundary_edges = 10;
+  EXPECT_DOUBLE_EQ(s.score(0.5), 0.0);
+}
+
+TEST(SemiCluster, ContainsBinarySearch) {
+  SemiCluster c;
+  c.members = {2, 5, 9};
+  EXPECT_TRUE(c.contains(5));
+  EXPECT_FALSE(c.contains(4));
+}
+
+TEST(SemiClusteringBsp, TriangleFormsPerfectCluster) {
+  Graph g = complete_graph(3);
+  const auto parts = HashPartitioner{}.partition(g, 2);
+  const auto r = run_semi_clustering(g, cluster(2), parts, 5, 4, 8, 0.3);
+  // Every vertex's best cluster should be the full triangle with I=3, B=0.
+  for (VertexId v = 0; v < 3; ++v) {
+    ASSERT_FALSE(r.values[v].clusters.empty());
+    const auto& best = r.values[v].clusters.front();
+    EXPECT_EQ(best.members, (std::vector<VertexId>{0, 1, 2})) << "vertex " << v;
+    EXPECT_EQ(best.internal_edges, 3u);
+    EXPECT_EQ(best.boundary_edges, 0u);
+  }
+}
+
+TEST(SemiClusteringBsp, TwoCliquesSeparate) {
+  // Two K4s joined by one bridge: the best cluster at each vertex should be
+  // (a superset of) its own clique, never mixing the cliques wholesale.
+  GraphBuilder b(8);
+  for (VertexId u = 0; u < 4; ++u)
+    for (VertexId v = u + 1; v < 4; ++v) b.add_edge(u, v);
+  for (VertexId u = 4; u < 8; ++u)
+    for (VertexId v = u + 1; v < 8; ++v) b.add_edge(u, v);
+  b.add_edge(0, 4);
+  Graph g = b.build();
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  // A gentle boundary factor and enough cluster slots: with f_B too high,
+  // the 2-member intermediate clusters score negative and get pruned before
+  // a clique can assemble (greedy growth needs the intermediates to survive).
+  const auto r = run_semi_clustering(g, cluster(), parts, 8, /*max_clusters=*/6,
+                                     /*max_members=*/4, /*boundary_factor=*/0.1);
+
+  for (VertexId v = 0; v < 8; ++v) {
+    ASSERT_FALSE(r.values[v].clusters.empty());
+    const auto& best = r.values[v].clusters.front();
+    // Count members from each clique.
+    int own = 0, other = 0;
+    for (VertexId m : best.members)
+      ((v < 4) == (m < 4) ? own : other) += 1;
+    EXPECT_GT(own, other) << "vertex " << v << " best cluster crosses the bridge";
+  }
+}
+
+TEST(SemiClusteringBsp, RespectsMaxMembers) {
+  Graph g = complete_graph(10);
+  const auto parts = HashPartitioner{}.partition(g, 2);
+  const auto r = run_semi_clustering(g, cluster(2), parts, 6, 4, /*max_members=*/3, 0.3);
+  for (const auto& v : r.values)
+    for (const auto& c : v.clusters) EXPECT_LE(c.members.size(), 3u);
+}
+
+TEST(SemiClusteringBsp, RespectsMaxClusters) {
+  Graph g = watts_strogatz(60, 4, 0.2, 5);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_semi_clustering(g, cluster(), parts, 6, /*max_clusters=*/2, 6, 0.3);
+  for (const auto& v : r.values) EXPECT_LE(v.clusters.size(), 2u);
+}
+
+TEST(SemiClusteringBsp, EdgeCountsStayConsistent) {
+  // Invariant: for any cluster, internal <= C(|members|, 2) and every
+  // member's degree bounds boundary contributions.
+  Graph g = barabasi_albert(80, 3, 9);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  const auto r = run_semi_clustering(g, cluster(), parts, 6, 4, 6, 0.3);
+  for (const auto& v : r.values) {
+    for (const auto& c : v.clusters) {
+      const std::uint64_t n = c.members.size();
+      EXPECT_LE(c.internal_edges, n * (n - 1) / 2);
+      std::uint64_t degree_sum = 0;
+      for (VertexId m : c.members) degree_sum += g.out_degree(m);
+      EXPECT_EQ(degree_sum, 2 * c.internal_edges + c.boundary_edges);
+    }
+  }
+}
+
+TEST(SemiClusteringBsp, DeterministicAcrossDeployments) {
+  Graph g = watts_strogatz(50, 4, 0.1, 11);
+  const auto p2 = HashPartitioner{}.partition(g, 2);
+  const auto p4 = HashPartitioner{}.partition(g, 4);
+  const auto a = run_semi_clustering(g, cluster(2), p2, 5);
+  const auto b = run_semi_clustering(g, cluster(4), p4, 5);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(a.values[v].clusters.size(), b.values[v].clusters.size()) << v;
+    for (std::size_t i = 0; i < a.values[v].clusters.size(); ++i)
+      ASSERT_EQ(a.values[v].clusters[i].members, b.values[v].clusters[i].members) << v;
+  }
+}
+
+}  // namespace
+}  // namespace pregel::algos

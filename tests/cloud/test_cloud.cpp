@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include "cloud/blob.hpp"
+#include "cloud/cost_model.hpp"
+#include "cloud/elasticity.hpp"
+#include "cloud/network.hpp"
+#include "cloud/queue.hpp"
+#include "cloud/vm.hpp"
+
+namespace pregel::cloud {
+namespace {
+
+TEST(VmCatalog, AzureLargeSpecsMatchPaper) {
+  const VmSpec vm = azure_large_2012();
+  EXPECT_EQ(vm.cores, 4u);
+  EXPECT_DOUBLE_EQ(vm.clock_ghz, 1.6);
+  EXPECT_EQ(vm.ram, 7_GiB);
+  EXPECT_DOUBLE_EQ(vm.network_bps, mbps(400));
+  EXPECT_DOUBLE_EQ(vm.price_per_hour, 0.48);
+}
+
+TEST(VmCatalog, SmallIsQuarterOfLarge) {
+  const VmSpec s = azure_small_2012();
+  const VmSpec l = azure_large_2012();
+  EXPECT_EQ(s.cores * 4, l.cores);
+  EXPECT_DOUBLE_EQ(s.network_bps * 4, l.network_bps);
+  EXPECT_DOUBLE_EQ(s.price_per_hour * 4, l.price_per_hour);
+  EXPECT_EQ(s.ram * 4, l.ram);
+}
+
+TEST(VmCatalog, ScaledRam) {
+  const VmSpec vm = with_scaled_ram(azure_large_2012(), 0.1);
+  EXPECT_EQ(vm.ram, static_cast<Bytes>(static_cast<double>(7_GiB) * 0.1));
+  EXPECT_EQ(vm.cores, 4u);  // only RAM changes
+  EXPECT_THROW(with_scaled_ram(azure_large_2012(), 0.0), std::logic_error);
+}
+
+TEST(CostMeter, ProRataPerSecond) {
+  CostMeter m;
+  m.charge(azure_large_2012(), 8, 3600.0);
+  EXPECT_NEAR(m.total_usd(), 8 * 0.48, 1e-9);
+  EXPECT_DOUBLE_EQ(m.total_vm_seconds(), 8 * 3600.0);
+  m.charge(azure_large_2012(), 4, 1800.0);
+  EXPECT_NEAR(m.total_usd(), 8 * 0.48 + 4 * 0.24, 1e-9);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.total_usd(), 0.0);
+}
+
+TEST(CostMeter, RejectsNegativeDuration) {
+  CostMeter m;
+  EXPECT_THROW(m.charge(azure_large_2012(), 1, -1.0), std::logic_error);
+}
+
+TEST(CostModel, ValidatesParams) {
+  CostParams p;
+  p.network_efficiency = 0.0;
+  EXPECT_THROW(CostModel{p}, std::logic_error);
+  p = {};
+  p.vm_restart_threshold = 1.0;
+  EXPECT_THROW(CostModel{p}, std::logic_error);
+}
+
+TEST(CostModel, NoThrashWithinRam) {
+  const CostModel m;
+  const VmSpec vm = azure_large_2012();
+  EXPECT_DOUBLE_EQ(m.thrash_penalty(vm.ram, vm), 1.0);
+  EXPECT_DOUBLE_EQ(m.thrash_penalty(1_GiB, vm), 1.0);
+}
+
+TEST(CostModel, ThrashGrowsLinearlyWithOverflow) {
+  CostParams p;
+  p.vm_thrash_slope = 10.0;
+  const CostModel m{p};
+  const VmSpec vm = azure_large_2012();
+  const auto mem10 = static_cast<Bytes>(static_cast<double>(vm.ram) * 1.1);
+  EXPECT_NEAR(m.thrash_penalty(mem10, vm), 2.0, 0.01);  // 1 + 10*0.1
+  const auto mem20 = static_cast<Bytes>(static_cast<double>(vm.ram) * 1.2);
+  EXPECT_NEAR(m.thrash_penalty(mem20, vm), 3.0, 0.01);
+}
+
+TEST(CostModel, RestartThreshold) {
+  const CostModel m;  // default threshold 1.5
+  const VmSpec vm = azure_large_2012();
+  EXPECT_FALSE(m.triggers_restart(vm.ram, vm));
+  EXPECT_FALSE(
+      m.triggers_restart(static_cast<Bytes>(static_cast<double>(vm.ram) * 1.49), vm));
+  EXPECT_TRUE(
+      m.triggers_restart(static_cast<Bytes>(static_cast<double>(vm.ram) * 1.5), vm));
+}
+
+TEST(CostModel, ComputeTimeScalesWithWork) {
+  const CostModel m;
+  const VmSpec vm = azure_large_2012();
+  WorkerLoad a;
+  a.vertices_computed = 1000;
+  a.messages_processed = 1000;
+  WorkerLoad b = a;
+  b.vertices_computed = 2000;
+  b.messages_processed = 2000;
+  EXPECT_NEAR(m.compute_time(b, vm), 2.0 * m.compute_time(a, vm), 1e-12);
+}
+
+TEST(CostModel, ComputeTimeScalesInverseWithCores) {
+  const CostModel m;
+  VmSpec vm = azure_large_2012();
+  WorkerLoad load;
+  load.vertices_computed = 100000;
+  const Seconds t4 = m.compute_time(load, vm);
+  vm.cores = 1;
+  EXPECT_NEAR(m.compute_time(load, vm), 4.0 * t4, 1e-12);
+}
+
+TEST(CostModel, NetworkTimeBoundByMaxDirection) {
+  const CostModel m;
+  const VmSpec vm = azure_large_2012();
+  WorkerLoad load;
+  load.bytes_sent_remote = 35_MiB;  // 400Mbps*0.7 = 35 MB/s effective
+  load.bytes_received_remote = 1_MiB;
+  const Seconds t = m.network_time(load, vm, 0);
+  EXPECT_NEAR(t, static_cast<double>(35_MiB) / (400e6 * 0.7 / 8.0), 1e-6);
+}
+
+TEST(CostModel, NetworkSetupGrowsWithPeers) {
+  const CostModel m;
+  const VmSpec vm = azure_large_2012();
+  WorkerLoad load;
+  const Seconds t7 = m.network_time(load, vm, 7);
+  const Seconds t3 = m.network_time(load, vm, 3);
+  EXPECT_NEAR(t7 - t3, 4.0 * m.params().connection_setup_per_peer, 1e-12);
+}
+
+TEST(CostModel, BarrierGrowsWithWorkers) {
+  const CostModel m;
+  EXPECT_GT(m.barrier_time(8), m.barrier_time(4));
+  const Seconds diff = m.barrier_time(8) - m.barrier_time(4);
+  EXPECT_NEAR(diff, 4.0 * m.params().barrier_per_worker, 1e-12);
+}
+
+TEST(CostModel, WireAndBufferedBytes) {
+  const CostModel m;
+  EXPECT_EQ(m.wire_bytes(20), 20 + m.params().message_envelope_bytes);
+  EXPECT_EQ(m.buffered_bytes(20), 20 + m.params().message_object_overhead_bytes);
+  EXPECT_GT(m.buffered_bytes(20), m.wire_bytes(20));  // memory > wire, by design
+}
+
+TEST(TenancyNoise, ZeroSigmaIsExactlyOne) {
+  const TenancyNoise n(0.0, 7);
+  for (std::uint32_t w = 0; w < 4; ++w)
+    for (std::uint64_t s = 0; s < 10; ++s) EXPECT_DOUBLE_EQ(n.factor(w, s), 1.0);
+}
+
+TEST(TenancyNoise, DeterministicAndOrderIndependent) {
+  const TenancyNoise n(0.2, 99);
+  const double a = n.factor(3, 17);
+  (void)n.factor(1, 2);
+  (void)n.factor(5, 5);
+  EXPECT_DOUBLE_EQ(n.factor(3, 17), a);
+}
+
+TEST(TenancyNoise, FactorsAtLeastOne) {
+  const TenancyNoise n(0.3, 5);
+  for (std::uint32_t w = 0; w < 8; ++w)
+    for (std::uint64_t s = 0; s < 50; ++s) EXPECT_GE(n.factor(w, s), 1.0);
+}
+
+TEST(TenancyNoise, RejectsNegativeSigma) {
+  EXPECT_THROW(TenancyNoise(-0.1, 1), std::logic_error);
+}
+
+TEST(AzureQueue, FifoOrder) {
+  AzureQueue q;
+  q.put("a");
+  q.put("b");
+  auto m1 = q.get();
+  auto m2 = q.get();
+  ASSERT_TRUE(m1 && m2);
+  EXPECT_EQ(m1->body, "a");
+  EXPECT_EQ(m2->body, "b");
+}
+
+TEST(AzureQueue, EmptyGetReturnsNullopt) {
+  AzureQueue q;
+  EXPECT_FALSE(q.get().has_value());
+}
+
+TEST(AzureQueue, AtLeastOnceVisibility) {
+  AzureQueue q;
+  q.put("job");
+  auto m = q.get();
+  ASSERT_TRUE(m);
+  EXPECT_EQ(q.visible_count(), 0u);
+  EXPECT_EQ(q.inflight_count(), 1u);
+  q.release(m->id);  // consumer "crashed": message reappears
+  EXPECT_EQ(q.visible_count(), 1u);
+  auto again = q.get();
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again->body, "job");
+  q.remove(again->id);
+  EXPECT_EQ(q.inflight_count(), 0u);
+}
+
+TEST(AzureQueue, RemoveUnknownThrows) {
+  AzureQueue q;
+  EXPECT_THROW(q.remove(42), std::logic_error);
+  EXPECT_THROW(q.release(42), std::logic_error);
+}
+
+TEST(QueueService, NamedQueuesIndependent) {
+  QueueService s;
+  s.queue("step").put("token");
+  EXPECT_TRUE(s.has_queue("step"));
+  EXPECT_FALSE(s.has_queue("barrier"));
+  EXPECT_EQ(s.queue("barrier").visible_count(), 0u);
+  EXPECT_EQ(s.queue("step").visible_count(), 1u);
+  EXPECT_GE(s.total_ops(), 1u);
+}
+
+TEST(BlobStore, PutGetRemove) {
+  BlobStore b;
+  b.put("g", {std::byte{1}, std::byte{2}});
+  EXPECT_TRUE(b.exists("g"));
+  EXPECT_EQ(b.get("g").size(), 2u);
+  EXPECT_EQ(b.size_of("g"), 2u);
+  b.remove("g");
+  EXPECT_FALSE(b.exists("g"));
+  EXPECT_THROW(b.get("g"), std::out_of_range);
+  EXPECT_THROW(b.size_of("g"), std::out_of_range);
+}
+
+TEST(BlobStore, TransferTimeLinearInSize) {
+  BlobStore b(mbps(400), 0.05);
+  const Seconds t1 = b.transfer_time(50_MiB);
+  const Seconds t2 = b.transfer_time(100_MiB);
+  EXPECT_NEAR(t2 - 0.05, 2.0 * (t1 - 0.05), 1e-9);
+  EXPECT_THROW(BlobStore(0.0), std::logic_error);
+}
+
+TEST(FixedScaling, AlwaysSame) {
+  FixedScaling p(8);
+  EXPECT_EQ(p.decide({}), 8u);
+  EXPECT_EQ(p.name(), "fixed-8");
+}
+
+TEST(ActiveVertexScaling, ThresholdBehavior) {
+  ActiveVertexScaling p(4, 8, 0.5);
+  ScalingSignals s;
+  s.total_vertices = 100;
+  s.active_vertices = 60;
+  EXPECT_EQ(p.decide(s), 8u);
+  s.active_vertices = 50;
+  EXPECT_EQ(p.decide(s), 8u);  // at threshold -> high
+  s.active_vertices = 49;
+  EXPECT_EQ(p.decide(s), 4u);
+  s.total_vertices = 0;
+  EXPECT_EQ(p.decide(s), 4u);  // no work signal -> low
+}
+
+TEST(ActiveVertexScaling, ValidatesArguments) {
+  EXPECT_THROW(ActiveVertexScaling(0, 8), std::logic_error);
+  EXPECT_THROW(ActiveVertexScaling(8, 4), std::logic_error);
+  EXPECT_THROW(ActiveVertexScaling(4, 8, 1.5), std::logic_error);
+}
+
+TEST(OracleScaling, PicksFasterConfigPerSuperstep) {
+  OracleScaling p(4, 8, {1.0, 5.0, 1.0}, {2.0, 2.0, 2.0});
+  ScalingSignals s;
+  s.superstep = 0;  // deciding for superstep 1: high (2.0 < 5.0)
+  EXPECT_EQ(p.decide(s), 8u);
+  s.superstep = 1;  // deciding for superstep 2: low (1.0 < 2.0)
+  EXPECT_EQ(p.decide(s), 4u);
+  s.superstep = 5;  // past the recording: low
+  EXPECT_EQ(p.decide(s), 4u);
+}
+
+TEST(OracleScaling, RejectsMismatchedRecordings) {
+  EXPECT_THROW(OracleScaling(4, 8, {1.0}, {1.0, 2.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pregel::cloud

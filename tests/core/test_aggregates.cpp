@@ -1,0 +1,65 @@
+#include "core/aggregates.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pregel {
+namespace {
+
+TEST(MakeKey, PacksRootAndField) {
+  EXPECT_EQ(make_key(0, 0), 0u);
+  EXPECT_EQ(make_key(0, 1), 1u);
+  EXPECT_EQ(make_key(1, 0), 256u);
+  EXPECT_NE(make_key(5, 1), make_key(5, 2));
+  EXPECT_NE(make_key(5, 1), make_key(6, 1));
+  // Field is masked to 8 bits; distinct roots never collide.
+  EXPECT_EQ(make_key(3, 0x105), make_key(3, 0x05));
+}
+
+TEST(Aggregates, SumsByKey) {
+  Aggregates a;
+  a.add(7, 1.5);
+  a.add(7, 2.5);
+  a.add(9, 1.0);
+  EXPECT_DOUBLE_EQ(a.get(7), 4.0);
+  EXPECT_DOUBLE_EQ(a.get(9), 1.0);
+  EXPECT_DOUBLE_EQ(a.get(42), 0.0);
+  EXPECT_TRUE(a.contains(7));
+  EXPECT_FALSE(a.contains(42));
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Aggregates, ZeroContributionCreatesKey) {
+  Aggregates a;
+  a.add(3, 0.0);
+  EXPECT_TRUE(a.contains(3));
+  EXPECT_DOUBLE_EQ(a.get(3), 0.0);
+}
+
+TEST(Aggregates, ClearAndMerge) {
+  Aggregates a, b;
+  a.add(1, 2.0);
+  b.add(1, 3.0);
+  b.add(2, 5.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.get(1), 5.0);
+  EXPECT_DOUBLE_EQ(a.get(2), 5.0);
+  a.clear();
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_FALSE(a.contains(1));
+}
+
+TEST(Globals, SetGetEraseFallback) {
+  Globals g;
+  EXPECT_DOUBLE_EQ(g.get(1, -7.0), -7.0);
+  g.set(1, 3.0);
+  EXPECT_DOUBLE_EQ(g.get(1, -7.0), 3.0);
+  EXPECT_TRUE(g.contains(1));
+  g.set(1, 4.0);  // overwrite, not accumulate
+  EXPECT_DOUBLE_EQ(g.get(1), 4.0);
+  g.erase(1);
+  EXPECT_FALSE(g.contains(1));
+  EXPECT_EQ(g.size(), 0u);
+}
+
+}  // namespace
+}  // namespace pregel

@@ -1,0 +1,170 @@
+// Engine edge cases: degenerate graphs and deployments, self-messages,
+// state-byte accounting corners, failure accessor surface.
+#include <gtest/gtest.h>
+
+#include "algos/pagerank.hpp"
+#include "algos/sssp.hpp"
+#include "graph/analysis.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "partition/partitioner.hpp"
+
+namespace pregel {
+namespace {
+
+struct SelfTalker {
+  struct VertexValue {
+    std::uint32_t echoes = 0;
+  };
+  using MessageValue = std::uint32_t;
+
+  int rounds = 3;
+
+  template <class Ctx>
+  void compute(Ctx& ctx, VertexValue& v, std::span<const MessageValue> messages) const {
+    v.echoes += static_cast<std::uint32_t>(messages.size());
+    if (static_cast<int>(ctx.superstep()) < rounds)
+      ctx.send(ctx.vertex_id(), 1);  // message to self
+  }
+};
+
+TEST(EngineEdge, MessageToSelfIsLocalAndDelivered) {
+  Graph g = path_graph(4);
+  const auto parts = RangePartitioner{}.partition(g, 2);
+  ClusterConfig c;
+  c.num_partitions = 2;
+  c.initial_workers = 2;
+  Engine<SelfTalker> e(g, {3}, c, parts);
+  JobOptions o;
+  o.start_all_vertices = true;
+  const auto r = e.run(o);
+  for (const auto& v : r.values) EXPECT_EQ(v.echoes, 3u);
+  for (const auto& sm : r.metrics.supersteps) EXPECT_EQ(sm.messages_sent_remote(), 0u);
+}
+
+TEST(EngineEdge, SinglePartitionHasNoRemoteTraffic) {
+  Graph g = barabasi_albert(100, 3, 5);
+  const auto parts = HashPartitioner{}.partition(g, 1);
+  ClusterConfig c;
+  c.num_partitions = 1;
+  c.initial_workers = 1;
+  const auto r = algos::run_pagerank(g, c, parts, 5);
+  std::uint64_t remote = 0;
+  for (const auto& sm : r.metrics.supersteps) remote += sm.messages_sent_remote();
+  EXPECT_EQ(remote, 0u);
+  EXPECT_GT(r.metrics.total_messages(), 0u);
+}
+
+TEST(EngineEdge, EmptyGraphRunsZeroSupersteps) {
+  Graph g = GraphBuilder(0).build();
+  const Partitioning parts(std::vector<PartitionId>{}, 1);
+  ClusterConfig c;
+  c.num_partitions = 1;
+  c.initial_workers = 1;
+  Engine<SelfTalker> e(g, {3}, c, parts);
+  JobOptions o;
+  o.start_all_vertices = true;
+  const auto r = e.run(o);
+  EXPECT_EQ(r.metrics.total_supersteps(), 0u);
+  EXPECT_TRUE(r.values.empty());
+  EXPECT_FALSE(r.failed);
+}
+
+TEST(EngineEdge, SingleVertexGraph) {
+  Graph g = GraphBuilder(1).build();
+  const Partitioning parts({0}, 1);
+  ClusterConfig c;
+  c.num_partitions = 1;
+  c.initial_workers = 1;
+  Engine<SelfTalker> e(g, {2}, c, parts);
+  JobOptions o;
+  o.start_all_vertices = true;
+  const auto r = e.run(o);
+  EXPECT_EQ(r.values[0].echoes, 2u);
+}
+
+TEST(EngineEdge, RootOnIsolatedVertexCompletesImmediately) {
+  Graph g = GraphBuilder(5).add_edge(0, 1).build();  // 2..4 isolated
+  const auto parts = HashPartitioner{}.partition(g, 2);
+  ClusterConfig c;
+  c.num_partitions = 2;
+  c.initial_workers = 2;
+  Engine<algos::SsspProgram> e(g, {}, c, parts);
+  JobOptions o;
+  o.roots = {3};
+  const auto r = e.run(o);
+  EXPECT_EQ(r.values[3].distance, 0u);
+  EXPECT_EQ(r.values[0].distance, algos::SsspProgram::kUnreached);
+  EXPECT_LE(r.metrics.total_supersteps(), 2u);
+}
+
+struct NegativeStateCharger {
+  struct VertexValue {};
+  using MessageValue = std::uint8_t;
+  template <class Ctx>
+  void compute(Ctx& ctx, VertexValue&, std::span<const MessageValue>) const {
+    // Over-release: the memory meter must clamp, not underflow.
+    if (ctx.superstep() == 0) ctx.charge_state_bytes(-1'000'000);
+  }
+};
+
+TEST(EngineEdge, NegativeStateBytesClampToZeroInMeter) {
+  Graph g = path_graph(4);
+  const auto parts = RangePartitioner{}.partition(g, 2);
+  ClusterConfig c;
+  c.num_partitions = 2;
+  c.initial_workers = 2;
+  Engine<NegativeStateCharger> e(g, {}, c, parts);
+  JobOptions o;
+  o.start_all_vertices = true;
+  const auto r = e.run(o);
+  // Memory peak is just the partition graph bytes — tiny, far below 1 MiB.
+  EXPECT_LT(r.metrics.peak_worker_memory(), 1_MiB);
+  EXPECT_FALSE(r.failed);
+}
+
+TEST(EngineEdge, JobFailureCarriesDiagnostics) {
+  const JobFailure f(17, 3, 12_GiB, 7_GiB);
+  EXPECT_EQ(f.superstep(), 17u);
+  EXPECT_EQ(f.worker(), 3u);
+  EXPECT_EQ(f.memory(), 12_GiB);
+  EXPECT_NE(std::string(f.what()).find("superstep 17"), std::string::npos);
+  EXPECT_NE(std::string(f.what()).find("worker VM 3"), std::string::npos);
+}
+
+TEST(EngineEdge, MorePartitionsThanWorkersFromTheStart) {
+  Graph g = watts_strogatz(400, 4, 0.2, 3);
+  const auto parts = HashPartitioner{}.partition(g, 8);
+  ClusterConfig c;
+  c.num_partitions = 8;
+  c.initial_workers = 3;  // partitions 0..7 over VMs 0..2
+  const auto r = algos::run_pagerank(g, c, parts, 5);
+  const auto ref = reference_pagerank(g, 5);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_NEAR(r.values[v].rank, ref[v], 1e-12);
+  for (const auto& sm : r.metrics.supersteps) EXPECT_EQ(sm.workers.size(), 3u);
+}
+
+TEST(EngineEdge, DirectedGraphTraversalFollowsArcs) {
+  // 0 -> 1 -> 2, plus 2 -> 0 back edge; vertex 3 unreachable.
+  Graph g = GraphBuilder(4, /*undirected=*/false)
+                .add_edge(0, 1)
+                .add_edge(1, 2)
+                .add_edge(2, 0)
+                .add_edge(3, 0)
+                .build();
+  const auto parts = HashPartitioner{}.partition(g, 2);
+  ClusterConfig c;
+  c.num_partitions = 2;
+  c.initial_workers = 2;
+  Engine<algos::SsspProgram> e(g, {}, c, parts);
+  JobOptions o;
+  o.roots = {0};
+  const auto r = e.run(o);
+  EXPECT_EQ(r.values[1].distance, 1u);
+  EXPECT_EQ(r.values[2].distance, 2u);
+  EXPECT_EQ(r.values[3].distance, algos::SsspProgram::kUnreached);
+}
+
+}  // namespace
+}  // namespace pregel

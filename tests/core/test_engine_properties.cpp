@@ -1,0 +1,164 @@
+// Engine conservation and consistency properties, checked across a grid of
+// graphs, partitioners, and worker counts (TEST_P sweeps).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "algos/apsp.hpp"
+#include "algos/pagerank.hpp"
+#include "graph/generators.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/quality.hpp"
+
+namespace pregel {
+namespace {
+
+using algos::ApspProgram;
+using algos::PageRankProgram;
+
+Graph pick_graph(int which) {
+  switch (which) {
+    case 0: return barabasi_albert(600, 3, 41);
+    case 1: return watts_strogatz(500, 6, 0.2, 43);
+    case 2: return grid_graph(20, 25);
+    default: return erdos_renyi(400, 1600, 47);
+  }
+}
+
+class EngineGrid
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint32_t>> {};
+
+// Property: every message sent is processed exactly once — the sum of
+// messages_processed over the job equals the sum of messages sent, and
+// remote+local splits are consistent.
+TEST_P(EngineGrid, MessageConservation) {
+  const auto [gw, pw, workers] = GetParam();
+  Graph g = pick_graph(gw);
+  const auto parts = pw == 0 ? HashPartitioner{}.partition(g, workers)
+                             : MultilevelPartitioner{}.partition(g, workers);
+  ClusterConfig c;
+  c.num_partitions = workers;
+  c.initial_workers = workers;
+  Engine<PageRankProgram> e(g, {8, 0.85}, c, parts);
+  JobOptions o;
+  o.start_all_vertices = true;
+  const auto r = e.run(o);
+
+  std::uint64_t sent = 0, processed = 0;
+  for (const auto& sm : r.metrics.supersteps) {
+    for (const auto& wm : sm.workers) {
+      sent += wm.messages_sent_total();
+      processed += wm.messages_processed;
+    }
+  }
+  EXPECT_EQ(sent, processed);
+}
+
+// Property: remote bytes sent across the cluster equal remote bytes received.
+TEST_P(EngineGrid, RemoteByteSymmetry) {
+  const auto [gw, pw, workers] = GetParam();
+  Graph g = pick_graph(gw);
+  const auto parts = pw == 0 ? HashPartitioner{}.partition(g, workers)
+                             : MultilevelPartitioner{}.partition(g, workers);
+  ClusterConfig c;
+  c.num_partitions = workers;
+  c.initial_workers = workers;
+  Engine<PageRankProgram> e(g, {5, 0.85}, c, parts);
+  JobOptions o;
+  o.start_all_vertices = true;
+  const auto r = e.run(o);
+  for (const auto& sm : r.metrics.supersteps) {
+    Bytes sent = 0, received = 0;
+    for (const auto& wm : sm.workers) {
+      sent += wm.bytes_sent_remote;
+      received += wm.bytes_received_remote;
+    }
+    EXPECT_EQ(sent, received) << "superstep " << sm.superstep;
+  }
+}
+
+// Property: per-superstep remote fraction of PageRank traffic matches the
+// partitioning's cut fraction exactly (every arc carries one message).
+TEST_P(EngineGrid, RemoteFractionMatchesEdgeCut) {
+  const auto [gw, pw, workers] = GetParam();
+  Graph g = pick_graph(gw);
+  const auto parts = pw == 0 ? HashPartitioner{}.partition(g, workers)
+                             : MultilevelPartitioner{}.partition(g, workers);
+  const auto q = evaluate_partition(g, parts);
+  ClusterConfig c;
+  c.num_partitions = workers;
+  c.initial_workers = workers;
+  Engine<PageRankProgram> e(g, {3, 0.85}, c, parts);
+  JobOptions o;
+  o.start_all_vertices = true;
+  const auto r = e.run(o);
+  // Superstep 0: each vertex with degree > 0 sends along every arc.
+  const auto& s0 = r.metrics.supersteps[0];
+  EXPECT_EQ(s0.messages_sent_total(), g.num_arcs());
+  EXPECT_EQ(s0.messages_sent_remote(), q.cut_arcs);
+}
+
+// Property: the control plane uses exactly (3 ops per worker per superstep
+// for step tokens) + (2 per worker for barrier check-ins) + manager drains.
+TEST_P(EngineGrid, ControlQueueOpsScaleWithSupersteps) {
+  const auto [gw, pw, workers] = GetParam();
+  Graph g = pick_graph(gw);
+  const auto parts = pw == 0 ? HashPartitioner{}.partition(g, workers)
+                             : MultilevelPartitioner{}.partition(g, workers);
+  ClusterConfig c;
+  c.num_partitions = workers;
+  c.initial_workers = workers;
+  Engine<PageRankProgram> e(g, {4, 0.85}, c, parts);
+  JobOptions o;
+  o.start_all_vertices = true;
+  const auto r = e.run(o);
+  // Per superstep per worker: put+get+remove on "step" (3) and on
+  // "barrier" (3) = 6 ops.
+  const std::uint64_t expected =
+      6ULL * workers * r.metrics.total_supersteps();
+  EXPECT_EQ(r.metrics.control_queue_ops, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EngineGrid,
+                         ::testing::Combine(::testing::Range(0, 4),   // graph
+                                            ::testing::Range(0, 2),   // partitioner
+                                            ::testing::Values(2u, 4u, 8u)));
+
+// Root algorithms: results independent of partitioner and worker count.
+class ApspInvariance
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {};
+
+TEST_P(ApspInvariance, DistancesIndependentOfDeployment) {
+  const auto [pw, workers] = GetParam();
+  Graph g = watts_strogatz(300, 6, 0.15, 53);
+  const auto parts = pw == 0 ? HashPartitioner{}.partition(g, workers)
+                             : MultilevelPartitioner{}.partition(g, workers);
+  ClusterConfig c;
+  c.num_partitions = workers;
+  c.initial_workers = workers;
+  Engine<ApspProgram> e(g, {}, c, parts);
+  JobOptions o;
+  o.roots = {0, 42, 123};
+  const auto r = e.run(o);
+
+  // Reference deployment: 2 hash partitions.
+  const auto base_parts = HashPartitioner{}.partition(g, 2);
+  ClusterConfig bc;
+  bc.num_partitions = 2;
+  bc.initial_workers = 2;
+  Engine<ApspProgram> be(g, {}, bc, base_parts);
+  const auto base = be.run(o);
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    for (VertexId root : o.roots)
+      ASSERT_EQ(r.values[v].distance_from(root), base.values[v].distance_from(root));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ApspInvariance,
+                         ::testing::Combine(::testing::Range(0, 2),
+                                            ::testing::Values(2u, 4u, 8u)));
+
+}  // namespace
+}  // namespace pregel

@@ -1,0 +1,162 @@
+// The paper's alternative trigger signals (§IV names message traffic,
+// memory utilization, and active-vertex count) and the hysteresis elastic
+// policy, plus their behavior inside the engine.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algos/bc.hpp"
+#include "cloud/elasticity.hpp"
+#include "core/swath.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "partition/partitioner.hpp"
+
+namespace pregel {
+namespace {
+
+TEST(MemoryHeadroomInitiation, FiresOnHeadroom) {
+  MemoryHeadroomInitiation p(0.6);
+  InitiationSignals s;
+  s.active_roots = 2;
+  s.memory_target = 100_MiB;
+  s.max_worker_memory = 70_MiB;  // 70% of target: no room
+  EXPECT_FALSE(p.should_initiate(s));
+  s.max_worker_memory = 50_MiB;  // below 60%: room
+  EXPECT_TRUE(p.should_initiate(s));
+  s.active_roots = 0;
+  s.max_worker_memory = 99_MiB;
+  EXPECT_TRUE(p.should_initiate(s));  // drained always fires
+}
+
+TEST(MemoryHeadroomInitiation, NoTargetNeverDefers) {
+  MemoryHeadroomInitiation p(0.5);
+  InitiationSignals s;
+  s.active_roots = 1;
+  s.memory_target = 0;
+  s.max_worker_memory = 100_GiB;
+  EXPECT_TRUE(p.should_initiate(s));
+}
+
+TEST(MemoryHeadroomInitiation, ValidatesFraction) {
+  EXPECT_THROW(MemoryHeadroomInitiation(0.0), std::logic_error);
+  EXPECT_THROW(MemoryHeadroomInitiation(1.5), std::logic_error);
+}
+
+TEST(TrafficDecayInitiation, FiresWhenTrafficDrainsBelowPeakFraction) {
+  TrafficDecayInitiation p(0.5);
+  InitiationSignals s;
+  s.active_roots = 1;
+  s.messages_sent = 100;
+  EXPECT_FALSE(p.should_initiate(s));  // establishes peak 100
+  s.messages_sent = 80;
+  EXPECT_FALSE(p.should_initiate(s));  // 80 >= 50% of 100
+  s.messages_sent = 40;
+  EXPECT_TRUE(p.should_initiate(s));  // decayed past half
+  p.on_initiated();
+  s.messages_sent = 10;  // new window: peak 10, 10 >= 5
+  EXPECT_FALSE(p.should_initiate(s));
+}
+
+TEST(TrafficDecayInitiation, TracksRisingPeak) {
+  TrafficDecayInitiation p(0.5);
+  InitiationSignals s;
+  s.active_roots = 1;
+  for (double m : {10.0, 100.0, 1000.0}) {
+    s.messages_sent = static_cast<std::uint64_t>(m);
+    EXPECT_FALSE(p.should_initiate(s));
+  }
+  s.messages_sent = 499;  // < 50% of 1000
+  EXPECT_TRUE(p.should_initiate(s));
+}
+
+TEST(TrafficDecayInitiation, ValidatesFraction) {
+  EXPECT_THROW(TrafficDecayInitiation(0.0), std::logic_error);
+  EXPECT_THROW(TrafficDecayInitiation(1.0), std::logic_error);
+}
+
+TEST(HysteresisScaling, BandSuppressesFlapping) {
+  cloud::HysteresisScaling p(4, 8, 0.3, 0.6);
+  cloud::ScalingSignals s;
+  s.total_vertices = 100;
+  s.active_vertices = 50;  // inside the band, never scaled out: stays low
+  EXPECT_EQ(p.decide(s), 4u);
+  s.active_vertices = 65;  // crosses out-threshold
+  EXPECT_EQ(p.decide(s), 8u);
+  s.active_vertices = 45;  // inside the band while out: stays high
+  EXPECT_EQ(p.decide(s), 8u);
+  s.active_vertices = 25;  // crosses in-threshold
+  EXPECT_EQ(p.decide(s), 4u);
+  s.active_vertices = 45;  // band again, now low: stays low
+  EXPECT_EQ(p.decide(s), 4u);
+}
+
+TEST(HysteresisScaling, ValidatesArguments) {
+  EXPECT_THROW(cloud::HysteresisScaling(0, 8), std::logic_error);
+  EXPECT_THROW(cloud::HysteresisScaling(8, 4), std::logic_error);
+  EXPECT_THROW(cloud::HysteresisScaling(4, 8, 0.6, 0.3), std::logic_error);
+}
+
+// Engine integration: all initiation policies complete all roots with
+// identical results.
+class InitiationPolicies : public ::testing::TestWithParam<int> {};
+
+TEST_P(InitiationPolicies, AllCompleteWithIdenticalScores) {
+  Graph g = watts_strogatz(150, 4, 0.2, 81);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  std::vector<VertexId> roots(12);
+  std::iota(roots.begin(), roots.end(), VertexId{0});
+  const auto ref = reference_betweenness(g, roots);
+
+  std::shared_ptr<InitiationPolicy> policy;
+  switch (GetParam()) {
+    case 0: policy = std::make_shared<SequentialInitiation>(); break;
+    case 1: policy = std::make_shared<StaticNInitiation>(3); break;
+    case 2: policy = std::make_shared<DynamicPeakInitiation>(); break;
+    case 3: policy = std::make_shared<MemoryHeadroomInitiation>(); break;
+    default: policy = std::make_shared<TrafficDecayInitiation>(); break;
+  }
+  ClusterConfig c;
+  c.num_partitions = 4;
+  c.initial_workers = 4;
+  const auto r = algos::run_bc(
+      g, c, parts, roots,
+      SwathPolicy::make(std::make_shared<StaticSwathSizer>(4), policy, 6_GiB));
+  ASSERT_EQ(r.roots_completed, roots.size()) << policy->name();
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_NEAR(r.values[v].bc_score, ref[v], 1e-6) << policy->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(All, InitiationPolicies, ::testing::Range(0, 5));
+
+TEST(HysteresisScalingEngine, FewerScaleEventsThanPlainThreshold) {
+  Graph g = watts_strogatz(2000, 6, 0.1, 83);
+  const auto parts = HashPartitioner{}.partition(g, 8);
+  std::vector<VertexId> roots(12);
+  std::iota(roots.begin(), roots.end(), VertexId{0});
+
+  auto count_changes = [&](std::shared_ptr<cloud::ScalingPolicy> policy) {
+    ClusterConfig c;
+    c.num_partitions = 8;
+    c.initial_workers = 4;
+    c.scaling = std::move(policy);
+    Engine<algos::BcProgram> e(g, {}, c, parts);
+    JobOptions o;
+    o.roots = roots;
+    o.swath = SwathPolicy::make(std::make_shared<StaticSwathSizer>(3),
+                                std::make_shared<SequentialInitiation>(), 6_GiB);
+    const auto r = e.run(o);
+    int changes = 0;
+    for (std::size_t i = 1; i < r.metrics.supersteps.size(); ++i)
+      changes += r.metrics.supersteps[i].active_workers !=
+                 r.metrics.supersteps[i - 1].active_workers;
+    return changes;
+  };
+  const int plain = count_changes(std::make_shared<cloud::ActiveVertexScaling>(4, 8, 0.5));
+  const int banded =
+      count_changes(std::make_shared<cloud::HysteresisScaling>(4, 8, 0.2, 0.7));
+  EXPECT_LE(banded, plain);
+}
+
+}  // namespace
+}  // namespace pregel

@@ -1,0 +1,231 @@
+#include "core/swath.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pregel {
+namespace {
+
+TEST(StaticSwathSizer, AlwaysReturnsFixedSize) {
+  StaticSwathSizer s(40);
+  EXPECT_EQ(s.next_size({}), 40u);
+  SwathSizeSignals sig;
+  sig.swath_index = 5;
+  sig.peak_memory_last_swath = 100_GiB;
+  EXPECT_EQ(s.next_size(sig), 40u);
+  EXPECT_THROW(StaticSwathSizer(0), std::logic_error);
+}
+
+TEST(SamplingSwathSizer, SamplesThenExtrapolates) {
+  SamplingSwathSizer s(/*sample_size=*/4, /*sample_count=*/2);
+  SwathSizeSignals sig;
+  sig.baseline_memory = 1_GiB;
+  sig.memory_target = 6_GiB;
+  sig.roots_remaining = 1000;
+
+  // Swath 0: first sample.
+  sig.swath_index = 0;
+  sig.last_swath_size = 0;
+  EXPECT_EQ(s.next_size(sig), 4u);
+
+  // Swath 1: second sample; previous peaked at 1.4 GiB => 100 MiB/root.
+  sig.swath_index = 1;
+  sig.last_swath_size = 4;
+  sig.peak_memory_last_swath = 1_GiB + 400_MiB;
+  EXPECT_EQ(s.next_size(sig), 4u);
+
+  // Swath 2: extrapolation. Budget 5 GiB / 100 MiB per root = 51 roots.
+  sig.swath_index = 2;
+  sig.peak_memory_last_swath = 1_GiB + 400_MiB;
+  const std::uint32_t extrapolated = s.next_size(sig);
+  EXPECT_EQ(extrapolated, 51u);
+  EXPECT_EQ(s.extrapolated_size(), extrapolated);
+
+  // Later swaths keep the same size regardless of new observations.
+  sig.swath_index = 3;
+  sig.last_swath_size = extrapolated;
+  sig.peak_memory_last_swath = 7_GiB;
+  EXPECT_EQ(s.next_size(sig), extrapolated);
+}
+
+TEST(SamplingSwathSizer, GrowsBoldlyWithoutObservedPressure) {
+  SamplingSwathSizer s(4, 1);
+  SwathSizeSignals sig;
+  sig.baseline_memory = 1_GiB;
+  sig.memory_target = 6_GiB;
+  sig.swath_index = 0;
+  EXPECT_EQ(s.next_size(sig), 4u);
+  sig.swath_index = 1;
+  sig.last_swath_size = 4;
+  sig.peak_memory_last_swath = sig.baseline_memory;  // no incremental memory
+  EXPECT_EQ(s.next_size(sig), 16u);                  // sample_size * 4
+}
+
+TEST(SamplingSwathSizer, ValidatesArguments) {
+  EXPECT_THROW(SamplingSwathSizer(0, 1), std::logic_error);
+  EXPECT_THROW(SamplingSwathSizer(1, 0), std::logic_error);
+}
+
+TEST(AdaptiveSwathSizer, StartsAtInitialSize) {
+  AdaptiveSwathSizer s(8);
+  SwathSizeSignals sig;
+  sig.swath_index = 0;
+  EXPECT_EQ(s.next_size(sig), 8u);
+}
+
+TEST(AdaptiveSwathSizer, ShrinksWhenOverTarget) {
+  AdaptiveSwathSizer s(8, /*smoothing=*/1.0);  // no EWMA damping
+  SwathSizeSignals sig;
+  sig.swath_index = 1;
+  sig.last_swath_size = 8;
+  sig.baseline_memory = 1_GiB;
+  sig.memory_target = 6_GiB;
+  sig.peak_memory_last_swath = 11_GiB;  // used 10 GiB for 8 roots; budget 5
+  EXPECT_EQ(s.next_size(sig), 4u);      // 8 * 5/10
+}
+
+TEST(AdaptiveSwathSizer, GrowsWhenUnderTargetWithCap) {
+  AdaptiveSwathSizer s(8, 1.0, /*growth_cap=*/2.0);
+  SwathSizeSignals sig;
+  sig.swath_index = 1;
+  sig.last_swath_size = 8;
+  sig.baseline_memory = 1_GiB;
+  sig.memory_target = 9_GiB;
+  sig.peak_memory_last_swath = 2_GiB;  // used 1 GiB; budget 8 -> raw 64, capped 16
+  EXPECT_EQ(s.next_size(sig), 16u);
+}
+
+TEST(AdaptiveSwathSizer, NeverBelowOne) {
+  AdaptiveSwathSizer s(2, 1.0);
+  SwathSizeSignals sig;
+  sig.swath_index = 1;
+  sig.last_swath_size = 1;
+  sig.baseline_memory = 1_GiB;
+  sig.memory_target = 2_GiB;
+  sig.peak_memory_last_swath = 100_GiB;
+  EXPECT_EQ(s.next_size(sig), 1u);
+}
+
+TEST(AdaptiveSwathSizer, EwmaSmoothsOscillation) {
+  AdaptiveSwathSizer s(10, /*smoothing=*/0.5);
+  SwathSizeSignals sig;
+  sig.baseline_memory = 0;
+  sig.memory_target = 10_GiB;
+  // First adjustment: used 20 GiB at size 10 -> raw proposal 5.
+  sig.swath_index = 1;
+  sig.last_swath_size = 10;
+  sig.peak_memory_last_swath = 20_GiB;
+  const auto first = s.next_size(sig);
+  EXPECT_EQ(first, 5u);  // EWMA seeds with the first proposal
+  // Second: used 5 GiB at size 5 -> raw proposal 10; smoothed ~7-8.
+  sig.swath_index = 2;
+  sig.last_swath_size = 5;
+  sig.peak_memory_last_swath = 5_GiB;
+  const auto second = s.next_size(sig);
+  EXPECT_GT(second, 5u);
+  EXPECT_LT(second, 10u);
+}
+
+TEST(AdaptiveSwathSizer, ValidatesArguments) {
+  EXPECT_THROW(AdaptiveSwathSizer(0), std::logic_error);
+  EXPECT_THROW(AdaptiveSwathSizer(4, 0.0), std::logic_error);
+  EXPECT_THROW(AdaptiveSwathSizer(4, 0.5, 0.5), std::logic_error);
+}
+
+TEST(SequentialInitiation, OnlyWhenDrained) {
+  SequentialInitiation p;
+  InitiationSignals sig;
+  sig.active_roots = 3;
+  EXPECT_FALSE(p.should_initiate(sig));
+  sig.active_roots = 0;
+  EXPECT_TRUE(p.should_initiate(sig));
+}
+
+TEST(StaticNInitiation, FiresEveryN) {
+  StaticNInitiation p(4);
+  InitiationSignals sig;
+  sig.active_roots = 2;
+  sig.supersteps_since_initiation = 3;
+  EXPECT_FALSE(p.should_initiate(sig));
+  sig.supersteps_since_initiation = 4;
+  EXPECT_TRUE(p.should_initiate(sig));
+  // Drained always allows initiation regardless of the counter.
+  sig.supersteps_since_initiation = 1;
+  sig.active_roots = 0;
+  EXPECT_TRUE(p.should_initiate(sig));
+  EXPECT_THROW(StaticNInitiation(0), std::logic_error);
+}
+
+TEST(DynamicPeakInitiation, FiresAfterMessagePeak) {
+  DynamicPeakInitiation p;
+  InitiationSignals sig;
+  sig.active_roots = 1;
+  sig.memory_target = 6_GiB;
+  sig.max_worker_memory = 1_GiB;
+  sig.messages_sent = 100;
+  EXPECT_FALSE(p.should_initiate(sig));
+  sig.messages_sent = 1000;  // rising
+  EXPECT_FALSE(p.should_initiate(sig));
+  sig.messages_sent = 400;  // falling: peak passed
+  EXPECT_TRUE(p.should_initiate(sig));
+}
+
+TEST(DynamicPeakInitiation, MemoryGuardDefersInitiation) {
+  DynamicPeakInitiation p;
+  InitiationSignals sig;
+  sig.active_roots = 1;
+  sig.memory_target = 6_GiB;
+  sig.max_worker_memory = 7_GiB;  // over target
+  sig.messages_sent = 100;
+  EXPECT_FALSE(p.should_initiate(sig));
+  sig.messages_sent = 1000;
+  EXPECT_FALSE(p.should_initiate(sig));
+  sig.messages_sent = 400;  // peak passed but memory too high
+  EXPECT_FALSE(p.should_initiate(sig));
+  sig.max_worker_memory = 3_GiB;  // pressure released: fire
+  sig.messages_sent = 390;
+  EXPECT_TRUE(p.should_initiate(sig));
+}
+
+TEST(DynamicPeakInitiation, ResetsAfterInitiation) {
+  DynamicPeakInitiation p;
+  InitiationSignals sig;
+  sig.active_roots = 1;
+  sig.messages_sent = 100;
+  EXPECT_FALSE(p.should_initiate(sig));
+  sig.messages_sent = 1000;
+  EXPECT_FALSE(p.should_initiate(sig));
+  sig.messages_sent = 400;
+  EXPECT_TRUE(p.should_initiate(sig));
+  p.on_initiated();
+  // Needs a fresh rise-fall cycle before firing again.
+  sig.messages_sent = 300;
+  EXPECT_FALSE(p.should_initiate(sig));
+  sig.messages_sent = 200;
+  EXPECT_FALSE(p.should_initiate(sig));
+}
+
+TEST(DynamicPeakInitiation, DrainedAlwaysFires) {
+  DynamicPeakInitiation p;
+  InitiationSignals sig;
+  sig.active_roots = 0;
+  EXPECT_TRUE(p.should_initiate(sig));
+}
+
+TEST(SwathPolicy, SingleSwathDefaults) {
+  const auto p = SwathPolicy::single_swath();
+  ASSERT_NE(p.sizer, nullptr);
+  ASSERT_NE(p.initiation, nullptr);
+  SwathSizeSignals sig;
+  sig.roots_remaining = 12345;
+  EXPECT_GE(p.sizer->next_size(sig), 12345u);  // everything at once
+}
+
+TEST(SwathPolicy, MakeValidates) {
+  EXPECT_THROW(SwathPolicy::make(nullptr, std::make_shared<SequentialInitiation>(), 0),
+               std::logic_error);
+  EXPECT_THROW(SwathPolicy::make(std::make_shared<StaticSwathSizer>(1), nullptr, 0),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace pregel

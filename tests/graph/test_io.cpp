@@ -1,0 +1,99 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace pregel {
+namespace {
+
+TEST(EdgeListIo, ParsesSnapFormat) {
+  std::istringstream in(
+      "# Directed graph: example\n"
+      "# FromNodeId\tToNodeId\n"
+      "0\t1\n"
+      "1\t2\n"
+      "\n"
+      "2\t0\n");
+  Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(EdgeListIo, CompactsSparseIds) {
+  std::istringstream in("1000 2000\n2000 30\n");
+  Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(EdgeListIo, ThrowsOnMalformedLine) {
+  std::istringstream in("0 1\nnot numbers\n");
+  EXPECT_THROW(read_edge_list(in), std::runtime_error);
+}
+
+TEST(EdgeListIo, ThrowsOnMissingSecondColumn) {
+  std::istringstream in("42\n");
+  EXPECT_THROW(read_edge_list(in), std::runtime_error);
+}
+
+TEST(EdgeListIo, RoundTrip) {
+  // BA graphs have no isolated vertices, which an edge list cannot represent.
+  Graph g = barabasi_albert(40, 2, 5);
+  std::ostringstream out;
+  write_edge_list(g, out);
+  std::istringstream in(out.str());
+  Graph h = read_edge_list(in);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+}
+
+TEST(EdgeListIo, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/x.txt"), std::runtime_error);
+}
+
+TEST(BinaryIo, RoundTripUndirected) {
+  Graph g = barabasi_albert(120, 3, 7);
+  const auto bytes = serialize_graph(g);
+  Graph h = deserialize_graph(bytes);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_arcs(), g.num_arcs());
+  EXPECT_TRUE(h.undirected());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.out_neighbors(v), b = h.out_neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << "vertex " << v;
+  }
+}
+
+TEST(BinaryIo, RoundTripDirected) {
+  Graph g = GraphBuilder(4, false).add_edge(0, 1).add_edge(1, 2).add_edge(3, 0).build();
+  Graph h = deserialize_graph(serialize_graph(g));
+  EXPECT_FALSE(h.undirected());
+  EXPECT_EQ(h.num_arcs(), 3u);
+  EXPECT_EQ(h.out_neighbors(3)[0], 0u);
+}
+
+TEST(BinaryIo, RejectsCorruptMagic) {
+  Graph g = path_graph(3);
+  auto bytes = serialize_graph(g);
+  bytes[0] = std::byte{0xFF};
+  EXPECT_THROW(deserialize_graph(bytes), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsTruncated) {
+  Graph g = path_graph(10);
+  auto bytes = serialize_graph(g);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(deserialize_graph(bytes), std::runtime_error);
+}
+
+TEST(BinaryIo, EmptyGraphRoundTrips) {
+  Graph g = GraphBuilder(0).build();
+  Graph h = deserialize_graph(serialize_graph(g));
+  EXPECT_EQ(h.num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace pregel

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+
+namespace pregel {
+namespace {
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  // Path 0-1-2-3-4; take {1,2,3}: edges 1-2 and 2-3 survive.
+  Graph g = path_graph(5);
+  Graph s = induced_subgraph(g, {1, 2, 3});
+  EXPECT_EQ(s.num_vertices(), 3u);
+  EXPECT_EQ(s.num_edges(), 2u);
+  EXPECT_EQ(s.out_degree(1), 2u);  // old vertex 2 -> new id 1
+}
+
+TEST(InducedSubgraph, RemapFollowsGivenOrder) {
+  Graph g = path_graph(5);
+  Graph s = induced_subgraph(g, {3, 1, 2});  // new ids: 3->0, 1->1, 2->2
+  // Edge 1-2 -> new 1-2; edge 2-3 -> new 2-0.
+  const auto n0 = s.out_neighbors(0);
+  ASSERT_EQ(n0.size(), 1u);
+  EXPECT_EQ(n0[0], 2u);
+}
+
+TEST(InducedSubgraph, ValidatesInput) {
+  Graph g = path_graph(3);
+  EXPECT_THROW(induced_subgraph(g, {0, 5}), std::logic_error);
+  EXPECT_THROW(induced_subgraph(g, {0, 0}), std::logic_error);
+}
+
+TEST(InducedSubgraph, EmptySelection) {
+  Graph g = path_graph(3);
+  Graph s = induced_subgraph(g, {});
+  EXPECT_EQ(s.num_vertices(), 0u);
+}
+
+TEST(InducedSubgraph, DirectedPreserved) {
+  Graph g = GraphBuilder(4, false).add_edge(0, 1).add_edge(1, 2).add_edge(2, 0).build();
+  Graph s = induced_subgraph(g, {0, 1});
+  EXPECT_FALSE(s.undirected());
+  EXPECT_EQ(s.num_arcs(), 1u);  // only 0->1
+  EXPECT_EQ(s.out_neighbors(0)[0], 1u);
+}
+
+TEST(LargestComponent, ExtractsGiant) {
+  // Triangle {0,1,2} + edge {3,4} + isolated 5.
+  Graph g = GraphBuilder(6)
+                .add_edge(0, 1)
+                .add_edge(1, 2)
+                .add_edge(2, 0)
+                .add_edge(3, 4)
+                .build();
+  Graph giant = largest_component_subgraph(g);
+  EXPECT_EQ(giant.num_vertices(), 3u);
+  EXPECT_EQ(giant.num_edges(), 3u);
+  const auto cc = connected_components(giant);
+  EXPECT_EQ(cc.count, 1u);
+}
+
+TEST(LargestComponent, ConnectedGraphIsIdentitySized) {
+  Graph g = barabasi_albert(200, 2, 3);
+  Graph giant = largest_component_subgraph(g);
+  EXPECT_EQ(giant.num_vertices(), g.num_vertices());
+  EXPECT_EQ(giant.num_edges(), g.num_edges());
+}
+
+TEST(LargestComponent, TieBreaksDeterministically) {
+  // Two components of equal size: {0,1} and {2,3}; smallest label wins.
+  Graph g = GraphBuilder(4).add_edge(0, 1).add_edge(2, 3).build();
+  Graph giant = largest_component_subgraph(g);
+  EXPECT_EQ(giant.num_vertices(), 2u);
+  // Members were 0 and 1 (component label 0).
+  EXPECT_EQ(giant.num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace pregel

@@ -1,0 +1,84 @@
+// Partitioning invariants swept across the full (partitioner x graph x k)
+// grid: totals conserve, cut accounting is symmetric, balance bounds hold.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <tuple>
+
+#include "graph/generators.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/quality.hpp"
+#include "partition/streaming.hpp"
+
+namespace pregel {
+namespace {
+
+std::unique_ptr<Partitioner> make(int which) {
+  switch (which) {
+    case 0: return std::make_unique<HashPartitioner>(3);
+    case 1: return std::make_unique<RangePartitioner>();
+    case 2:
+      return std::make_unique<StreamingPartitioner>(StreamHeuristic::kLinearGreedy);
+    case 3:
+      return std::make_unique<StreamingPartitioner>(StreamHeuristic::kExpGreedy,
+                                                    StreamOrder::kBfs);
+    default: return std::make_unique<MultilevelPartitioner>();
+  }
+}
+
+Graph pick(int which) {
+  switch (which) {
+    case 0: return barabasi_albert(800, 3, 61);
+    case 1: return relabel_vertices(watts_strogatz(700, 6, 0.1, 63), 9);
+    default: return grid_graph(25, 30);
+  }
+}
+
+class PartitionGrid
+    : public ::testing::TestWithParam<std::tuple<int, int, PartitionId>> {};
+
+TEST_P(PartitionGrid, QualityAccountingInvariants) {
+  const auto [pw, gw, k] = GetParam();
+  Graph g = pick(gw);
+  const auto partitioner = make(pw);
+  const auto p = partitioner->partition(g, k);
+  const auto q = evaluate_partition(g, p);
+
+  // Vertex totals conserve.
+  EXPECT_EQ(std::accumulate(q.part_vertices.begin(), q.part_vertices.end(), VertexId{0}),
+            g.num_vertices());
+  // Arc totals conserve.
+  EXPECT_EQ(std::accumulate(q.part_arcs.begin(), q.part_arcs.end(), EdgeIndex{0}),
+            g.num_arcs());
+  // Cut accounting: per-part cut arcs sum to the global count; the fraction
+  // is their ratio; and on an undirected graph the cut is symmetric (each
+  // cut edge contributes exactly two cut arcs).
+  EXPECT_EQ(std::accumulate(q.part_cut_arcs.begin(), q.part_cut_arcs.end(), EdgeIndex{0}),
+            q.cut_arcs);
+  EXPECT_DOUBLE_EQ(q.remote_edge_fraction,
+                   static_cast<double>(q.cut_arcs) / static_cast<double>(g.num_arcs()));
+  EXPECT_EQ(q.cut_arcs % 2, 0u);
+  // Balance factors are at least 1 and at most k (one part holding all).
+  EXPECT_GE(q.vertex_balance, 1.0 - 1e-9);
+  EXPECT_LE(q.vertex_balance, static_cast<double>(k) + 1e-9);
+  EXPECT_GE(q.edge_balance, 1.0 - 1e-9);
+}
+
+TEST_P(PartitionGrid, DeterministicRepartition) {
+  const auto [pw, gw, k] = GetParam();
+  Graph g = pick(gw);
+  const auto partitioner = make(pw);
+  const auto a = partitioner->partition(g, k);
+  const auto b = partitioner->partition(g, k);
+  EXPECT_EQ(a.assignment(), b.assignment()) << partitioner->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PartitionGrid,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Range(0, 3),
+                                            ::testing::Values<PartitionId>(2, 5, 8)));
+
+}  // namespace
+}  // namespace pregel

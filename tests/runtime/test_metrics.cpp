@@ -1,0 +1,107 @@
+// Metrics record arithmetic and CSV export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/metrics.hpp"
+#include "runtime/metrics_io.hpp"
+
+namespace pregel {
+namespace {
+
+SuperstepMetrics make_superstep(std::uint64_t id) {
+  SuperstepMetrics sm;
+  sm.superstep = id;
+  sm.active_workers = 2;
+  sm.active_vertices = 10;
+  WorkerStepMetrics a;
+  a.vertices_computed = 6;
+  a.messages_processed = 12;
+  a.messages_sent_local = 3;
+  a.messages_sent_remote = 9;
+  a.bytes_sent_remote = 900;
+  a.bytes_received_remote = 400;
+  a.memory_peak = 1000;
+  a.compute_time = 2.0;
+  a.network_time = 1.0;
+  a.barrier_wait = 1.0;
+  WorkerStepMetrics b;
+  b.vertices_computed = 4;
+  b.messages_processed = 8;
+  b.messages_sent_local = 2;
+  b.messages_sent_remote = 4;
+  b.bytes_sent_remote = 400;
+  b.bytes_received_remote = 900;
+  b.memory_peak = 2000;
+  b.compute_time = 1.0;
+  b.network_time = 0.5;
+  b.barrier_wait = 2.5;
+  sm.workers = {a, b};
+  sm.span = 4.0;
+  sm.barrier_overhead = 1.0;
+  return sm;
+}
+
+TEST(SuperstepMetrics, Rollups) {
+  const auto sm = make_superstep(0);
+  EXPECT_EQ(sm.messages_sent_total(), 18u);
+  EXPECT_EQ(sm.messages_sent_remote(), 13u);
+  EXPECT_EQ(sm.max_worker_memory(), 2000u);
+  // busy = 3 + 1.5 = 4.5; total = busy + wait = 4.5 + 3.5 = 8.
+  EXPECT_NEAR(sm.utilization(), 4.5 / 8.0, 1e-12);
+}
+
+TEST(SuperstepMetrics, EmptyUtilizationIsOne) {
+  SuperstepMetrics sm;
+  EXPECT_DOUBLE_EQ(sm.utilization(), 1.0);
+}
+
+TEST(JobMetrics, Rollups) {
+  JobMetrics m;
+  m.supersteps = {make_superstep(0), make_superstep(1)};
+  EXPECT_EQ(m.total_messages(), 36u);
+  EXPECT_EQ(m.total_supersteps(), 2u);
+  EXPECT_EQ(m.peak_worker_memory(), 2000u);
+  EXPECT_NEAR(m.total_barrier_wait(), 7.0, 1e-12);
+  EXPECT_NEAR(m.total_busy_time(), 9.0, 1e-12);
+  EXPECT_NEAR(m.utilization(), 9.0 / 16.0, 1e-12);
+}
+
+TEST(MetricsIo, WorkerCsvShape) {
+  JobMetrics m;
+  m.supersteps = {make_superstep(0), make_superstep(1)};
+  std::ostringstream out;
+  write_worker_metrics_csv(m, out);
+  const std::string s = out.str();
+  // Header + 2 supersteps x 2 workers.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 5);
+  EXPECT_NE(s.find("superstep,worker,vertices_computed"), std::string::npos);
+  EXPECT_NE(s.find("0,0,6,12,3,9,900,400,1000,2,1,1"), std::string::npos);
+}
+
+TEST(MetricsIo, SuperstepCsvShape) {
+  JobMetrics m;
+  m.supersteps = {make_superstep(3)};
+  std::ostringstream out;
+  write_superstep_metrics_csv(m, out);
+  const std::string s = out.str();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+  EXPECT_NE(s.find("3,2,10,0,18,13,4,1,2000,"), std::string::npos);
+}
+
+TEST(MetricsIo, JobSummaryKeyValues) {
+  JobMetrics m;
+  m.supersteps = {make_superstep(0)};
+  m.total_time = 12.5;
+  m.cost_usd = 0.42;
+  m.worker_failures = 2;
+  std::ostringstream out;
+  write_job_summary(m, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("supersteps=1"), std::string::npos);
+  EXPECT_NE(s.find("total_time_s=12.5"), std::string::npos);
+  EXPECT_NE(s.find("failures=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pregel

@@ -1,0 +1,127 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace pregel {
+namespace {
+
+TEST(SplitMix64, IsDeterministicForSameSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DiffersAcrossSeeds) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values for seed 0 from the public-domain splitmix64.c.
+  SplitMix64 g(0);
+  EXPECT_EQ(g.next(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(g.next(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(g.next(), 0x06C45D188009454FULL);
+}
+
+TEST(Mix64, IsBijectiveOnSample) {
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outs.insert(mix64(i));
+  EXPECT_EQ(outs.size(), 10000u);
+}
+
+TEST(Mix64, AvalanchesLowBits) {
+  // Flipping one input bit should change roughly half the output bits.
+  int total = 0;
+  for (std::uint64_t i = 1; i <= 64; ++i) {
+    total += std::popcount(mix64(i) ^ mix64(i ^ 1));
+  }
+  const double avg = static_cast<double>(total) / 64.0;
+  EXPECT_GT(avg, 20.0);
+  EXPECT_LT(avg, 44.0);
+}
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 g(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = g.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, DoubleMeanNearHalf) {
+  Xoshiro256 g(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += g.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NextBelowStaysInBound) {
+  Xoshiro256 g(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(g.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, NextBelowZeroBoundReturnsZero) {
+  Xoshiro256 g(5);
+  EXPECT_EQ(g.next_below(0), 0u);
+}
+
+TEST(Xoshiro256, NextBelowIsRoughlyUniform) {
+  Xoshiro256 g(9);
+  constexpr std::uint64_t kBound = 10;
+  std::vector<int> counts(kBound, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[g.next_below(kBound)];
+  for (auto c : counts) {
+    EXPECT_GT(c, kN / 10 * 0.9);
+    EXPECT_LT(c, kN / 10 * 1.1);
+  }
+}
+
+TEST(Xoshiro256, GaussianMomentsSane) {
+  Xoshiro256 g(13);
+  double sum = 0, sq = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = g.next_gaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, ExponentialMeanMatchesRate) {
+  Xoshiro256 g(17);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += g.next_exponential(4.0);
+  EXPECT_NEAR(sum / kN, 0.25, 0.01);
+}
+
+TEST(Xoshiro256, BernoulliFrequencyMatchesP) {
+  Xoshiro256 g(19);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += g.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace pregel

@@ -1,0 +1,188 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pregel {
+namespace {
+
+TEST(RunningStats, EmptyIsNeutral) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.imbalance(), 1.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSeries) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, ImbalanceIsMaxOverMean) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);  // mean 2, max 3
+  EXPECT_DOUBLE_EQ(s.imbalance(), 1.5);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  Xoshiro256 g(23);
+  RunningStats a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = g.next_gaussian() * 3 + 1;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);  // merging empty changes nothing
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // merging into empty copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(Percentiles, QuantilesOfKnownData) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_NEAR(p.median(), 50.5, 1e-9);
+  EXPECT_NEAR(p.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(p.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(p.quantile(0.9), 90.1, 1e-9);
+}
+
+TEST(Percentiles, EmptyReturnsZero) {
+  Percentiles p;
+  EXPECT_EQ(p.quantile(0.5), 0.0);
+}
+
+TEST(Percentiles, ClampsOutOfRangeQ) {
+  Percentiles p;
+  p.add(3.0);
+  p.add(7.0);
+  EXPECT_DOUBLE_EQ(p.quantile(-1.0), 3.0);
+  EXPECT_DOUBLE_EQ(p.quantile(2.0), 7.0);
+}
+
+TEST(Ewma, FirstSampleSeedsValue) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.seeded());
+  e.add(10.0);
+  EXPECT_TRUE(e.seeded());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesTowardConstant) {
+  Ewma e(0.3);
+  e.add(0.0);
+  for (int i = 0; i < 50; ++i) e.add(100.0);
+  EXPECT_NEAR(e.value(), 100.0, 1e-3);
+}
+
+TEST(Ewma, ResetClears) {
+  Ewma e(0.5);
+  e.add(4.0);
+  e.reset();
+  EXPECT_FALSE(e.seeded());
+  e.add(8.0);
+  EXPECT_DOUBLE_EQ(e.value(), 8.0);
+}
+
+TEST(PeakDetector, FiresOnRiseThenFall) {
+  PeakDetector d(0.05);
+  EXPECT_FALSE(d.add(10));
+  EXPECT_FALSE(d.add(50));   // rise
+  EXPECT_FALSE(d.add(100));  // rise
+  EXPECT_TRUE(d.add(60));    // fall after rise -> peak
+}
+
+TEST(PeakDetector, DoesNotFireOnMonotoneDecrease) {
+  PeakDetector d(0.05);
+  EXPECT_FALSE(d.add(100));
+  EXPECT_FALSE(d.add(80));
+  EXPECT_FALSE(d.add(50));
+  EXPECT_FALSE(d.add(10));
+}
+
+TEST(PeakDetector, DoesNotFireOnMonotoneIncrease) {
+  PeakDetector d(0.05);
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0}) EXPECT_FALSE(d.add(v));
+}
+
+TEST(PeakDetector, IgnoresJitterWithinTolerance) {
+  PeakDetector d(0.10);
+  EXPECT_FALSE(d.add(1000));
+  EXPECT_FALSE(d.add(1050));  // +5% < 10% tolerance: not a rise
+  EXPECT_FALSE(d.add(1000));  // -5%: not a fall either
+}
+
+TEST(PeakDetector, FiresOncePerPeakThenRearms) {
+  PeakDetector d(0.05);
+  EXPECT_FALSE(d.add(10));
+  EXPECT_FALSE(d.add(100));
+  EXPECT_TRUE(d.add(50));    // first peak
+  EXPECT_FALSE(d.add(30));   // continuing fall: no refire
+  EXPECT_FALSE(d.add(200));  // new rise
+  EXPECT_TRUE(d.add(100));   // second peak
+}
+
+TEST(PeakDetector, ResetForgetsRise) {
+  PeakDetector d(0.05);
+  EXPECT_FALSE(d.add(10));
+  EXPECT_FALSE(d.add(100));
+  d.reset();
+  EXPECT_FALSE(d.add(50));  // first sample after reset just seeds
+  EXPECT_FALSE(d.add(20));  // fall without observed rise: no fire
+}
+
+// Property-style sweep: a clean triangle waveform of any amplitude/length
+// must produce exactly one detection at its peak.
+class PeakDetectorTriangle : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(PeakDetectorTriangle, ExactlyOneFirePerTriangle) {
+  const auto [len, amp] = GetParam();
+  PeakDetector d(0.05);
+  int fires = 0;
+  for (int i = 0; i <= len; ++i) d.add(amp * i / len);
+  for (int i = len - 1; i >= 0; --i) fires += d.add(amp * i / len) ? 1 : 0;
+  EXPECT_EQ(fires, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PeakDetectorTriangle,
+                         ::testing::Combine(::testing::Values(3, 5, 10, 50),
+                                            ::testing::Values(10.0, 1e3, 1e6, 1e9)));
+
+}  // namespace
+}  // namespace pregel

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/histogram.hpp"
+#include "util/units.hpp"
+
+namespace pregel {
+namespace {
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(7_GiB, 7ULL * 1024 * 1024 * 1024);
+  EXPECT_EQ(3_MiB, 3ULL << 20);
+}
+
+TEST(Units, TimeLiterals) {
+  EXPECT_DOUBLE_EQ(500_ms, 0.5);
+  EXPECT_DOUBLE_EQ(2_s, 2.0);
+  EXPECT_DOUBLE_EQ(1000_us, 1e-3);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(6_GiB), "6.00 GiB");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(format_seconds(0.5), "500.00 ms");
+  EXPECT_EQ(format_seconds(90.0), "1.50 min");
+  EXPECT_EQ(format_seconds(7200.0), "2.00 h");
+  EXPECT_EQ(format_seconds(0.0), "0 s");
+}
+
+TEST(Units, FormatUsd) {
+  EXPECT_EQ(format_usd(0.48), "$0.48");
+  EXPECT_EQ(format_usd(0.012), "$0.0120");
+}
+
+TEST(Units, FormatCount) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(4847571), "4,847,571");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"a", "b,c", "d\"e"});
+  w.field("plain").field("with,comma").field("with\"quote").end_row();
+  EXPECT_EQ(os.str(), "a,\"b,c\",\"d\"\"e\"\nplain,\"with,comma\",\"with\"\"quote\"\n");
+  EXPECT_EQ(w.rows_written(), 1u);
+}
+
+TEST(Csv, NumericFields) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.field(1.5).field(std::uint64_t{42}).field(std::int64_t{-3}).end_row();
+  EXPECT_EQ(os.str(), "1.5,42,-3\n");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1.00"});
+  t.add_row({"longer", "25.50"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("25.50"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(10, 10, 5), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndClamps) {
+  Histogram h(0, 10, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100);  // clamps to first bin
+  h.add(100);   // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(9), 2u);
+}
+
+TEST(Histogram, QuantileUpperEdge) {
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 9; ++i) h.add(i + 0.5);  // one sample per bin 0..8
+  // 90% of 9 samples = 8.1 -> needs through bin 8 whose upper edge is 9.
+  EXPECT_DOUBLE_EQ(h.quantile_upper_edge(0.9), 9.0);
+  EXPECT_DOUBLE_EQ(h.quantile_upper_edge(0.1), 1.0);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0, 4, 4);
+  h.add(1.5, 10);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.bin(1), 10u);
+}
+
+TEST(Log2Histogram, BinIndexing) {
+  EXPECT_EQ(Log2Histogram::bin_index(0), 0u);
+  EXPECT_EQ(Log2Histogram::bin_index(1), 1u);
+  EXPECT_EQ(Log2Histogram::bin_index(2), 2u);
+  EXPECT_EQ(Log2Histogram::bin_index(3), 2u);
+  EXPECT_EQ(Log2Histogram::bin_index(4), 3u);
+  EXPECT_EQ(Log2Histogram::bin_index(1023), 10u);
+  EXPECT_EQ(Log2Histogram::bin_index(1024), 11u);
+}
+
+TEST(Log2Histogram, AccumulatesAndRenders) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(5, 3);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_FALSE(h.to_string().empty());
+}
+
+TEST(AsciiLineChart, RendersLegendAndData) {
+  const std::string s = ascii_line_chart(
+      {{"up", {0, 1, 2, 3}}, {"down", {3, 2, 1, 0}}}, 40, 8, "test chart");
+  EXPECT_NE(s.find("test chart"), std::string::npos);
+  EXPECT_NE(s.find("*=up"), std::string::npos);
+  EXPECT_NE(s.find("o=down"), std::string::npos);
+}
+
+TEST(AsciiLineChart, HandlesEmptyAndConstant) {
+  EXPECT_NE(ascii_line_chart({}, 40, 8).find("(no data)"), std::string::npos);
+  EXPECT_NO_THROW(ascii_line_chart({{"c", {5, 5, 5}}}, 40, 8));
+}
+
+TEST(AsciiBarChart, RendersBarsWithValues) {
+  const std::string s =
+      ascii_bar_chart({{"a", 1.0}, {"bb", 3.5}}, 30, "bars", 1.0);
+  EXPECT_NE(s.find("bars"), std::string::npos);
+  EXPECT_NE(s.find("3.500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pregel
