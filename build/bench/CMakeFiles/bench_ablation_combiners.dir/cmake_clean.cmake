@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_combiners.dir/bench_ablation_combiners.cpp.o"
+  "CMakeFiles/bench_ablation_combiners.dir/bench_ablation_combiners.cpp.o.d"
+  "bench_ablation_combiners"
+  "bench_ablation_combiners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_combiners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_streaming_family.dir/bench_ablation_streaming_family.cpp.o"
+  "CMakeFiles/bench_ablation_streaming_family.dir/bench_ablation_streaming_family.cpp.o.d"
+  "bench_ablation_streaming_family"
+  "bench_ablation_streaming_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_streaming_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

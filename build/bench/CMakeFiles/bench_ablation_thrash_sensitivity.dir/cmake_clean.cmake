@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_thrash_sensitivity.dir/bench_ablation_thrash_sensitivity.cpp.o"
+  "CMakeFiles/bench_ablation_thrash_sensitivity.dir/bench_ablation_thrash_sensitivity.cpp.o.d"
+  "bench_ablation_thrash_sensitivity"
+  "bench_ablation_thrash_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_thrash_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_16_elastic.dir/bench_fig15_16_elastic.cpp.o"
+  "CMakeFiles/bench_fig15_16_elastic.dir/bench_fig15_16_elastic.cpp.o.d"
+  "bench_fig15_16_elastic"
+  "bench_fig15_16_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_16_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

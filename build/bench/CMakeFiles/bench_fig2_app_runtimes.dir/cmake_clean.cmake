@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_app_runtimes.dir/bench_fig2_app_runtimes.cpp.o"
+  "CMakeFiles/bench_fig2_app_runtimes.dir/bench_fig2_app_runtimes.cpp.o.d"
+  "bench_fig2_app_runtimes"
+  "bench_fig2_app_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_app_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_swath_size_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_memory_trace.dir/bench_fig5_memory_trace.cpp.o"
+  "CMakeFiles/bench_fig5_memory_trace.dir/bench_fig5_memory_trace.cpp.o.d"
+  "bench_fig5_memory_trace"
+  "bench_fig5_memory_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_memory_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_initiation_speedup.dir/bench_fig6_initiation_speedup.cpp.o"
+  "CMakeFiles/bench_fig6_initiation_speedup.dir/bench_fig6_initiation_speedup.cpp.o.d"
+  "bench_fig6_initiation_speedup"
+  "bench_fig6_initiation_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_initiation_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

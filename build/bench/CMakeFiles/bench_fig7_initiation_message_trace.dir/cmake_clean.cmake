@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_initiation_message_trace.dir/bench_fig7_initiation_message_trace.cpp.o"
+  "CMakeFiles/bench_fig7_initiation_message_trace.dir/bench_fig7_initiation_message_trace.cpp.o.d"
+  "bench_fig7_initiation_message_trace"
+  "bench_fig7_initiation_message_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_initiation_message_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_14_partitioning.dir/bench_fig8_14_partitioning.cpp.o"
+  "CMakeFiles/bench_fig8_14_partitioning.dir/bench_fig8_14_partitioning.cpp.o.d"
+  "bench_fig8_14_partitioning"
+  "bench_fig8_14_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_14_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/centrality_study.cpp" "examples/CMakeFiles/centrality_study.dir/centrality_study.cpp.o" "gcc" "examples/CMakeFiles/centrality_study.dir/centrality_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/pregel_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pregel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pregel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/pregel_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pregel_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pregel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

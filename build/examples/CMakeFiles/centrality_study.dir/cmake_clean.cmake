@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centrality_study.dir/centrality_study.cpp.o"
+  "CMakeFiles/centrality_study.dir/centrality_study.cpp.o.d"
+  "centrality_study"
+  "centrality_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centrality_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_cost_planner.dir/elastic_cost_planner.cpp.o"
+  "CMakeFiles/elastic_cost_planner.dir/elastic_cost_planner.cpp.o.d"
+  "elastic_cost_planner"
+  "elastic_cost_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_cost_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_run.dir/fault_tolerant_run.cpp.o"
+  "CMakeFiles/fault_tolerant_run.dir/fault_tolerant_run.cpp.o.d"
+  "fault_tolerant_run"
+  "fault_tolerant_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

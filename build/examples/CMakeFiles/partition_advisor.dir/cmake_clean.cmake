@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_advisor.dir/partition_advisor.cpp.o"
+  "CMakeFiles/partition_advisor.dir/partition_advisor.cpp.o.d"
+  "partition_advisor"
+  "partition_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregel_cli.dir/pregel_cli.cpp.o"
+  "CMakeFiles/pregel_cli.dir/pregel_cli.cpp.o.d"
+  "pregel_cli"
+  "pregel_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_pagerank "/root/repo/build/examples/pregel_cli" "--algo=pagerank" "--graph=ba:500,3" "--iters=5")
+set_tests_properties(example_cli_pagerank PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_bc_swath "/root/repo/build/examples/pregel_cli" "--algo=bc" "--graph=ws:400,4,20" "--roots=4" "--swath=adaptive")
+set_tests_properties(example_cli_bc_swath PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_triangles "/root/repo/build/examples/pregel_cli" "--algo=triangles" "--graph=er:300,900")
+set_tests_properties(example_cli_triangles PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_usage_error "/root/repo/build/examples/pregel_cli" "--algo=bogus")
+set_tests_properties(example_cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")

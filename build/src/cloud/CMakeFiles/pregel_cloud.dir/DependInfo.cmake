@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/blob.cpp" "src/cloud/CMakeFiles/pregel_cloud.dir/blob.cpp.o" "gcc" "src/cloud/CMakeFiles/pregel_cloud.dir/blob.cpp.o.d"
+  "/root/repo/src/cloud/cost_model.cpp" "src/cloud/CMakeFiles/pregel_cloud.dir/cost_model.cpp.o" "gcc" "src/cloud/CMakeFiles/pregel_cloud.dir/cost_model.cpp.o.d"
+  "/root/repo/src/cloud/elasticity.cpp" "src/cloud/CMakeFiles/pregel_cloud.dir/elasticity.cpp.o" "gcc" "src/cloud/CMakeFiles/pregel_cloud.dir/elasticity.cpp.o.d"
+  "/root/repo/src/cloud/network.cpp" "src/cloud/CMakeFiles/pregel_cloud.dir/network.cpp.o" "gcc" "src/cloud/CMakeFiles/pregel_cloud.dir/network.cpp.o.d"
+  "/root/repo/src/cloud/placement.cpp" "src/cloud/CMakeFiles/pregel_cloud.dir/placement.cpp.o" "gcc" "src/cloud/CMakeFiles/pregel_cloud.dir/placement.cpp.o.d"
+  "/root/repo/src/cloud/queue.cpp" "src/cloud/CMakeFiles/pregel_cloud.dir/queue.cpp.o" "gcc" "src/cloud/CMakeFiles/pregel_cloud.dir/queue.cpp.o.d"
+  "/root/repo/src/cloud/vm.cpp" "src/cloud/CMakeFiles/pregel_cloud.dir/vm.cpp.o" "gcc" "src/cloud/CMakeFiles/pregel_cloud.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pregel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregel_cloud.dir/blob.cpp.o"
+  "CMakeFiles/pregel_cloud.dir/blob.cpp.o.d"
+  "CMakeFiles/pregel_cloud.dir/cost_model.cpp.o"
+  "CMakeFiles/pregel_cloud.dir/cost_model.cpp.o.d"
+  "CMakeFiles/pregel_cloud.dir/elasticity.cpp.o"
+  "CMakeFiles/pregel_cloud.dir/elasticity.cpp.o.d"
+  "CMakeFiles/pregel_cloud.dir/network.cpp.o"
+  "CMakeFiles/pregel_cloud.dir/network.cpp.o.d"
+  "CMakeFiles/pregel_cloud.dir/placement.cpp.o"
+  "CMakeFiles/pregel_cloud.dir/placement.cpp.o.d"
+  "CMakeFiles/pregel_cloud.dir/queue.cpp.o"
+  "CMakeFiles/pregel_cloud.dir/queue.cpp.o.d"
+  "CMakeFiles/pregel_cloud.dir/vm.cpp.o"
+  "CMakeFiles/pregel_cloud.dir/vm.cpp.o.d"
+  "libpregel_cloud.a"
+  "libpregel_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregel_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

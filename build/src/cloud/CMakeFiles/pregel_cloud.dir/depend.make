@@ -1,0 +1,2 @@
+# Empty dependencies file for pregel_cloud.
+# This may be replaced when dependencies are built.

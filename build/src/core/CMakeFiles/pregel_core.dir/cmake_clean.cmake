@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregel_core.dir/config.cpp.o"
+  "CMakeFiles/pregel_core.dir/config.cpp.o.d"
+  "CMakeFiles/pregel_core.dir/swath.cpp.o"
+  "CMakeFiles/pregel_core.dir/swath.cpp.o.d"
+  "libpregel_core.a"
+  "libpregel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregel_graph.dir/analysis.cpp.o"
+  "CMakeFiles/pregel_graph.dir/analysis.cpp.o.d"
+  "CMakeFiles/pregel_graph.dir/generators.cpp.o"
+  "CMakeFiles/pregel_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/pregel_graph.dir/graph.cpp.o"
+  "CMakeFiles/pregel_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/pregel_graph.dir/io.cpp.o"
+  "CMakeFiles/pregel_graph.dir/io.cpp.o.d"
+  "libpregel_graph.a"
+  "libpregel_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregel_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregel_harness.dir/experiment.cpp.o"
+  "CMakeFiles/pregel_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/pregel_harness.dir/swath_search.cpp.o"
+  "CMakeFiles/pregel_harness.dir/swath_search.cpp.o.d"
+  "libpregel_harness.a"
+  "libpregel_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregel_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/multilevel.cpp" "src/partition/CMakeFiles/pregel_partition.dir/multilevel.cpp.o" "gcc" "src/partition/CMakeFiles/pregel_partition.dir/multilevel.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/partition/CMakeFiles/pregel_partition.dir/partitioner.cpp.o" "gcc" "src/partition/CMakeFiles/pregel_partition.dir/partitioner.cpp.o.d"
+  "/root/repo/src/partition/quality.cpp" "src/partition/CMakeFiles/pregel_partition.dir/quality.cpp.o" "gcc" "src/partition/CMakeFiles/pregel_partition.dir/quality.cpp.o.d"
+  "/root/repo/src/partition/streaming.cpp" "src/partition/CMakeFiles/pregel_partition.dir/streaming.cpp.o" "gcc" "src/partition/CMakeFiles/pregel_partition.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/pregel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pregel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

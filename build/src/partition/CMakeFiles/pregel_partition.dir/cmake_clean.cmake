@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregel_partition.dir/multilevel.cpp.o"
+  "CMakeFiles/pregel_partition.dir/multilevel.cpp.o.d"
+  "CMakeFiles/pregel_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/pregel_partition.dir/partitioner.cpp.o.d"
+  "CMakeFiles/pregel_partition.dir/quality.cpp.o"
+  "CMakeFiles/pregel_partition.dir/quality.cpp.o.d"
+  "CMakeFiles/pregel_partition.dir/streaming.cpp.o"
+  "CMakeFiles/pregel_partition.dir/streaming.cpp.o.d"
+  "libpregel_partition.a"
+  "libpregel_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregel_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

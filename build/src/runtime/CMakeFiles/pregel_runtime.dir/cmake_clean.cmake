@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregel_runtime.dir/metrics.cpp.o"
+  "CMakeFiles/pregel_runtime.dir/metrics.cpp.o.d"
+  "CMakeFiles/pregel_runtime.dir/metrics_io.cpp.o"
+  "CMakeFiles/pregel_runtime.dir/metrics_io.cpp.o.d"
+  "libpregel_runtime.a"
+  "libpregel_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregel_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/ascii_plot.cpp" "src/util/CMakeFiles/pregel_util.dir/ascii_plot.cpp.o" "gcc" "src/util/CMakeFiles/pregel_util.dir/ascii_plot.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/pregel_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/pregel_util.dir/csv.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/util/CMakeFiles/pregel_util.dir/histogram.cpp.o" "gcc" "src/util/CMakeFiles/pregel_util.dir/histogram.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/pregel_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/pregel_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/pregel_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/pregel_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/pregel_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/pregel_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "src/util/CMakeFiles/pregel_util.dir/units.cpp.o" "gcc" "src/util/CMakeFiles/pregel_util.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

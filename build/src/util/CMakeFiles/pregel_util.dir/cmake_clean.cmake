@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregel_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/pregel_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/pregel_util.dir/csv.cpp.o"
+  "CMakeFiles/pregel_util.dir/csv.cpp.o.d"
+  "CMakeFiles/pregel_util.dir/histogram.cpp.o"
+  "CMakeFiles/pregel_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/pregel_util.dir/log.cpp.o"
+  "CMakeFiles/pregel_util.dir/log.cpp.o.d"
+  "CMakeFiles/pregel_util.dir/rng.cpp.o"
+  "CMakeFiles/pregel_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pregel_util.dir/stats.cpp.o"
+  "CMakeFiles/pregel_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pregel_util.dir/units.cpp.o"
+  "CMakeFiles/pregel_util.dir/units.cpp.o.d"
+  "libpregel_util.a"
+  "libpregel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algos.dir/algos/test_algos.cpp.o"
+  "CMakeFiles/test_algos.dir/algos/test_algos.cpp.o.d"
+  "CMakeFiles/test_algos.dir/algos/test_algos_extended.cpp.o"
+  "CMakeFiles/test_algos.dir/algos/test_algos_extended.cpp.o.d"
+  "CMakeFiles/test_algos.dir/algos/test_semi_clustering.cpp.o"
+  "CMakeFiles/test_algos.dir/algos/test_semi_clustering.cpp.o.d"
+  "test_algos"
+  "test_algos.pdb"
+  "test_algos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

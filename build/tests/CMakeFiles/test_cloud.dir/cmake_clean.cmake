@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud.dir/cloud/test_cloud.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/test_cloud.cpp.o.d"
+  "test_cloud"
+  "test_cloud.pdb"
+  "test_cloud[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_aggregates.cpp" "tests/CMakeFiles/test_engine.dir/core/test_aggregates.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/core/test_aggregates.cpp.o.d"
+  "/root/repo/tests/core/test_engine.cpp" "tests/CMakeFiles/test_engine.dir/core/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/core/test_engine.cpp.o.d"
+  "/root/repo/tests/core/test_engine_edge_cases.cpp" "tests/CMakeFiles/test_engine.dir/core/test_engine_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/core/test_engine_edge_cases.cpp.o.d"
+  "/root/repo/tests/core/test_engine_properties.cpp" "tests/CMakeFiles/test_engine.dir/core/test_engine_properties.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/core/test_engine_properties.cpp.o.d"
+  "/root/repo/tests/core/test_fault_tolerance.cpp" "tests/CMakeFiles/test_engine.dir/core/test_fault_tolerance.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/core/test_fault_tolerance.cpp.o.d"
+  "/root/repo/tests/core/test_gas.cpp" "tests/CMakeFiles/test_engine.dir/core/test_gas.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/core/test_gas.cpp.o.d"
+  "/root/repo/tests/core/test_placement.cpp" "tests/CMakeFiles/test_engine.dir/core/test_placement.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/core/test_placement.cpp.o.d"
+  "/root/repo/tests/core/test_policies_extended.cpp" "tests/CMakeFiles/test_engine.dir/core/test_policies_extended.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/core/test_policies_extended.cpp.o.d"
+  "/root/repo/tests/core/test_swath.cpp" "tests/CMakeFiles/test_engine.dir/core/test_swath.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/core/test_swath.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pregel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/pregel_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pregel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/pregel_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pregel_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pregel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine.dir/core/test_aggregates.cpp.o"
+  "CMakeFiles/test_engine.dir/core/test_aggregates.cpp.o.d"
+  "CMakeFiles/test_engine.dir/core/test_engine.cpp.o"
+  "CMakeFiles/test_engine.dir/core/test_engine.cpp.o.d"
+  "CMakeFiles/test_engine.dir/core/test_engine_edge_cases.cpp.o"
+  "CMakeFiles/test_engine.dir/core/test_engine_edge_cases.cpp.o.d"
+  "CMakeFiles/test_engine.dir/core/test_engine_properties.cpp.o"
+  "CMakeFiles/test_engine.dir/core/test_engine_properties.cpp.o.d"
+  "CMakeFiles/test_engine.dir/core/test_fault_tolerance.cpp.o"
+  "CMakeFiles/test_engine.dir/core/test_fault_tolerance.cpp.o.d"
+  "CMakeFiles/test_engine.dir/core/test_gas.cpp.o"
+  "CMakeFiles/test_engine.dir/core/test_gas.cpp.o.d"
+  "CMakeFiles/test_engine.dir/core/test_placement.cpp.o"
+  "CMakeFiles/test_engine.dir/core/test_placement.cpp.o.d"
+  "CMakeFiles/test_engine.dir/core/test_policies_extended.cpp.o"
+  "CMakeFiles/test_engine.dir/core/test_policies_extended.cpp.o.d"
+  "CMakeFiles/test_engine.dir/core/test_swath.cpp.o"
+  "CMakeFiles/test_engine.dir/core/test_swath.cpp.o.d"
+  "test_engine"
+  "test_engine.pdb"
+  "test_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

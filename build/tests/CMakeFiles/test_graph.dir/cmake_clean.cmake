@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/graph/test_analysis.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_analysis.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_citation.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_citation.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_generators.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_generators.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_graph.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_graph.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_io.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_io.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_sbm_metis.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_sbm_metis.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_subgraph.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_subgraph.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/partition/test_partition_properties.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_partition_properties.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_partition_properties.cpp.o.d"
+  "/root/repo/tests/partition/test_partitioners.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_partitioners.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_partitioners.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/pregel_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pregel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pregel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

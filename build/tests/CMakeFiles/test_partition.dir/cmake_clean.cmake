@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition.dir/partition/test_partition_properties.cpp.o"
+  "CMakeFiles/test_partition.dir/partition/test_partition_properties.cpp.o.d"
+  "CMakeFiles/test_partition.dir/partition/test_partitioners.cpp.o"
+  "CMakeFiles/test_partition.dir/partition/test_partitioners.cpp.o.d"
+  "test_partition"
+  "test_partition.pdb"
+  "test_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
