@@ -1,0 +1,126 @@
+#include "cloud/faults.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pregel::cloud {
+
+namespace {
+
+constexpr double u01(std::uint64_t bits) noexcept {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+void check_rate(double rate, const char* name) {
+  if (rate < 0.0 || rate >= 1.0)
+    throw std::logic_error(std::string("FaultPlan: ") + name + " must be in [0, 1)");
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+  check_rate(queue_op_failure_rate, "queue_op_failure_rate");
+  check_rate(blob_read_failure_rate, "blob_read_failure_rate");
+  check_rate(blob_write_failure_rate, "blob_write_failure_rate");
+  check_rate(vm_preemption_rate, "vm_preemption_rate");
+  check_rate(straggler_rate, "straggler_rate");
+  if (straggler_slowdown < 1.0)
+    throw std::logic_error("FaultPlan: straggler_slowdown must be >= 1");
+}
+
+void RetryPolicy::validate() const {
+  if (max_attempts == 0) throw std::logic_error("RetryPolicy: max_attempts must be >= 1");
+  if (base_backoff <= 0.0 || max_backoff < base_backoff)
+    throw std::logic_error("RetryPolicy: need 0 < base_backoff <= max_backoff");
+  if (op_deadline <= 0.0) throw std::logic_error("RetryPolicy: op_deadline must be > 0");
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) { plan_.validate(); }
+
+double FaultInjector::rate_of(FaultKind kind) const noexcept {
+  switch (kind) {
+    case FaultKind::kQueueOp: return plan_.queue_op_failure_rate;
+    case FaultKind::kBlobRead: return plan_.blob_read_failure_rate;
+    case FaultKind::kBlobWrite: return plan_.blob_write_failure_rate;
+  }
+  return 0.0;
+}
+
+double FaultInjector::next_uniform(FaultKind kind) noexcept {
+  std::uint64_t* counter = nullptr;
+  std::uint64_t seed = 0;
+  switch (kind) {
+    case FaultKind::kQueueOp:
+      counter = &queue_draws_;
+      seed = plan_.queue_seed;
+      break;
+    case FaultKind::kBlobRead:
+      counter = &blob_read_draws_;
+      seed = plan_.blob_seed;
+      break;
+    case FaultKind::kBlobWrite:
+      counter = &blob_write_draws_;
+      seed = plan_.blob_seed ^ 0x5bd1e995ULL;
+      break;
+  }
+  const std::uint64_t bits = mix64(seed ^ (0x9E3779B97F4A7C15ULL * ++*counter));
+  return u01(bits);
+}
+
+std::uint64_t FaultInjector::draws(FaultKind kind) const noexcept {
+  switch (kind) {
+    case FaultKind::kQueueOp: return queue_draws_;
+    case FaultKind::kBlobRead: return blob_read_draws_;
+    case FaultKind::kBlobWrite: return blob_write_draws_;
+  }
+  return 0;
+}
+
+RetryOutcome FaultInjector::attempt(FaultKind kind, const RetryPolicy& retry,
+                                    Seconds attempt_latency) {
+  RetryOutcome out;
+  const double rate = rate_of(kind);
+  if (rate <= 0.0) return out;  // clean first try, nothing charged
+
+  Seconds sleep = retry.base_backoff;
+  for (std::uint32_t a = 1; a <= retry.max_attempts; ++a) {
+    out.attempts = a;
+    if (next_uniform(kind) >= rate) {
+      out.success = true;
+      return out;
+    }
+    ++out.faults;
+    out.extra_latency += attempt_latency;  // the failed call itself
+    if (a == retry.max_attempts) break;
+    // Decorrelated jitter: next sleep uniform in [base, 3 * previous sleep].
+    const double span = std::max(0.0, 3.0 * sleep - retry.base_backoff);
+    sleep = std::min(retry.max_backoff,
+                     retry.base_backoff + next_uniform(kind) * span);
+    out.extra_latency += sleep;
+    if (out.extra_latency > retry.op_deadline) break;  // deadline blown
+  }
+  out.success = false;
+  return out;
+}
+
+bool FaultInjector::vm_preempted(std::uint32_t vm, std::uint64_t superstep,
+                                 std::uint64_t epoch) const noexcept {
+  if (plan_.vm_preemption_rate <= 0.0) return false;
+  const std::uint64_t key = mix64(plan_.preemption_seed ^ (superstep * 0x1000193ULL) ^
+                                  (static_cast<std::uint64_t>(vm) << 32) ^
+                                  (epoch * 0x9E3779B9ULL));
+  return u01(key) < plan_.vm_preemption_rate;
+}
+
+double FaultInjector::straggler_factor(std::uint32_t vm,
+                                       std::uint64_t superstep) const noexcept {
+  if (plan_.straggler_rate <= 0.0) return 1.0;
+  const std::uint64_t key = mix64(plan_.straggler_seed ^ (superstep * 0x85EBCA6BULL) ^
+                                  (static_cast<std::uint64_t>(vm) << 32));
+  return u01(key) < plan_.straggler_rate ? plan_.straggler_slowdown : 1.0;
+}
+
+}  // namespace pregel::cloud

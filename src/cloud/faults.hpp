@@ -1,0 +1,125 @@
+// Transient-fault injection for the simulated cloud substrate.
+//
+// The paper runs Pregel.NET on real Azure, where the storage services are
+// "reliable" only through client-side retries, multi-tenant VMs straggle,
+// and workers can disappear mid-job. This module gives the simulation the
+// same weather: a seeded, deterministic FaultInjector draws transient
+// queue-operation failures, blob read/write failures, per-(VM, superstep)
+// straggler slowdowns, and spot-style VM preemptions, each with an
+// independently configurable rate and seed. A RetryPolicy (exponential
+// backoff with decorrelated jitter, capped attempts, per-op deadline)
+// describes how the control plane masks the transient classes; the engine
+// charges the masked latency to the cost model and escalates exhausted
+// retries to worker failures.
+//
+// Every draw is a pure function of (seed, stream counter) or
+// (seed, vm, superstep[, epoch]), so identical configurations replay
+// identical fault sequences — experiments stay bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace pregel::cloud {
+
+/// Transient fault classes the injector can produce.
+enum class FaultKind { kQueueOp, kBlobRead, kBlobWrite };
+
+/// What goes wrong, how often, and under which seeds.
+struct FaultPlan {
+  /// Per-operation transient failure probabilities (retriable).
+  double queue_op_failure_rate = 0.0;
+  double blob_read_failure_rate = 0.0;
+  double blob_write_failure_rate = 0.0;
+
+  /// Spot-style VM preemption probability per VM per superstep. A preempted
+  /// VM is a worker failure: the engine recovers from the last checkpoint
+  /// (or loses the job without one).
+  double vm_preemption_rate = 0.0;
+
+  /// Probability that a VM straggles in a given superstep, and the
+  /// multiplicative slowdown applied to its compute/network time when it
+  /// does (multi-tenant noisy-neighbor episodes, distinct from the
+  /// continuous lognormal TenancyNoise).
+  double straggler_rate = 0.0;
+  double straggler_slowdown = 4.0;
+
+  std::uint64_t queue_seed = 0xFA01;
+  std::uint64_t blob_seed = 0xFA02;
+  std::uint64_t preemption_seed = 0xFA03;
+  std::uint64_t straggler_seed = 0xFA04;
+
+  /// True when any retriable (queue/blob) rate is nonzero.
+  bool any_transient() const noexcept {
+    return queue_op_failure_rate > 0.0 || blob_read_failure_rate > 0.0 ||
+           blob_write_failure_rate > 0.0;
+  }
+  /// Throws std::logic_error on out-of-range rates or slowdown < 1.
+  void validate() const;
+};
+
+/// Client-side retry discipline for control-plane storage operations:
+/// exponential backoff with decorrelated jitter (sleep_{n+1} drawn uniformly
+/// from [base, 3*sleep_n], capped), bounded attempts, and a per-operation
+/// latency deadline after which the caller gives up.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 5;
+  Seconds base_backoff = 100_ms;
+  Seconds max_backoff = 5.0;
+  /// Total extra latency (failed attempts + sleeps) a single logical op may
+  /// accumulate before it is abandoned even with attempts remaining.
+  Seconds op_deadline = 60.0;
+
+  /// Throws std::logic_error on zero attempts or non-positive delays.
+  void validate() const;
+};
+
+/// Outcome of one logical operation run under a RetryPolicy.
+struct RetryOutcome {
+  bool success = true;
+  std::uint32_t attempts = 1;   ///< total attempts made (1 = clean first try)
+  std::uint64_t faults = 0;     ///< transient failures drawn along the way
+  Seconds extra_latency = 0.0;  ///< failed-attempt latency + backoff sleeps
+};
+
+/// Deterministic fault source. Queue/blob draws consume per-kind stream
+/// counters (call order within a kind is the replay key); preemption and
+/// straggler draws are keyed by (vm, superstep) so they are call-order
+/// independent, with preemption additionally keyed by the recovery epoch so
+/// a replayed superstep redraws instead of dying forever.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Run one logical operation of `kind` under `retry`. `attempt_latency` is
+  /// the modeled cost of a failed attempt (the successful attempt is charged
+  /// by the caller exactly as it would be without fault injection, so a
+  /// zero-rate plan adds zero latency and perturbs nothing).
+  RetryOutcome attempt(FaultKind kind, const RetryPolicy& retry, Seconds attempt_latency);
+
+  /// Spot preemption draw for `vm` at `superstep` in recovery `epoch`.
+  bool vm_preempted(std::uint32_t vm, std::uint64_t superstep,
+                    std::uint64_t epoch) const noexcept;
+
+  /// Straggler slowdown factor (>= 1) for `vm` at `superstep`; exactly 1
+  /// when the VM is not straggling.
+  double straggler_factor(std::uint32_t vm, std::uint64_t superstep) const noexcept;
+
+  std::uint64_t draws(FaultKind kind) const noexcept;
+
+ private:
+  double rate_of(FaultKind kind) const noexcept;
+  /// Uniform [0,1) from the kind's counter stream; advances the counter.
+  double next_uniform(FaultKind kind) noexcept;
+
+  FaultPlan plan_;
+  std::uint64_t queue_draws_ = 0;
+  std::uint64_t blob_read_draws_ = 0;
+  std::uint64_t blob_write_draws_ = 0;
+};
+
+}  // namespace pregel::cloud

@@ -41,7 +41,14 @@ std::vector<std::uint32_t> GreedyRebalancePlacement::place(const PlacementSignal
   std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
     return smoothed_[a].value() > smoothed_[b].value();
   });
+  // Handicap VMs the straggler timeout has flagged: each firing costs the
+  // VM one mean partition-load's worth of headroom in the packing.
   std::vector<double> bin(s.workers, 0.0);
+  if (s.vm_stragglers.size() == s.workers) {
+    const double mean_part = total / static_cast<double>(parts);
+    for (std::uint32_t v = 0; v < s.workers; ++v)
+      bin[v] = mean_part * s.vm_stragglers[v];
+  }
   std::vector<std::uint32_t> out(parts, 0);
   for (std::size_t p : order) {
     const auto lightest = static_cast<std::uint32_t>(

@@ -30,6 +30,10 @@ struct PlacementSignals {
   std::vector<Bytes> partition_bytes;
   /// Current partition -> worker VM assignment.
   std::vector<std::uint32_t> placement;
+  /// Straggler-timeout firings per VM so far this job (empty when the
+  /// straggler timeout is disabled). A repeatedly slow VM is a bad home for
+  /// heavy partitions even if its historical load looks light.
+  std::vector<std::uint32_t> vm_stragglers;
 };
 
 class PlacementPolicy {

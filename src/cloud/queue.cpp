@@ -1,8 +1,20 @@
 #include "cloud/queue.hpp"
 
+#include <charconv>
 #include <stdexcept>
 
 namespace pregel::cloud {
+
+std::optional<std::uint64_t> parse_prefixed_count(std::string_view body,
+                                                  std::string_view prefix) {
+  if (body.size() <= prefix.size() || body.substr(0, prefix.size()) != prefix)
+    return std::nullopt;
+  const std::string_view digits = body.substr(prefix.size());
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc{} || ptr != digits.data() + digits.size()) return std::nullopt;
+  return value;
+}
 
 std::uint64_t AzureQueue::put(std::string body) {
   ++ops_;

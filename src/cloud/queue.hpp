@@ -17,12 +17,21 @@
 #include <deque>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "util/units.hpp"
 
 namespace pregel::cloud {
+
+/// Parse a control message of the form "<prefix><decimal count>" (e.g.
+/// "active:42"). Returns nullopt unless the body starts with exactly
+/// `prefix` and the remainder is a complete, in-range decimal number —
+/// malformed or truncated barrier messages must be rejected, not read as
+/// garbage.
+std::optional<std::uint64_t> parse_prefixed_count(std::string_view body,
+                                                  std::string_view prefix);
 
 struct QueueMessage {
   std::uint64_t id = 0;

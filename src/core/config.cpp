@@ -11,6 +11,14 @@ std::string failure_text(std::uint64_t superstep, std::uint32_t worker, Bytes me
 }
 }  // namespace
 
+const char* to_string(RecoveryMode mode) noexcept {
+  switch (mode) {
+    case RecoveryMode::kFullRollback: return "full-rollback";
+    case RecoveryMode::kConfined: return "confined";
+  }
+  return "unknown";
+}
+
 JobFailure::JobFailure(std::uint64_t superstep, std::uint32_t worker, Bytes memory, Bytes ram)
     : std::runtime_error(failure_text(superstep, worker, memory, ram)),
       superstep_(superstep),

@@ -9,6 +9,7 @@
 
 #include "cloud/cost_model.hpp"
 #include "cloud/elasticity.hpp"
+#include "cloud/faults.hpp"
 #include "cloud/placement.hpp"
 #include "cloud/vm.hpp"
 #include "core/swath.hpp"
@@ -16,6 +17,19 @@
 #include "runtime/metrics.hpp"
 
 namespace pregel {
+
+/// What a worker failure rolls back.
+enum class RecoveryMode {
+  /// Pregel's default: every partition reloads the last checkpoint and the
+  /// whole cluster replays the lost supersteps at full cost.
+  kFullRollback,
+  /// Confined recovery: only the failed VM's partitions reload the
+  /// checkpoint and recompute; healthy workers keep their state and merely
+  /// re-deliver their logged per-superstep outboxes to the lost partitions.
+  kConfined,
+};
+
+const char* to_string(RecoveryMode mode) noexcept;
 
 /// The simulated deployment: how many graph partitions exist, how many
 /// worker VMs host them, what hardware each VM is, and how the environment
@@ -60,6 +74,26 @@ struct ClusterConfig {
   /// (transfer time is charged separately from checkpoint size).
   Seconds failure_detection_time = 30.0;
   Seconds vm_reacquisition_time = 90.0;
+  /// Scope of a rollback after a worker failure. Confined recovery requires
+  /// checkpointing; it additionally logs per-partition remote outbox bytes
+  /// each superstep so healthy partitions can re-deliver instead of replay.
+  RecoveryMode recovery_mode = RecoveryMode::kFullRollback;
+
+  // -- Transient faults (the clouds the paper actually ran on) --------------
+  /// Seeded injection of queue/blob transients, spot preemptions, and
+  /// straggler episodes. All-zero rates (the default) inject nothing and the
+  /// simulation is bit-identical to a failure-free run.
+  cloud::FaultPlan faults;
+  /// Client-side retry discipline masking the transient queue/blob classes;
+  /// masked latency is charged to the cost model, and an op that exhausts
+  /// its budget escalates to a worker failure.
+  cloud::RetryPolicy retry;
+  /// Barrier straggler timeout: a worker whose superstep runs past
+  /// `straggler_timeout_factor` x the median worker time is declared slow
+  /// and its partitions are speculatively re-executed on the least-loaded
+  /// VM (counted in metrics and reported to the PlacementPolicy). Values
+  /// <= 1 disable the timeout.
+  double straggler_timeout_factor = 0.0;
 };
 
 /// Per-run options.

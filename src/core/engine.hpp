@@ -36,7 +36,6 @@
 
 #include <algorithm>
 #include <concepts>
-#include <cstdlib>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -44,6 +43,7 @@
 #include <vector>
 
 #include "cloud/cost_model.hpp"
+#include "cloud/faults.hpp"
 #include "cloud/network.hpp"
 #include "cloud/queue.hpp"
 #include "core/aggregates.hpp"
@@ -166,7 +166,9 @@ class Engine {
         program_(std::move(program)),
         cluster_(std::move(cluster)),
         cost_(cluster_.cost),
-        noise_(cluster_.tenancy_sigma, cluster_.noise_seed) {
+        noise_(cluster_.tenancy_sigma, cluster_.noise_seed),
+        faults_(cluster_.faults) {
+    cluster_.retry.validate();
     PREGEL_CHECK_MSG(cluster_.num_partitions >= 1, "Engine: need >= 1 partition");
     PREGEL_CHECK_MSG(
         cluster_.initial_workers >= 1 && cluster_.initial_workers <= cluster_.num_partitions,
@@ -183,7 +185,12 @@ class Engine {
     reset_run_state(opts);
 
     JobResult<Program> result;
-    simulate_setup(result);
+    result.metrics.recovery_mode =
+        cluster_.checkpoint_interval > 0 ? to_string(cluster_.recovery_mode) : "none";
+    if (!simulate_setup(result)) {
+      collect(result);
+      return result;
+    }
 
     // Barrier before superstep 0: activate all vertices (PageRank-style) or
     // inject the first swath of roots.
@@ -210,27 +217,39 @@ class Engine {
       // superstep token per worker to the "step" queue; each worker dequeues
       // its token, computes, then checks in through the "barrier" queue with
       // its active-vertex count, which the manager drains to decide halting.
-      control_superstep_begin();
+      // Every queue op runs under the retry policy: transient failures are
+      // masked at backoff cost, an exhausted budget kills the worker.
+      control_superstep_begin(result);
 
       SuperstepMetrics sm = execute_superstep();
       const bool restarted = finalize_timing(sm, result);
       control_superstep_end(sm, result);
+      settle_control_latency(sm, result);
+      if (confined_replay_active()) result.metrics.confined_replay_time += sm.span;
       result.metrics.supersteps.push_back(std::move(sm));
       if (restarted) break;
 
       // Worker failure (fault-injection model): a worker missing the barrier
-      // is detected by the job manager. With a checkpoint we roll back and
-      // replay; without one the job is lost (Pregel without fault tolerance).
-      if (failure_strikes()) {
+      // — VM death, spot preemption, or a control op past its retry budget —
+      // is detected by the job manager. With a checkpoint we roll back
+      // (confined to the lost partitions when so configured) and replay;
+      // without one the job is lost (Pregel without fault tolerance).
+      std::optional<std::uint32_t> dead = control_failed_vm_;
+      control_failed_vm_.reset();
+      if (!dead) dead = failure_strikes();
+      if (dead) {
         ++result.metrics.worker_failures;
         if (!checkpoint_.has_value()) {
           result.failed = true;
-          result.failure_reason = "worker VM failed at superstep " +
-                                  std::to_string(superstep_) +
+          result.failure_reason = "worker VM " + std::to_string(*dead) +
+                                  " failed at superstep " + std::to_string(superstep_) +
                                   " with no checkpoint to recover from";
           break;
         }
-        recover_from_checkpoint(result);
+        if (cluster_.recovery_mode == RecoveryMode::kConfined && !confined_replay_active())
+          recover_confined(result, *dead);
+        else
+          recover_from_checkpoint(result);
         continue;  // re-execute from the restored superstep
       }
 
@@ -238,6 +257,7 @@ class Engine {
       maybe_checkpoint(result);
       if (halt_requested_) break;
       ++superstep_;
+      if (replay_lost_vm_ && superstep_ > confined_replay_until_) replay_lost_vm_.reset();
     }
 
     collect(result);
@@ -375,20 +395,40 @@ class Engine {
     baseline_memory_ = 0;
     for (std::uint32_t w = 0; w < workers_now_; ++w)
       baseline_memory_ = std::max(baseline_memory_, vm_graph_bytes(w));
+
+    faults_ = cloud::FaultInjector(cluster_.faults);
+    pending_retry_latency_ = 0.0;
+    control_failed_vm_.reset();
+    replay_lost_vm_.reset();
+    confined_replay_until_ = 0;
+    log_outboxes_ = cluster_.recovery_mode == RecoveryMode::kConfined &&
+                    cluster_.checkpoint_interval > 0;
+    outbox_log_cur_.clear();
+    vm_straggler_counts_.assign(workers_now_, 0);
   }
 
-  void simulate_setup(JobResult<Program>& result) {
+  /// Returns false when the job dies during setup (graph blob unreadable
+  /// past the retry budget).
+  bool simulate_setup(JobResult<Program>& result) {
     // Workers download the graph file from blob storage in parallel, load
     // their partitions, and the manager broadcasts the worker topology
     // (§III: "Workers report back ... so the manager can build a mapping").
+    const auto read = control_op(cloud::FaultKind::kBlobRead, result);
     const Bytes graph_file = graph_->memory_footprint();
     const double bw_Bps = cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
     const Seconds download = static_cast<double>(graph_file) / bw_Bps;
     const Seconds topology = 2.0 * cost_.params().queue_op_latency +
                              cost_.params().connection_setup_per_peer * (workers_now_ - 1);
-    result.metrics.setup_time = download + topology;
+    result.metrics.setup_time = download + topology + read.extra_latency;
     result.metrics.total_time += result.metrics.setup_time;
     meter_.charge(cluster_.vm, workers_now_, result.metrics.setup_time);
+    if (!read.success) {
+      result.failed = true;
+      result.failure_reason = "graph blob unreadable after " +
+                              std::to_string(read.attempts) + " attempts during setup";
+      return false;
+    }
+    return true;
   }
 
   /// Worker VM hosting partition p (placement table; default p mod workers).
@@ -437,6 +477,11 @@ class Engine {
       ps.load = {};
       ps.outbuf_bytes = 0;
     }
+    // Confined recovery keeps a per-superstep log of remote outbox bytes
+    // (src partition x dst partition). Only the current superstep's row is
+    // materialized: replayed supersteps regenerate their row determin-
+    // istically before the re-delivery cost is read from it.
+    if (log_outboxes_) outbox_log_cur_.assign(parts_.size() * parts_.size(), 0);
   }
 
   bool any_activity() const {
@@ -512,6 +557,9 @@ class Engine {
 
     Seconds slowest = 0.0;
     bool restart = false;
+    const bool replaying = confined_replay_active();
+    std::vector<Seconds> raw_compute(w), raw_network(w);
+    std::vector<double> factors(w);
     for (std::uint32_t i = 0; i < w; ++i) {
       WorkerStepMetrics& wm = sm.workers[i];
       const cloud::WorkerLoad& L = vm_load[i];
@@ -523,12 +571,67 @@ class Engine {
       wm.bytes_received_remote = L.bytes_received_remote;
       wm.memory_peak = L.memory_peak;
 
-      const double jitter = noise_.factor(i, superstep_);
-      wm.compute_time = cost_.compute_time(L, cluster_.vm) * jitter;
-      wm.network_time = cost_.network_time(L, cluster_.vm, w - 1) * jitter;
+      // Continuous multi-tenancy jitter times episodic straggler slowdowns.
+      const double jitter = noise_.factor(i, superstep_) * faults_.straggler_factor(i, superstep_);
+      factors[i] = jitter;
+      raw_compute[i] = cost_.compute_time(L, cluster_.vm);
+      raw_network[i] = cost_.network_time(L, cluster_.vm, w - 1);
+      if (replaying && i != *replay_lost_vm_) {
+        // Confined replay: healthy workers keep their state and only
+        // re-deliver the logged outbox bytes addressed to lost partitions;
+        // the load counters above still describe the logical superstep.
+        cloud::WorkerLoad redeliver;
+        redeliver.bytes_sent_remote = redelivery_bytes(i, *replay_lost_vm_);
+        wm.compute_time = 0.0;
+        wm.network_time = cost_.network_time(redeliver, cluster_.vm, 1) * jitter;
+      } else {
+        wm.compute_time = raw_compute[i] * jitter;
+        wm.network_time = raw_network[i] * jitter;
+      }
       slowest = std::max(slowest, wm.busy_time());
 
       if (cost_.triggers_restart(L.memory_peak, cluster_.vm)) restart = true;
+    }
+
+    // Barrier straggler timeout: a worker running past k x the median busy
+    // time is declared slow; the least-loaded VM speculatively re-executes
+    // its partitions from the point of declaration (only applied when that
+    // actually beats waiting the straggler out).
+    if (cluster_.straggler_timeout_factor > 1.0 && w >= 3 && !replaying) {
+      std::vector<Seconds> busy(w);
+      std::uint32_t worst = 0;
+      for (std::uint32_t i = 0; i < w; ++i) {
+        busy[i] = sm.workers[i].busy_time();
+        if (busy[i] > busy[worst]) worst = i;
+      }
+      std::uint32_t best = worst == 0 ? 1 : 0;
+      for (std::uint32_t i = 0; i < w; ++i)
+        if (i != worst && busy[i] < busy[best]) best = i;
+      std::vector<Seconds> sorted = busy;
+      std::nth_element(sorted.begin(), sorted.begin() + w / 2, sorted.end());
+      const Seconds median = sorted[w / 2];
+      const Seconds timeout = cluster_.straggler_timeout_factor * median;
+      if (median > 0.0 && busy[worst] > timeout) {
+        const Seconds reexec_compute = raw_compute[worst] * factors[best];
+        const Seconds reexec_network = raw_network[worst] * factors[best];
+        Seconds others = 0.0;
+        for (std::uint32_t i = 0; i < w; ++i)
+          if (i != worst) others = std::max(others, busy[i]);
+        const Seconds candidate =
+            std::max(timeout + reexec_compute + reexec_network, others);
+        if (candidate < busy[worst]) {
+          // The straggler's attempt is abandoned at the timeout; its work
+          // reruns on the healthiest VM, which gates the barrier instead.
+          const double scale = timeout / busy[worst];
+          sm.workers[worst].compute_time *= scale;
+          sm.workers[worst].network_time *= scale;
+          sm.workers[best].compute_time += reexec_compute;
+          sm.workers[best].network_time += reexec_network;
+          slowest = candidate;
+          ++result.metrics.straggler_reexecutions;
+          if (worst < vm_straggler_counts_.size()) ++vm_straggler_counts_[worst];
+        }
+      }
     }
 
     sm.barrier_overhead = cost_.barrier_time(w);
@@ -599,8 +702,10 @@ class Engine {
         workers_now_ = decided;
         workers_changed_ = true;
         // New VM set: fall back to the default layout; the placement policy
-        // (if any) refines it below with fresh load data.
+        // (if any) refines it below with fresh load data. Straggler history
+        // is per-VM-identity and does not survive the re-provisioning.
         reset_placement_to_modulo();
+        vm_straggler_counts_.assign(workers_now_, 0);
       }
     }
 
@@ -610,6 +715,7 @@ class Engine {
       sig.superstep = superstep_;
       sig.workers = workers_now_;
       sig.placement = placement_;
+      sig.vm_stragglers = vm_straggler_counts_;
       sig.partition_load.reserve(parts_.size());
       sig.partition_bytes.reserve(parts_.size());
       for (const auto& ps : parts_) {
@@ -715,28 +821,75 @@ class Engine {
     return total;
   }
 
+  // ---- transient faults and retries ----------------------------------------
+
+  /// Run one control-plane storage op under the retry policy and record it
+  /// in the job metrics. With all fault rates at zero this is free: no
+  /// draws, no latency, no metric changes.
+  cloud::RetryOutcome control_op(cloud::FaultKind kind, JobResult<Program>& result) {
+    const auto out = faults_.attempt(kind, cluster_.retry, cost_.params().queue_op_latency);
+    result.metrics.faults_injected += out.faults;
+    if (out.success) result.metrics.faults_masked += out.faults;
+    result.metrics.retries_attempted += out.attempts - 1;
+    result.metrics.retry_latency += out.extra_latency;
+    return out;
+  }
+
+  /// Control op attributed to worker `vm`: masked latency extends this
+  /// superstep's barrier; an exhausted retry budget marks the worker dead
+  /// (detected at the barrier like any other failure). The simulated queue
+  /// state stays consistent either way.
+  void guarded_control_op(cloud::FaultKind kind, std::uint32_t vm,
+                          JobResult<Program>& result) {
+    const auto out = control_op(kind, result);
+    pending_retry_latency_ += out.extra_latency;
+    if (!out.success && !control_failed_vm_) control_failed_vm_ = vm;
+  }
+
+  /// Fold the superstep's accumulated retry latency into its span: every
+  /// worker sits at the barrier while the slow op backs off and retries.
+  void settle_control_latency(SuperstepMetrics& sm, JobResult<Program>& result) {
+    if (pending_retry_latency_ <= 0.0) return;
+    sm.span += pending_retry_latency_;
+    sm.barrier_overhead += pending_retry_latency_;
+    for (auto& wm : sm.workers) wm.barrier_wait += pending_retry_latency_;
+    result.metrics.total_time += pending_retry_latency_;
+    meter_.charge(cluster_.vm, workers_now_, pending_retry_latency_);
+    pending_retry_latency_ = 0.0;
+  }
+
   // ---- control plane (simulated Azure queues) -------------------------------
 
-  void control_superstep_begin() {
+  void control_superstep_begin(JobResult<Program>& result) {
     auto& step = queues_.queue("step");
-    for (std::uint32_t w = 0; w < workers_now_; ++w)
-      step.put("superstep:" + std::to_string(superstep_));
     for (std::uint32_t w = 0; w < workers_now_; ++w) {
+      guarded_control_op(cloud::FaultKind::kQueueOp, w, result);
+      step.put("superstep:" + std::to_string(superstep_));
+    }
+    for (std::uint32_t w = 0; w < workers_now_; ++w) {
+      guarded_control_op(cloud::FaultKind::kQueueOp, w, result);
       const auto token = step.get();
       PREGEL_DCHECK(token.has_value());
+      guarded_control_op(cloud::FaultKind::kQueueOp, w, result);
       step.remove(token->id);
     }
   }
 
   void control_superstep_end(const SuperstepMetrics& sm, JobResult<Program>& result) {
     auto& barrier = queues_.queue("barrier");
-    for (const auto& wm : sm.workers)
-      barrier.put("active:" + std::to_string(wm.vertices_computed));
+    for (std::uint32_t w = 0; w < sm.workers.size(); ++w) {
+      guarded_control_op(cloud::FaultKind::kQueueOp, w, result);
+      barrier.put("active:" + std::to_string(sm.workers[w].vertices_computed));
+    }
     std::uint64_t reported_active = 0;
     for (std::uint32_t w = 0; w < workers_now_; ++w) {
+      guarded_control_op(cloud::FaultKind::kQueueOp, w, result);
       const auto msg = barrier.get();
-      PREGEL_DCHECK(msg.has_value());
-      reported_active += std::strtoull(msg->body.c_str() + 7, nullptr, 10);
+      PREGEL_CHECK_MSG(msg.has_value(), "barrier queue underflow: missing worker check-in");
+      const auto active = cloud::parse_prefixed_count(msg->body, "active:");
+      PREGEL_CHECK_MSG(active.has_value(), "malformed barrier message: '" + msg->body + "'");
+      reported_active += *active;
+      guarded_control_op(cloud::FaultKind::kQueueOp, w, result);
       barrier.remove(msg->id);
     }
     PREGEL_DCHECK(reported_active == sm.active_vertices);
@@ -763,55 +916,82 @@ class Engine {
   void maybe_checkpoint(JobResult<Program>& result) {
     if (cluster_.checkpoint_interval == 0) return;
     if ((superstep_ + 1) % cluster_.checkpoint_interval != 0) return;
-    take_snapshot(superstep_ + 1);  // resume at the next superstep
 
-    // Workers upload in parallel; the slowest bounds the barrier extension.
-    Bytes biggest = 0;
-    for (std::uint32_t w = 0; w < workers_now_; ++w)
-      biggest = std::max(biggest, checkpoint_bytes(w));
-    const double bw_Bps = cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
-    const Seconds t = static_cast<double>(biggest) / bw_Bps + cost_.params().queue_op_latency;
-    ++result.metrics.checkpoints_written;
-    result.metrics.checkpoint_time += t;
-    result.metrics.total_time += t;
-    meter_.charge(cluster_.vm, workers_now_, t);
+    // Workers upload in parallel; the slowest (including its blob-write
+    // retries) bounds the barrier extension. A worker that exhausts its
+    // retry budget abandons the round: the previous checkpoint stays in
+    // force, and only the wasted retry latency is charged.
+    Seconds retry_extra = 0.0;
+    bool uploaded = true;
+    for (std::uint32_t w = 0; w < workers_now_; ++w) {
+      const auto up = control_op(cloud::FaultKind::kBlobWrite, result);
+      retry_extra = std::max(retry_extra, up.extra_latency);
+      uploaded = uploaded && up.success;
+    }
+
+    Seconds t = retry_extra;
+    if (uploaded) {
+      take_snapshot(superstep_ + 1);  // resume at the next superstep
+      Bytes biggest = 0;
+      for (std::uint32_t w = 0; w < workers_now_; ++w)
+        biggest = std::max(biggest, checkpoint_bytes(w));
+      const double bw_Bps =
+          cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
+      t += static_cast<double>(biggest) / bw_Bps + cost_.params().queue_op_latency;
+      ++result.metrics.checkpoints_written;
+    } else {
+      ++result.metrics.checkpoint_failures;
+    }
+    if (t > 0.0) {
+      result.metrics.checkpoint_time += t;
+      result.metrics.total_time += t;
+      meter_.charge(cluster_.vm, workers_now_, t);
+    }
   }
 
-  bool failure_strikes() {
+  /// Worker death check at the barrier: explicitly scheduled failures,
+  /// probabilistic VM failures, then spot-style preemptions. Returns the
+  /// dead VM, or nullopt when everyone checked in.
+  std::optional<std::uint32_t> failure_strikes() {
     for (auto it = scheduled_failures_.begin(); it != scheduled_failures_.end(); ++it) {
       if (it->first == superstep_ && it->second < workers_now_) {
+        const std::uint32_t vm = it->second;
         scheduled_failures_.erase(it);
-        return true;
+        return vm;
       }
     }
-    if (cluster_.failure_rate <= 0.0) return false;
-    for (std::uint32_t w = 0; w < workers_now_; ++w) {
-      // Keyed by the failure epoch so a replayed superstep redraws.
-      const std::uint64_t key = mix64(cluster_.failure_seed ^ (superstep_ * 131) ^
-                                      (static_cast<std::uint64_t>(w) << 32) ^
-                                      (failure_epoch_ * 0x9E3779B9ULL));
-      if (static_cast<double>(key >> 11) * 0x1.0p-53 < cluster_.failure_rate) return true;
+    if (cluster_.failure_rate > 0.0) {
+      for (std::uint32_t w = 0; w < workers_now_; ++w) {
+        // Keyed by the failure epoch so a replayed superstep redraws.
+        const std::uint64_t key = mix64(cluster_.failure_seed ^ (superstep_ * 131) ^
+                                        (static_cast<std::uint64_t>(w) << 32) ^
+                                        (failure_epoch_ * 0x9E3779B9ULL));
+        if (static_cast<double>(key >> 11) * 0x1.0p-53 < cluster_.failure_rate) return w;
+      }
     }
-    return false;
+    for (std::uint32_t w = 0; w < workers_now_; ++w)
+      if (faults_.vm_preempted(w, superstep_, failure_epoch_)) return w;
+    return std::nullopt;
   }
 
-  void recover_from_checkpoint(JobResult<Program>& result) {
+  bool confined_replay_active() const noexcept { return replay_lost_vm_.has_value(); }
+
+  /// Remote bytes partitions on `vm` sent to partitions on `lost_vm` this
+  /// superstep (the logged outbox a healthy worker re-delivers in replay).
+  Bytes redelivery_bytes(std::uint32_t vm, std::uint32_t lost_vm) const {
+    if (outbox_log_cur_.empty()) return 0;
+    const std::size_t n = parts_.size();
+    Bytes total = 0;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (placement_[p] != vm) continue;
+      for (std::size_t q = 0; q < n; ++q)
+        if (placement_[q] == lost_vm) total += outbox_log_cur_[p * n + q];
+    }
+    return total;
+  }
+
+  void restore_snapshot_state() {
     const Snapshot& s = *checkpoint_;
-    result.metrics.replayed_supersteps += superstep_ + 1 - s.superstep;
-    ++failure_epoch_;
-
-    // Detection (missed heartbeats), replacement VM, checkpoint download by
-    // every worker (they all roll back, per the Pregel recovery model).
-    Bytes biggest = 0;
-    for (std::uint32_t w = 0; w < workers_now_; ++w)
-      biggest = std::max(biggest, checkpoint_bytes(w));
-    const double bw_Bps = cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
-    const Seconds t = cluster_.failure_detection_time + cluster_.vm_reacquisition_time +
-                      static_cast<double>(biggest) / bw_Bps;
-    result.metrics.recovery_time += t;
-    result.metrics.total_time += t;
-    meter_.charge(cluster_.vm, workers_now_, t);
-
     parts_ = s.parts;
     globals_ = s.globals;
     globals_next_ = Globals{};
@@ -825,6 +1005,61 @@ class Engine {
     peak_memory_since_initiation_ = s.peak_memory_since_initiation;
     last_messages_sent_ = s.last_messages_sent;
     superstep_ = s.superstep;
+  }
+
+  void recover_from_checkpoint(JobResult<Program>& result) {
+    const Snapshot& s = *checkpoint_;
+    result.metrics.replayed_supersteps += superstep_ + 1 - s.superstep;
+    ++failure_epoch_;
+    // A failure during an active confined replay falls back to the full
+    // Pregel rollback: every partition reloads, so the replay-in-progress
+    // bookkeeping is void.
+    replay_lost_vm_.reset();
+
+    // Detection (missed heartbeats), replacement VM, checkpoint download by
+    // every worker (they all roll back, per the Pregel recovery model); the
+    // blob reads run under the retry policy.
+    Bytes biggest = 0;
+    for (std::uint32_t w = 0; w < workers_now_; ++w)
+      biggest = std::max(biggest, checkpoint_bytes(w));
+    const auto read = control_op(cloud::FaultKind::kBlobRead, result);
+    const double bw_Bps = cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
+    Seconds t = cluster_.failure_detection_time + cluster_.vm_reacquisition_time +
+                static_cast<double>(biggest) / bw_Bps + read.extra_latency;
+    // Recovery reads retry until they succeed; model anything beyond the
+    // per-op budget as one extra deadline of stalling.
+    if (!read.success) t += cluster_.retry.op_deadline;
+    result.metrics.recovery_time += t;
+    result.metrics.total_time += t;
+    meter_.charge(cluster_.vm, workers_now_, t);
+
+    restore_snapshot_state();
+  }
+
+  /// Confined recovery: only `dead_vm`'s partitions reload the checkpoint
+  /// and recompute. State restoration rewinds everything (the simulator
+  /// re-derives healthy partitions' identical state while replaying), but
+  /// replay supersteps are costed confined: healthy workers only re-deliver
+  /// logged outbox bytes, and only the replacement VM downloads checkpoint
+  /// data.
+  void recover_confined(JobResult<Program>& result, std::uint32_t dead_vm) {
+    const Snapshot& s = *checkpoint_;
+    result.metrics.replayed_supersteps += superstep_ + 1 - s.superstep;
+    ++failure_epoch_;
+
+    const auto read = control_op(cloud::FaultKind::kBlobRead, result);
+    const double bw_Bps = cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
+    Seconds t = cluster_.failure_detection_time + cluster_.vm_reacquisition_time +
+                static_cast<double>(checkpoint_bytes(dead_vm)) / bw_Bps +
+                read.extra_latency;
+    if (!read.success) t += cluster_.retry.op_deadline;
+    result.metrics.recovery_time += t;
+    result.metrics.total_time += t;
+    meter_.charge(cluster_.vm, workers_now_, t);
+
+    confined_replay_until_ = superstep_;
+    replay_lost_vm_ = dead_vm;
+    restore_snapshot_state();
   }
 
   void inject_seed(VertexId root) {
@@ -881,6 +1116,8 @@ class Engine {
       src.load.bytes_sent_remote += wire;
       src.outbuf_bytes += wire;
       dst.load.bytes_received_remote += wire;
+      if (log_outboxes_)
+        outbox_log_cur_[from_partition * parts_.size() + tp] += wire;
     } else {
       ++src.load.messages_sent_local;
     }
@@ -964,6 +1201,19 @@ class Engine {
   std::optional<Snapshot> checkpoint_;
   std::vector<std::pair<std::uint64_t, std::uint32_t>> scheduled_failures_;
   std::uint64_t failure_epoch_ = 0;
+
+  cloud::FaultInjector faults_;
+  Seconds pending_retry_latency_ = 0.0;
+  /// First worker whose control op exhausted the retry budget this superstep.
+  std::optional<std::uint32_t> control_failed_vm_;
+  /// Confined replay in progress: the VM whose partitions are recomputing,
+  /// and the superstep at which replay catches up to the failure point.
+  std::optional<std::uint32_t> replay_lost_vm_;
+  std::uint64_t confined_replay_until_ = 0;
+  bool log_outboxes_ = false;
+  /// Remote outbox bytes this superstep, indexed [src_partition][dst_partition].
+  std::vector<Bytes> outbox_log_cur_;
+  std::vector<std::uint32_t> vm_straggler_counts_;
 
   std::vector<std::uint32_t> placement_;
   Seconds pending_placement_cost_ = 0.0;

@@ -27,12 +27,14 @@ struct BinHeader {
 
 template <typename T>
 void append_raw(std::vector<std::byte>& out, const T* data, std::size_t count) {
+  if (count == 0) return;  // empty vectors hand out null data()
   const auto* p = reinterpret_cast<const std::byte*>(data);
   out.insert(out.end(), p, p + count * sizeof(T));
 }
 
 template <typename T>
 void read_raw(const std::vector<std::byte>& in, std::size_t& pos, T* data, std::size_t count) {
+  if (count == 0) return;  // empty vectors hand out null data()
   const std::size_t bytes = count * sizeof(T);
   if (pos + bytes > in.size())
     throw std::runtime_error("deserialize_graph: truncated input");

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/units.hpp"
@@ -72,6 +73,24 @@ struct JobMetrics {
   std::uint32_t worker_failures = 0;
   Seconds recovery_time = 0.0;    ///< detection + reacquire + reload; in total_time
   std::uint64_t replayed_supersteps = 0;  ///< work re-executed after rollbacks
+  /// Rollback scope this job ran under: "none", "full-rollback", "confined".
+  std::string recovery_mode = "none";
+  /// Wall time spent in confined-replay supersteps (healthy workers only
+  /// re-deliver logged outboxes while the replacement VM recomputes);
+  /// included in total_time.
+  Seconds confined_replay_time = 0.0;
+  /// Checkpoint uploads abandoned after exhausting the retry budget (the
+  /// previous checkpoint stays in force).
+  std::uint32_t checkpoint_failures = 0;
+
+  // Transient-fault injection and the retries masking it.
+  std::uint64_t faults_injected = 0;   ///< transient queue/blob failures drawn
+  std::uint64_t faults_masked = 0;     ///< of those, recovered by a retry
+  std::uint64_t retries_attempted = 0; ///< extra attempts beyond each op's first
+  Seconds retry_latency = 0.0;         ///< backoff + failed attempts; in total_time
+  /// Barrier straggler timeouts that fired (slow worker's partitions
+  /// speculatively re-executed on the least-loaded VM).
+  std::uint32_t straggler_reexecutions = 0;
 
   /// Azure-queue operations used by the control plane (step tokens + barrier
   /// check-ins through the simulated queue service).

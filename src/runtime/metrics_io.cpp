@@ -50,6 +50,27 @@ void write_superstep_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
   }
 }
 
+void write_fault_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
+  CsvWriter w(out);
+  w.header({"recovery_mode", "checkpoints", "checkpoint_failures", "failures",
+            "replayed_supersteps", "recovery_s", "confined_replay_s", "faults_injected",
+            "faults_masked", "retries_attempted", "retry_latency_s",
+            "straggler_reexecutions"});
+  w.field(metrics.recovery_mode)
+      .field(static_cast<std::uint64_t>(metrics.checkpoints_written))
+      .field(static_cast<std::uint64_t>(metrics.checkpoint_failures))
+      .field(static_cast<std::uint64_t>(metrics.worker_failures))
+      .field(metrics.replayed_supersteps)
+      .field(metrics.recovery_time)
+      .field(metrics.confined_replay_time)
+      .field(metrics.faults_injected)
+      .field(metrics.faults_masked)
+      .field(metrics.retries_attempted)
+      .field(metrics.retry_latency)
+      .field(static_cast<std::uint64_t>(metrics.straggler_reexecutions))
+      .end_row();
+}
+
 void write_job_summary(const JobMetrics& metrics, std::ostream& out) {
   out << "supersteps=" << metrics.total_supersteps()
       << " messages=" << metrics.total_messages()
@@ -62,6 +83,13 @@ void write_job_summary(const JobMetrics& metrics, std::ostream& out) {
       << " checkpoints=" << metrics.checkpoints_written
       << " failures=" << metrics.worker_failures
       << " replayed_supersteps=" << metrics.replayed_supersteps
+      << " recovery_mode=" << metrics.recovery_mode
+      << " confined_replay_time_s=" << metrics.confined_replay_time
+      << " faults_injected=" << metrics.faults_injected
+      << " faults_masked=" << metrics.faults_masked
+      << " retries_attempted=" << metrics.retries_attempted
+      << " retry_latency_s=" << metrics.retry_latency
+      << " straggler_reexecutions=" << metrics.straggler_reexecutions
       << " control_queue_ops=" << metrics.control_queue_ops << "\n";
 }
 

@@ -19,6 +19,12 @@ void write_worker_metrics_csv(const JobMetrics& metrics, std::ostream& out);
 /// span_s,barrier_s,max_memory,utilization
 void write_superstep_metrics_csv(const JobMetrics& metrics, std::ostream& out);
 
+/// One-row fault-tolerance rollup CSV:
+/// recovery_mode,checkpoints,checkpoint_failures,failures,replayed_supersteps,
+/// recovery_s,confined_replay_s,faults_injected,faults_masked,
+/// retries_attempted,retry_latency_s,straggler_reexecutions
+void write_fault_metrics_csv(const JobMetrics& metrics, std::ostream& out);
+
 /// One-line key=value job summary (human- and grep-friendly).
 void write_job_summary(const JobMetrics& metrics, std::ostream& out);
 

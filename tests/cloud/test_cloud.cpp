@@ -3,6 +3,7 @@
 #include "cloud/blob.hpp"
 #include "cloud/cost_model.hpp"
 #include "cloud/elasticity.hpp"
+#include "cloud/faults.hpp"
 #include "cloud/network.hpp"
 #include "cloud/queue.hpp"
 #include "cloud/vm.hpp"
@@ -203,6 +204,230 @@ TEST(AzureQueue, RemoveUnknownThrows) {
   AzureQueue q;
   EXPECT_THROW(q.remove(42), std::logic_error);
   EXPECT_THROW(q.release(42), std::logic_error);
+}
+
+TEST(AzureQueue, ReleasedMessageRedeliveredBeforeNewer) {
+  // A crashed consumer's message must come back ahead of messages enqueued
+  // after it (visibility-timeout expiry restores queue position, it does not
+  // requeue at the tail).
+  AzureQueue q;
+  q.put("first");
+  q.put("second");
+  auto m = q.get();
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->body, "first");
+  q.put("third");
+  q.release(m->id);
+  auto r1 = q.get();
+  auto r2 = q.get();
+  auto r3 = q.get();
+  ASSERT_TRUE(r1 && r2 && r3);
+  EXPECT_EQ(r1->body, "first");
+  EXPECT_EQ(r2->body, "second");
+  EXPECT_EQ(r3->body, "third");
+  EXPECT_FALSE(q.get().has_value());
+  // Redelivered under the same id: remove() still acknowledges it.
+  EXPECT_EQ(r1->id, m->id);
+  q.remove(r1->id);
+  q.remove(r2->id);
+  q.remove(r3->id);
+  EXPECT_EQ(q.inflight_count(), 0u);
+}
+
+TEST(AzureQueue, ReleaseThenRemoveRequiresRedelivery) {
+  AzureQueue q;
+  q.put("job");
+  auto m = q.get();
+  ASSERT_TRUE(m);
+  q.release(m->id);
+  // Once released the message is no longer in flight; acknowledging it
+  // without re-getting it is the double-accounting bug Azure forbids.
+  EXPECT_THROW(q.remove(m->id), std::logic_error);
+  EXPECT_EQ(q.visible_count(), 1u);
+}
+
+TEST(ParsePrefixedCount, AcceptsWellFormed) {
+  EXPECT_EQ(parse_prefixed_count("active:42", "active:"), 42u);
+  EXPECT_EQ(parse_prefixed_count("active:0", "active:"), 0u);
+  EXPECT_EQ(parse_prefixed_count("superstep:18446744073709551615", "superstep:"),
+            18446744073709551615ull);
+}
+
+TEST(ParsePrefixedCount, RejectsMalformed) {
+  EXPECT_FALSE(parse_prefixed_count("active:", "active:").has_value());       // no digits
+  EXPECT_FALSE(parse_prefixed_count("active:12x", "active:").has_value());    // trailing junk
+  EXPECT_FALSE(parse_prefixed_count("active:-3", "active:").has_value());     // negative
+  EXPECT_FALSE(parse_prefixed_count("activ:12", "active:").has_value());      // wrong prefix
+  EXPECT_FALSE(parse_prefixed_count("active12", "active:").has_value());      // no separator
+  EXPECT_FALSE(parse_prefixed_count("", "active:").has_value());
+  EXPECT_FALSE(parse_prefixed_count("act", "active:").has_value());           // shorter than prefix
+  EXPECT_FALSE(
+      parse_prefixed_count("active:18446744073709551616", "active:").has_value());  // overflow
+}
+
+TEST(FaultPlan, ValidatesRates) {
+  FaultPlan p;
+  p.queue_op_failure_rate = 1.0;
+  EXPECT_THROW(p.validate(), std::logic_error);
+  p = {};
+  p.vm_preemption_rate = -0.1;
+  EXPECT_THROW(p.validate(), std::logic_error);
+  p = {};
+  p.straggler_slowdown = 0.5;
+  EXPECT_THROW(p.validate(), std::logic_error);
+  p = {};
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(RetryPolicy, ValidatesBounds) {
+  RetryPolicy r;
+  r.max_attempts = 0;
+  EXPECT_THROW(r.validate(), std::logic_error);
+  r = {};
+  r.max_backoff = r.base_backoff / 2;
+  EXPECT_THROW(r.validate(), std::logic_error);
+  r = {};
+  r.op_deadline = 0.0;
+  EXPECT_THROW(r.validate(), std::logic_error);
+  r = {};
+  EXPECT_NO_THROW(r.validate());
+}
+
+TEST(FaultInjector, ZeroRateAttemptIsFree) {
+  FaultInjector inj{FaultPlan{}};
+  const RetryPolicy retry;
+  for (int i = 0; i < 100; ++i) {
+    const auto out = inj.attempt(FaultKind::kQueueOp, retry, 0.03);
+    EXPECT_TRUE(out.success);
+    EXPECT_EQ(out.attempts, 1u);
+    EXPECT_EQ(out.faults, 0u);
+    EXPECT_DOUBLE_EQ(out.extra_latency, 0.0);
+  }
+  // No RNG state consumed: the zero-rate path must not shift later draws.
+  EXPECT_EQ(inj.draws(FaultKind::kQueueOp), 0u);
+}
+
+TEST(FaultInjector, DeterministicAcrossInstances) {
+  FaultPlan p;
+  p.queue_op_failure_rate = 0.3;
+  p.blob_read_failure_rate = 0.2;
+  FaultInjector a{p}, b{p};
+  const RetryPolicy retry;
+  for (int i = 0; i < 200; ++i) {
+    const auto oa = a.attempt(FaultKind::kQueueOp, retry, 0.03);
+    const auto ob = b.attempt(FaultKind::kQueueOp, retry, 0.03);
+    EXPECT_EQ(oa.success, ob.success);
+    EXPECT_EQ(oa.attempts, ob.attempts);
+    EXPECT_DOUBLE_EQ(oa.extra_latency, ob.extra_latency);
+  }
+  EXPECT_EQ(a.draws(FaultKind::kQueueOp), b.draws(FaultKind::kQueueOp));
+  // Kinds draw from independent streams: interleaving blob reads into `a`
+  // only must not disturb subsequent queue draws.
+  (void)a.attempt(FaultKind::kBlobRead, retry, 0.05);
+  const auto oa = a.attempt(FaultKind::kQueueOp, retry, 0.03);
+  const auto ob = b.attempt(FaultKind::kQueueOp, retry, 0.03);
+  EXPECT_EQ(oa.attempts, ob.attempts);
+  EXPECT_DOUBLE_EQ(oa.extra_latency, ob.extra_latency);
+}
+
+TEST(FaultInjector, RetriesMaskTransientFaults) {
+  FaultPlan p;
+  p.queue_op_failure_rate = 0.4;
+  FaultInjector inj{p};
+  RetryPolicy retry;
+  retry.max_attempts = 10;
+  std::uint64_t masked = 0, total_faults = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto out = inj.attempt(FaultKind::kQueueOp, retry, 0.03);
+    EXPECT_TRUE(out.success);  // 0.4^10 residual: practically always masked
+    total_faults += out.faults;
+    if (out.faults > 0) {
+      ++masked;
+      EXPECT_GT(out.attempts, 1u);
+      EXPECT_GT(out.extra_latency, 0.0);
+    }
+  }
+  EXPECT_GT(masked, 100u);  // ~40% of ops should need at least one retry
+  EXPECT_GT(total_faults, masked);
+}
+
+TEST(FaultInjector, ExhaustedRetriesFail) {
+  FaultPlan p;
+  p.queue_op_failure_rate = 0.999;
+  FaultInjector inj{p};
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  bool saw_failure = false;
+  for (int i = 0; i < 50 && !saw_failure; ++i) {
+    const auto out = inj.attempt(FaultKind::kQueueOp, retry, 0.03);
+    if (!out.success) {
+      saw_failure = true;
+      EXPECT_EQ(out.attempts, retry.max_attempts);
+      EXPECT_EQ(out.faults, retry.max_attempts);
+      // 3 failed calls + 2 backoff sleeps >= 3 * latency + 2 * base.
+      EXPECT_GE(out.extra_latency, 3 * 0.03 + 2 * retry.base_backoff);
+    }
+  }
+  EXPECT_TRUE(saw_failure);
+}
+
+TEST(FaultInjector, BackoffRespectsDeadline) {
+  FaultPlan p;
+  p.blob_write_failure_rate = 0.999;
+  FaultInjector inj{p};
+  RetryPolicy retry;
+  retry.max_attempts = 100;
+  retry.base_backoff = 1.0;
+  retry.max_backoff = 10.0;
+  retry.op_deadline = 5.0;
+  const auto out = inj.attempt(FaultKind::kBlobWrite, retry, 0.05);
+  EXPECT_FALSE(out.success);
+  // Abandoned soon after crossing the deadline, not after 100 attempts.
+  EXPECT_LT(out.attempts, 100u);
+  EXPECT_LE(out.extra_latency, retry.op_deadline + retry.max_backoff + 0.05);
+}
+
+TEST(FaultInjector, PreemptionDeterministicAndEpochKeyed) {
+  FaultPlan p;
+  p.vm_preemption_rate = 0.2;
+  const FaultInjector inj{p};
+  bool any = false, epoch_differs = false;
+  for (std::uint32_t vm = 0; vm < 8; ++vm) {
+    for (std::uint64_t s = 0; s < 50; ++s) {
+      const bool hit = inj.vm_preempted(vm, s, 0);
+      EXPECT_EQ(inj.vm_preempted(vm, s, 0), hit);  // pure function
+      any = any || hit;
+      if (hit != inj.vm_preempted(vm, s, 1)) epoch_differs = true;
+    }
+  }
+  EXPECT_TRUE(any);
+  // A replayed superstep redraws under the new epoch — otherwise a preempted
+  // VM would be preempted forever at the same superstep.
+  EXPECT_TRUE(epoch_differs);
+  EXPECT_FALSE(FaultInjector{FaultPlan{}}.vm_preempted(0, 0, 0));
+}
+
+TEST(FaultInjector, StragglerFactorIsRateGated) {
+  FaultPlan p;
+  p.straggler_rate = 0.25;
+  p.straggler_slowdown = 6.0;
+  const FaultInjector inj{p};
+  int slow = 0, fast = 0;
+  for (std::uint32_t vm = 0; vm < 8; ++vm) {
+    for (std::uint64_t s = 0; s < 100; ++s) {
+      const double f = inj.straggler_factor(vm, s);
+      EXPECT_DOUBLE_EQ(inj.straggler_factor(vm, s), f);
+      if (f == 6.0)
+        ++slow;
+      else if (f == 1.0)
+        ++fast;
+      else
+        FAIL() << "factor must be 1 or the configured slowdown, got " << f;
+    }
+  }
+  EXPECT_GT(slow, 100);  // ~200 of 800 draws
+  EXPECT_GT(fast, 400);
+  EXPECT_DOUBLE_EQ(FaultInjector{FaultPlan{}}.straggler_factor(3, 7), 1.0);
 }
 
 TEST(QueueService, NamedQueuesIndependent) {

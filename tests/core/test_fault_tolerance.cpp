@@ -153,6 +153,239 @@ TEST(FaultTolerance, ProbabilisticFailuresEventuallyFinish) {
   EXPECT_NEAR(sum, 1.0, 1e-9);
 }
 
+TEST(FaultTolerance, ConfinedRecoveryReproducesExactPageRank) {
+  Graph g = barabasi_albert(300, 3, 5);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+
+  ClusterConfig healthy = base_cluster();
+  Engine<PageRankProgram> eh(g, {25, 0.85}, healthy, parts);
+  JobOptions o;
+  o.start_all_vertices = true;
+  const auto clean = eh.run(o);
+
+  ClusterConfig faulty = base_cluster();
+  faulty.checkpoint_interval = 4;
+  faulty.recovery_mode = RecoveryMode::kConfined;
+  faulty.scheduled_failures = {{7, 0}, {15, 2}};
+  Engine<PageRankProgram> ef(g, {25, 0.85}, faulty, parts);
+  const auto recovered = ef.run(o);
+
+  ASSERT_FALSE(recovered.failed);
+  EXPECT_EQ(recovered.metrics.worker_failures, 2u);
+  EXPECT_EQ(recovered.metrics.recovery_mode, "confined");
+  EXPECT_GT(recovered.metrics.recovery_time, 0.0);
+  EXPECT_GT(recovered.metrics.confined_replay_time, 0.0);
+  EXPECT_GT(recovered.metrics.replayed_supersteps, 0u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_DOUBLE_EQ(recovered.values[v].rank, clean.values[v].rank) << v;
+}
+
+TEST(FaultTolerance, ConfinedRecoveryReproducesSwathScheduledBc) {
+  Graph g = watts_strogatz(200, 4, 0.2, 11);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  std::vector<VertexId> roots(12);
+  std::iota(roots.begin(), roots.end(), VertexId{0});
+  const auto ref = reference_betweenness(g, roots);
+
+  ClusterConfig c = base_cluster();
+  c.checkpoint_interval = 3;
+  c.recovery_mode = RecoveryMode::kConfined;
+  c.scheduled_failures = {{5, 0}, {11, 3}, {17, 1}};
+  Engine<BcProgram> e(g, {}, c, parts);
+  JobOptions o;
+  o.roots = roots;
+  o.swath = SwathPolicy::make(std::make_shared<StaticSwathSizer>(4),
+                              std::make_shared<SequentialInitiation>(), 6_GiB);
+  const auto r = e.run(o);
+  ASSERT_FALSE(r.failed);
+  EXPECT_EQ(r.metrics.worker_failures, 3u);
+  EXPECT_EQ(r.roots_completed, roots.size());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_NEAR(r.values[v].bc_score, ref[v], 1e-6) << v;
+}
+
+TEST(FaultTolerance, ConfinedRecoveryCheaperThanFullRollback) {
+  Graph g = barabasi_albert(400, 3, 7);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  JobOptions o;
+  o.start_all_vertices = true;
+
+  // Identical failure schedule: superstep 9 failure with a checkpoint at 7,
+  // so both modes replay supersteps 8 and 9.
+  ClusterConfig full = base_cluster();
+  full.checkpoint_interval = 4;
+  full.scheduled_failures = {{9, 1}};
+  ClusterConfig confined = full;
+  confined.recovery_mode = RecoveryMode::kConfined;
+
+  Engine<PageRankProgram> ef(g, {20, 0.85}, full, parts);
+  Engine<PageRankProgram> ec(g, {20, 0.85}, confined, parts);
+  const auto rf = ef.run(o);
+  const auto rc = ec.run(o);
+  ASSERT_FALSE(rf.failed);
+  ASSERT_FALSE(rc.failed);
+  EXPECT_EQ(rf.metrics.worker_failures, 1u);
+  EXPECT_EQ(rc.metrics.worker_failures, 1u);
+  EXPECT_EQ(rf.metrics.replayed_supersteps, rc.metrics.replayed_supersteps);
+  // Confined: one checkpoint download instead of the cluster-wide biggest,
+  // and replayed supersteps cost re-delivery instead of full recompute.
+  EXPECT_LE(rc.metrics.recovery_time, rf.metrics.recovery_time);
+  EXPECT_LT(rc.metrics.total_time, rf.metrics.total_time);
+  EXPECT_GT(rc.metrics.confined_replay_time, 0.0);
+  EXPECT_DOUBLE_EQ(rf.metrics.confined_replay_time, 0.0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_DOUBLE_EQ(rc.values[v].rank, rf.values[v].rank) << v;
+}
+
+TEST(FaultTolerance, TransientFaultsMaskedWithIdenticalResults) {
+  Graph g = barabasi_albert(250, 3, 13);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  JobOptions o;
+  o.start_all_vertices = true;
+
+  ClusterConfig clean_cfg = base_cluster();
+  clean_cfg.checkpoint_interval = 5;
+  Engine<PageRankProgram> eh(g, {20, 0.85}, clean_cfg, parts);
+  const auto clean = eh.run(o);
+
+  ClusterConfig lossy = clean_cfg;
+  lossy.faults.queue_op_failure_rate = 0.05;
+  lossy.faults.blob_read_failure_rate = 0.05;
+  lossy.faults.blob_write_failure_rate = 0.05;
+  Engine<PageRankProgram> el(g, {20, 0.85}, lossy, parts);
+  const auto retried = el.run(o);
+
+  ASSERT_FALSE(retried.failed);
+  EXPECT_EQ(retried.metrics.worker_failures, 0u);
+  EXPECT_GT(retried.metrics.faults_injected, 0u);
+  EXPECT_EQ(retried.metrics.faults_masked, retried.metrics.faults_injected);
+  EXPECT_GT(retried.metrics.retries_attempted, 0u);
+  EXPECT_GT(retried.metrics.retry_latency, 0.0);
+  // Masking is not free: the backoff latency lands in the job runtime...
+  EXPECT_GT(retried.metrics.total_time, clean.metrics.total_time);
+  // ...but never in the answers.
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_DOUBLE_EQ(retried.values[v].rank, clean.values[v].rank) << v;
+}
+
+TEST(FaultTolerance, ZeroFaultRatesAreBitIdenticalToBaseline) {
+  // Acceptance gate: wiring fault injection and retries into the control
+  // plane must cost exactly nothing when every rate is zero — same times,
+  // same cost, same queue ops, same values.
+  Graph g = barabasi_albert(250, 3, 29);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  JobOptions o;
+  o.start_all_vertices = true;
+
+  ClusterConfig baseline = base_cluster();
+  baseline.checkpoint_interval = 4;
+  Engine<PageRankProgram> eb(g, {20, 0.85}, baseline, parts);
+  const auto rb = eb.run(o);
+
+  ClusterConfig wired = baseline;
+  wired.recovery_mode = RecoveryMode::kConfined;  // logging path armed, unused
+  wired.retry.max_attempts = 9;                   // policy present, never consulted
+  wired.retry.base_backoff = 0.7;
+  wired.faults = cloud::FaultPlan{};              // all rates zero
+  Engine<PageRankProgram> ew(g, {20, 0.85}, wired, parts);
+  const auto rw = ew.run(o);
+
+  EXPECT_DOUBLE_EQ(rw.metrics.total_time, rb.metrics.total_time);
+  EXPECT_DOUBLE_EQ(rw.metrics.setup_time, rb.metrics.setup_time);
+  EXPECT_DOUBLE_EQ(rw.metrics.checkpoint_time, rb.metrics.checkpoint_time);
+  EXPECT_DOUBLE_EQ(rw.metrics.cost_usd, rb.metrics.cost_usd);
+  EXPECT_EQ(rw.metrics.control_queue_ops, rb.metrics.control_queue_ops);
+  EXPECT_EQ(rw.metrics.total_supersteps(), rb.metrics.total_supersteps());
+  EXPECT_EQ(rw.metrics.faults_injected, 0u);
+  EXPECT_EQ(rw.metrics.retries_attempted, 0u);
+  EXPECT_DOUBLE_EQ(rw.metrics.retry_latency, 0.0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_DOUBLE_EQ(rw.values[v].rank, rb.values[v].rank) << v;
+}
+
+TEST(FaultTolerance, SpotPreemptionRecovers) {
+  Graph g = ring_graph(128);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  ClusterConfig c = base_cluster();
+  c.checkpoint_interval = 3;
+  c.recovery_mode = RecoveryMode::kConfined;
+  c.faults.vm_preemption_rate = 0.02;
+  Engine<PageRankProgram> e(g, {30, 0.85}, c, parts);
+  JobOptions o;
+  o.start_all_vertices = true;
+  const auto r = e.run(o);
+  ASSERT_FALSE(r.failed);
+  EXPECT_GE(r.metrics.worker_failures, 1u);
+  double sum = 0;
+  for (const auto& v : r.values) sum += v.rank;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(FaultTolerance, CheckpointWriteFailurePreservesPreviousCheckpoint) {
+  Graph g = barabasi_albert(200, 3, 3);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  ClusterConfig c = base_cluster();
+  c.checkpoint_interval = 2;
+  c.faults.blob_write_failure_rate = 0.35;
+  c.retry.max_attempts = 1;  // no retries: many checkpoint rounds abort
+  c.scheduled_failures = {{13, 2}};
+  Engine<PageRankProgram> e(g, {20, 0.85}, c, parts);
+  JobOptions o;
+  o.start_all_vertices = true;
+  const auto r = e.run(o);
+  ASSERT_FALSE(r.failed);  // an older checkpoint always exists to recover from
+  EXPECT_GT(r.metrics.checkpoint_failures, 0u);
+  EXPECT_EQ(r.metrics.worker_failures, 1u);
+  double sum = 0;
+  for (const auto& v : r.values) sum += v.rank;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(FaultTolerance, ExhaustedControlRetriesKillWorkerButJobSurvives) {
+  Graph g = ring_graph(96);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  ClusterConfig c = base_cluster();
+  c.checkpoint_interval = 2;
+  c.faults.queue_op_failure_rate = 0.25;
+  c.retry.max_attempts = 2;  // 0.25^2 per op: exhaustion strikes quickly
+  Engine<PageRankProgram> e(g, {25, 0.85}, c, parts);
+  JobOptions o;
+  o.start_all_vertices = true;
+  const auto r = e.run(o);
+  ASSERT_FALSE(r.failed);
+  EXPECT_GE(r.metrics.worker_failures, 1u);
+  EXPECT_GT(r.metrics.faults_injected, r.metrics.faults_masked);
+  double sum = 0;
+  for (const auto& v : r.values) sum += v.rank;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(FaultTolerance, StragglerTimeoutSpeculationBeatsWaiting) {
+  Graph g = barabasi_albert(400, 3, 19);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  JobOptions o;
+  o.start_all_vertices = true;
+
+  ClusterConfig slow = base_cluster();
+  slow.faults.straggler_rate = 0.15;
+  slow.faults.straggler_slowdown = 12.0;
+  ClusterConfig timed = slow;
+  timed.straggler_timeout_factor = 2.0;
+
+  Engine<PageRankProgram> es(g, {25, 0.85}, slow, parts);
+  Engine<PageRankProgram> et(g, {25, 0.85}, timed, parts);
+  const auto rs = es.run(o);
+  const auto rt = et.run(o);
+  ASSERT_FALSE(rs.failed);
+  ASSERT_FALSE(rt.failed);
+  EXPECT_EQ(rs.metrics.straggler_reexecutions, 0u);
+  EXPECT_GT(rt.metrics.straggler_reexecutions, 0u);
+  // Speculation is only taken when it beats waiting the straggler out.
+  EXPECT_LT(rt.metrics.total_time, rs.metrics.total_time);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_DOUBLE_EQ(rt.values[v].rank, rs.values[v].rank) << v;
+}
+
 TEST(FaultTolerance, RecoveryChargesCost) {
   Graph g = ring_graph(64);
   const auto parts = HashPartitioner{}.partition(g, 4);

@@ -95,12 +95,46 @@ TEST(MetricsIo, JobSummaryKeyValues) {
   m.total_time = 12.5;
   m.cost_usd = 0.42;
   m.worker_failures = 2;
+  m.recovery_mode = "confined";
+  m.confined_replay_time = 1.25;
+  m.faults_injected = 7;
+  m.faults_masked = 6;
+  m.retries_attempted = 9;
+  m.retry_latency = 0.5;
+  m.straggler_reexecutions = 3;
   std::ostringstream out;
   write_job_summary(m, out);
   const std::string s = out.str();
   EXPECT_NE(s.find("supersteps=1"), std::string::npos);
   EXPECT_NE(s.find("total_time_s=12.5"), std::string::npos);
   EXPECT_NE(s.find("failures=2"), std::string::npos);
+  EXPECT_NE(s.find("recovery_mode=confined"), std::string::npos);
+  EXPECT_NE(s.find("confined_replay_time_s=1.25"), std::string::npos);
+  EXPECT_NE(s.find("faults_injected=7"), std::string::npos);
+  EXPECT_NE(s.find("faults_masked=6"), std::string::npos);
+  EXPECT_NE(s.find("retries_attempted=9"), std::string::npos);
+  EXPECT_NE(s.find("retry_latency_s=0.5"), std::string::npos);
+  EXPECT_NE(s.find("straggler_reexecutions=3"), std::string::npos);
+}
+
+TEST(MetricsIo, FaultCsvShape) {
+  JobMetrics m;
+  m.recovery_mode = "full-rollback";
+  m.checkpoints_written = 4;
+  m.checkpoint_failures = 1;
+  m.worker_failures = 2;
+  m.replayed_supersteps = 6;
+  m.recovery_time = 3.5;
+  m.faults_injected = 11;
+  m.faults_masked = 11;
+  m.retries_attempted = 13;
+  m.straggler_reexecutions = 2;
+  std::ostringstream out;
+  write_fault_metrics_csv(m, out);
+  const std::string s = out.str();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);  // header + one row
+  EXPECT_NE(s.find("recovery_mode,checkpoints,checkpoint_failures"), std::string::npos);
+  EXPECT_NE(s.find("full-rollback,4,1,2,6,3.5,0,11,11,13,0,2"), std::string::npos);
 }
 
 }  // namespace
