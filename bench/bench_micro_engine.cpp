@@ -44,6 +44,32 @@ void BM_EngineMessageRouting(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineMessageRouting)->Arg(2)->Arg(5)->Unit(benchmark::kMillisecond);
 
+// Host-parallel superstep execution on a 100k+-vertex graph: same job at
+// 1/2/4 lanes. Results are bit-identical by contract; the curve tracks the
+// wall-clock speedup of the staged compute + deterministic merge. (On a
+// single-core builder the >1 lane rows mostly measure staging overhead.)
+void BM_EngineParallelSupersteps(benchmark::State& state) {
+  static const Graph g = barabasi_albert(120000, 8, 17);
+  ClusterConfig c;
+  c.num_partitions = 16;
+  c.initial_workers = 8;
+  static const auto parts = HashPartitioner{}.partition(g, c.num_partitions);
+  JobOptions o;
+  o.start_all_vertices = true;
+  o.parallelism = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    Engine<PageRankProgram> e(g, {4, 0.85}, c, parts);
+    const auto r = e.run(o);
+    messages += r.metrics.total_messages();
+    benchmark::DoNotOptimize(r.values.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+  state.counters["msgs/s"] = benchmark::Counter(static_cast<double>(messages),
+                                                benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineParallelSupersteps)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_EngineTraversal(benchmark::State& state) {
   const Graph& g = bench_graph();
   const auto parts = HashPartitioner{}.partition(g, 8);

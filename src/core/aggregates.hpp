@@ -12,7 +12,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
+#include <utility>
 
 namespace pregel {
 
@@ -26,6 +28,12 @@ constexpr std::uint64_t make_key(std::uint32_t root, std::uint32_t field) noexce
 class Aggregates {
  public:
   void add(std::uint64_t key, double value) { values_[key] += value; }
+  /// Replay a contribution log in order. The engine's parallel merge stages
+  /// per-partition logs during compute and applies them here in partition
+  /// order, reproducing the serial floating-point summation order exactly.
+  void add_all(std::span<const std::pair<std::uint64_t, double>> entries) {
+    for (const auto& [k, v] : entries) values_[k] += v;
+  }
   /// 0.0 when the key was never contributed to.
   double get(std::uint64_t key) const {
     auto it = values_.find(key);

@@ -113,6 +113,13 @@ struct JobOptions {
   /// When a worker VM exceeds the restart threshold: throw JobFailure (true)
   /// or record the failure and keep simulating (false).
   bool fail_on_vm_restart = true;
+  /// Host threads executing partitions within a superstep: 0 = one per
+  /// hardware thread, 1 = serial fast path, N = exactly N lanes (capped at
+  /// the partition count). Purely a wall-clock knob: results, modeled times,
+  /// and every metric are bit-identical at any setting — compute stages its
+  /// emissions into per-partition outboxes and a deterministic merge applies
+  /// them in serial order.
+  std::uint32_t parallelism = 0;
 };
 
 /// Thrown when the cloud fabric restarts an unresponsive (memory-thrashed)

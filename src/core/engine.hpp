@@ -9,6 +9,16 @@
 // the cloud CostModel, and (4) runs the barrier: master compute, swath
 // scheduling, elastic scaling, halt detection.
 //
+// Partition compute within a superstep runs on a persistent host thread
+// pool (JobOptions::parallelism). Threads never touch shared engine state:
+// each stages its emissions into per-(source x destination) partition
+// outboxes, and a deterministic merge — parallel across destination
+// partitions, ordered by (source partition, emission order) within each —
+// applies routing, combining, activation, and cost counters. Results and
+// modeled times are therefore bit-identical at any thread count; only host
+// wall-clock changes. Program::compute must be thread-safe (const/stateless,
+// as the contract below already implies).
+//
 // All computation on vertex values is real; only *time* and *memory* are
 // modeled. Virtual time per superstep is
 //     max over VMs (compute + network, each x tenancy noise x thrash penalty)
@@ -37,9 +47,11 @@
 #include <algorithm>
 #include <concepts>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cloud/cost_model.hpp"
@@ -52,6 +64,8 @@
 #include "partition/partitioner.hpp"
 #include "runtime/metrics.hpp"
 #include "util/check.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pregel {
 
@@ -103,7 +117,9 @@ class VertexContext {
 
   /// Contribute to a sum-aggregate readable by the master at this barrier
   /// and by all vertices next superstep.
-  void aggregate(std::uint64_t key, double value) { engine_->agg_cur_.add(key, value); }
+  void aggregate(std::uint64_t key, double value) {
+    engine_->aggregate_from(partition_, key, value);
+  }
   /// Read a master-broadcast global (or last superstep's aggregate).
   double global(std::uint64_t key, double fallback = 0.0) const {
     return engine_->globals_.get(key, fallback);
@@ -117,7 +133,7 @@ class VertexContext {
   }
 
   /// Declare a traversal root complete (root-scheduled algorithms).
-  void mark_root_done(VertexId root) { engine_->mark_root_done(root); }
+  void mark_root_done(VertexId root) { engine_->root_done_from(partition_, root); }
 
  private:
   friend class Engine<Program>;
@@ -138,9 +154,10 @@ class MasterContext {
   std::uint64_t superstep() const noexcept { return engine_->superstep_; }
   const Aggregates& aggregates() const noexcept { return engine_->agg_cur_; }
   Globals& globals() noexcept { return engine_->globals_next_; }
-  /// Roots initiated and not yet completed, in initiation order.
-  const std::vector<VertexId>& active_roots() const noexcept {
-    return engine_->outstanding_roots_;
+  /// Roots initiated and not yet completed, in initiation order. The
+  /// reference is invalidated by mark_root_done (collect first, then mark).
+  const std::vector<VertexId>& active_roots() const {
+    return engine_->active_roots();
   }
   void mark_root_done(VertexId root) { engine_->mark_root_done(root); }
   void request_halt() { engine_->halt_requested_ = true; }
@@ -307,6 +324,22 @@ class Engine {
     cloud::WorkerLoad load;  ///< raw counters, reset each superstep
   };
 
+  /// One emission captured during parallel compute, pending the
+  /// deterministic merge (destination partition is the outbox row index;
+  /// emission order is the vector order).
+  struct StagedMessage {
+    std::uint32_t target_local;
+    M message;
+  };
+
+  /// Source-side counters a destination's merge accumulates on behalf of a
+  /// source partition; folded back (order-free integer sums) after the merge
+  /// barrier.
+  struct SendScratch {
+    cloud::WorkerLoad load;
+    Bytes outbuf_bytes = 0;
+  };
+
   void build_partitions(const Partitioning& partitioning) {
     const VertexId n = graph_->num_vertices();
     part_of_.resize(n);
@@ -365,6 +398,8 @@ class Engine {
     pending_roots_ = opts.roots;
     next_root_ = 0;
     outstanding_roots_.clear();
+    outstanding_index_.clear();
+    root_tombstones_ = 0;
     swath_index_ = 0;
     last_swath_size_ = 0;
     supersteps_since_initiation_ = 0;
@@ -395,6 +430,27 @@ class Engine {
     baseline_memory_ = 0;
     for (std::uint32_t w = 0; w < workers_now_; ++w)
       baseline_memory_ = std::max(baseline_memory_, vm_graph_bytes(w));
+
+    // Host-parallelism: resolve the lane count and size the staging buffers.
+    // The pool persists across runs when the resolved width is unchanged.
+    const std::uint32_t requested =
+        opts.parallelism == 0 ? ThreadPool::hardware_threads() : opts.parallelism;
+    threads_ = std::min<std::uint32_t>(std::max<std::uint32_t>(requested, 1),
+                                       static_cast<std::uint32_t>(parts_.size()));
+    staging_ = false;
+    if (threads_ > 1) {
+      if (!pool_ || pool_->size() != threads_) pool_ = std::make_unique<ThreadPool>(threads_);
+      outboxes_.assign(parts_.size() * parts_.size(), {});
+      send_scratch_.assign(parts_.size() * parts_.size(), {});
+      agg_log_.assign(parts_.size(), {});
+      root_log_.assign(parts_.size(), {});
+    } else {
+      pool_.reset();
+      outboxes_.clear();
+      send_scratch_.clear();
+      agg_log_.clear();
+      root_log_.clear();
+    }
 
     faults_ = cloud::FaultInjector(cluster_.faults);
     pending_retry_latency_ = 0.0;
@@ -493,42 +549,115 @@ class Engine {
     return false;
   }
 
+  /// Drain one partition's active vertices through compute(). With staging_
+  /// set, emissions land in this partition's outbox row instead of being
+  /// routed immediately; everything else this touches is partition-local, so
+  /// one thread per partition runs contention-free.
+  void compute_partition(std::uint32_t p) {
+    PartitionState& ps = parts_[p];
+    for (std::uint32_t l : ps.active_cur) {
+      VertexContext<Program> ctx(this, p, l, ps.vertices[l]);
+      std::vector<M>& box = ps.inbox_cur[l];
+      if constexpr (has_combiner()) {
+        // Lockstep invariant: with a combiner active, every buffered message
+        // has exactly one source entry (seeds included).
+        if (opts_combine_) PREGEL_DCHECK(ps.inbox_cur_src[l].size() == box.size());
+      }
+      ++ps.load.vertices_computed;
+      ps.load.messages_processed += box.size();
+      program_.compute(ctx, ps.values[l], std::span<const M>(box));
+      // Drain: buffered incoming bytes are released after compute.
+      for (const M& m : box) {
+        const Bytes b = cost_.buffered_bytes(payload_bytes(m));
+        ps.inbox_cur_bytes -= std::min(ps.inbox_cur_bytes, b);
+      }
+      box.clear();
+      // Release large buffers back to the allocator but keep small-vector
+      // capacity cached — reallocating every box every superstep is pure
+      // churn for the common small-frontier case.
+      if (box.capacity() > 64) box.shrink_to_fit();
+      if (opts_combine_) {
+        ps.inbox_cur_src[l].clear();
+        if (ps.inbox_cur_src[l].capacity() > 64) ps.inbox_cur_src[l].shrink_to_fit();
+      }
+    }
+  }
+
+  /// Apply every staged message addressed to partition q, scanning source
+  /// partitions in ascending order and each outbox in emission order — the
+  /// exact order serial execution would have delivered them in, so inbox
+  /// contents (and combiner merges) are bit-identical. Source-side counters
+  /// go to this destination's scratch row; they cannot be written to the
+  /// source partitions here because another merge thread may own them.
+  void merge_destination(std::uint32_t q) {
+    const std::size_t n = parts_.size();
+    for (std::uint32_t src = 0; src < n; ++src) {
+      std::vector<StagedMessage>& staged = outboxes_[src * n + q];
+      SendScratch& acc = send_scratch_[q * n + src];
+      for (StagedMessage& s : staged)
+        deliver(src, q, s.target_local, std::move(s.message), acc.load, acc.outbuf_bytes);
+      staged.clear();
+      if (staged.capacity() > 64) staged.shrink_to_fit();
+    }
+  }
+
+  /// Compute + route for one superstep across the thread pool, bit-identical
+  /// to the serial path. Two barriers: (1) every partition computes with
+  /// emissions staged per (source x destination) outbox, (2) every
+  /// destination applies its staged messages single-threaded. Aggregate
+  /// contributions and root completions recorded during (1) replay in
+  /// source-partition order afterwards, reproducing serial summation order.
+  void execute_superstep_parallel() {
+    const std::size_t n = parts_.size();
+    staging_ = true;
+    pool_->parallel_for(n, [this](std::size_t p) {
+      compute_partition(static_cast<std::uint32_t>(p));
+    });
+    staging_ = false;
+    pool_->parallel_for(n, [this](std::size_t q) {
+      merge_destination(static_cast<std::uint32_t>(q));
+    });
+
+    // Fold the per-(destination x source) send counters back into their
+    // source partitions (integer sums — order-free), then replay the
+    // deterministic logs in source-partition order.
+    for (std::uint32_t p = 0; p < n; ++p) {
+      PartitionState& ps = parts_[p];
+      for (std::uint32_t q = 0; q < n; ++q) {
+        SendScratch& acc = send_scratch_[q * n + p];
+        ps.load.messages_sent_local += acc.load.messages_sent_local;
+        ps.load.messages_sent_remote += acc.load.messages_sent_remote;
+        ps.load.bytes_sent_remote += acc.load.bytes_sent_remote;
+        ps.outbuf_bytes += acc.outbuf_bytes;
+        acc = {};
+      }
+    }
+    for (std::uint32_t p = 0; p < n; ++p) {
+      agg_cur_.add_all(agg_log_[p]);
+      agg_log_[p].clear();
+      for (VertexId root : root_log_[p]) mark_root_done(root);
+      root_log_[p].clear();
+    }
+  }
+
   SuperstepMetrics execute_superstep() {
     agg_cur_.clear();
-    std::uint64_t active_total = 0;
 
-    for (std::uint32_t p = 0; p < parts_.size(); ++p) {
-      PartitionState& ps = parts_[p];
-      for (std::uint32_t l : ps.active_cur) {
-        VertexContext<Program> ctx(this, p, l, ps.vertices[l]);
-        std::vector<M>& box = ps.inbox_cur[l];
-        ++ps.load.vertices_computed;
-        ps.load.messages_processed += box.size();
-        program_.compute(ctx, ps.values[l], std::span<const M>(box));
-        // Drain: buffered incoming bytes are released after compute.
-        for (const M& m : box) {
-          const Bytes b = cost_.buffered_bytes(payload_bytes(m));
-          ps.inbox_cur_bytes -= std::min(ps.inbox_cur_bytes, b);
-        }
-        box.clear();
-        // Release large buffers back to the allocator but keep small-vector
-        // capacity cached — reallocating every box every superstep is pure
-        // churn for the common small-frontier case.
-        if (box.capacity() > 64) box.shrink_to_fit();
-        if (opts_combine_) {
-          ps.inbox_cur_src[l].clear();
-          if (ps.inbox_cur_src[l].capacity() > 64) ps.inbox_cur_src[l].shrink_to_fit();
-        }
-      }
-      active_total += ps.active_cur.size();
+    if (threads_ > 1) {
+      execute_superstep_parallel();
+    } else {
+      for (std::uint32_t p = 0; p < parts_.size(); ++p) compute_partition(p);
     }
+
+    std::uint64_t active_total = 0;
+    for (const PartitionState& ps : parts_) active_total += ps.active_cur.size();
     last_active_vertices_ = active_total;
 
     SuperstepMetrics sm;
     sm.superstep = superstep_;
     sm.active_workers = workers_now_;
     sm.active_vertices = active_total;
-    sm.active_roots = outstanding_roots_.size();
+    sm.active_roots = outstanding_count();
     return sm;
   }
 
@@ -607,9 +736,10 @@ class Engine {
       std::uint32_t best = worst == 0 ? 1 : 0;
       for (std::uint32_t i = 0; i < w; ++i)
         if (i != worst && busy[i] < busy[best]) best = i;
-      std::vector<Seconds> sorted = busy;
-      std::nth_element(sorted.begin(), sorted.begin() + w / 2, sorted.end());
-      const Seconds median = sorted[w / 2];
+      // True median (even counts average the two middle samples): the old
+      // upper-median made the timeout threshold jump discontinuously between
+      // odd and even worker counts.
+      const Seconds median = median_of(busy);
       const Seconds timeout = cluster_.straggler_timeout_factor * median;
       if (median > 0.0 && busy[worst] > timeout) {
         const Seconds reexec_compute = raw_compute[worst] * factors[best];
@@ -758,7 +888,7 @@ class Engine {
       sig.superstep = superstep_;
       sig.supersteps_since_initiation = supersteps_since_initiation_;
       sig.messages_sent = last_messages_sent_;
-      sig.active_roots = outstanding_roots_.size();
+      sig.active_roots = outstanding_count();
       sig.max_worker_memory = peak_memory_since_initiation_;
       sig.memory_target = opts_.swath.memory_target;
       if (!opts_.swath.initiation->should_initiate(sig)) return;
@@ -778,6 +908,7 @@ class Engine {
       const VertexId root = pending_roots_[next_root_++];
       inject_seed(root);
       outstanding_roots_.push_back(root);
+      outstanding_index_.try_emplace(root, outstanding_roots_.size() - 1);
     }
     ++swath_index_;
     last_swath_size_ = size;
@@ -897,6 +1028,7 @@ class Engine {
   }
 
   void take_snapshot(std::uint64_t resume_superstep) {
+    compact_outstanding_roots();  // snapshot a tombstone-free root list
     Snapshot s;
     s.parts = parts_;
     s.superstep = resume_superstep;
@@ -998,6 +1130,8 @@ class Engine {
     pending_roots_ = s.pending_roots;
     next_root_ = s.next_root;
     outstanding_roots_ = s.outstanding_roots;
+    root_tombstones_ = 0;
+    rebuild_root_index();
     roots_completed_ = s.roots_completed;
     swath_index_ = s.swath_index;
     last_swath_size_ = s.last_swath_size;
@@ -1062,6 +1196,12 @@ class Engine {
     restore_snapshot_state();
   }
 
+  /// Manager-injected seeds carry this sentinel in the combiner source
+  /// array: no worker VM id ever equals it (the sender-side combining model
+  /// already keys sources by uint8_t VM id), so worker messages never merge
+  /// into a seed and vice versa.
+  static constexpr std::uint8_t kSeedSource = 0xFF;
+
   void inject_seed(VertexId root) {
     if constexpr (requires(VertexId r) {
                     { Program::seed_message(r) } -> std::convertible_to<M>;
@@ -1072,6 +1212,12 @@ class Engine {
       PartitionState& ps = parts_[p];
       ps.inbox_next_bytes += cost_.buffered_bytes(payload_bytes(seed));
       ps.inbox_next[l].push_back(std::move(seed));
+      // Keep the combiner source array in lockstep with the inbox: a seed
+      // appended without a source entry leaves the arrays desynced, and any
+      // later combiner scan of this inbox would read srcs[i] past its end.
+      if constexpr (has_combiner()) {
+        if (opts_combine_) ps.inbox_next_src[l].push_back(kSeedSource);
+      }
       activate_local(p, l);
     }
   }
@@ -1082,9 +1228,27 @@ class Engine {
     PREGEL_DCHECK(target < graph_->num_vertices());
     const std::uint32_t tp = part_of_[target];
     const std::uint32_t tl = local_of_[target];
+    if (staging_) {
+      // Parallel compute phase: capture the emission in this source
+      // partition's outbox row; the deterministic merge delivers it after
+      // the compute barrier. No shared state is touched here.
+      outboxes_[from_partition * parts_.size() + tp].push_back(
+          StagedMessage{tl, std::move(message)});
+      return;
+    }
     PartitionState& src = parts_[from_partition];
-    PartitionState& dst = parts_[tp];
+    deliver(from_partition, tp, tl, std::move(message), src.load, src.outbuf_bytes);
+  }
 
+  /// Deliver one emitted message into partition `tp`'s next inbox: combiner
+  /// merge, send/receive accounting, activation. The serial path (route) and
+  /// the parallel merge (merge_destination) share this verbatim so their
+  /// per-message effects are identical; source-side counters go through the
+  /// `src_load`/`src_outbuf` out-params because the merge cannot write the
+  /// source partition directly.
+  void deliver(std::uint32_t from_partition, std::uint32_t tp, std::uint32_t tl, M&& message,
+               cloud::WorkerLoad& src_load, Bytes& src_outbuf) {
+    PartitionState& dst = parts_[tp];
     const Bytes payload = payload_bytes(message);
     const bool remote =
         vm_of(from_partition) != vm_of(tp);
@@ -1099,6 +1263,7 @@ class Engine {
         const auto src_vm = static_cast<std::uint8_t>(vm_of(from_partition));
         auto& box = dst.inbox_next[tl];
         auto& srcs = dst.inbox_next_src[tl];
+        PREGEL_DCHECK(box.size() == srcs.size());
         for (std::size_t i = 0; i < box.size(); ++i) {
           if (srcs[i] == src_vm && Program::combine_key(box[i]) == key) {
             Program::combine(box[i], message);
@@ -1111,15 +1276,15 @@ class Engine {
     }
 
     if (remote) {
-      ++src.load.messages_sent_remote;
+      ++src_load.messages_sent_remote;
       const Bytes wire = cost_.wire_bytes(payload);
-      src.load.bytes_sent_remote += wire;
-      src.outbuf_bytes += wire;
+      src_load.bytes_sent_remote += wire;
+      src_outbuf += wire;
       dst.load.bytes_received_remote += wire;
       if (log_outboxes_)
         outbox_log_cur_[from_partition * parts_.size() + tp] += wire;
     } else {
-      ++src.load.messages_sent_local;
+      ++src_load.messages_sent_local;
     }
     dst.inbox_next_bytes += cost_.buffered_bytes(payload);
     dst.inbox_next[tl].push_back(std::move(message));
@@ -1143,12 +1308,71 @@ class Engine {
     parts_[partition].state_bytes += delta;
   }
 
+  /// Vertex-context aggregate contribution. During parallel compute the
+  /// contribution is logged per source partition and replayed in partition
+  /// order at the barrier (exact serial summation order); serially it sums
+  /// immediately.
+  void aggregate_from(std::uint32_t partition, std::uint64_t key, double value) {
+    if (staging_)
+      agg_log_[partition].emplace_back(key, value);
+    else
+      agg_cur_.add(key, value);
+  }
+
+  /// Vertex-context root completion, staged like aggregate_from so parallel
+  /// compute threads never touch the shared root bookkeeping.
+  void root_done_from(std::uint32_t partition, VertexId root) {
+    if (staging_)
+      root_log_[partition].push_back(root);
+    else
+      mark_root_done(root);
+  }
+
+  /// O(1) amortized root completion: tombstone the entry, drop its index
+  /// record, and compact when tombstones reach half the array. Initiation
+  /// order of the survivors is preserved throughout.
   void mark_root_done(VertexId root) {
-    auto it = std::find(outstanding_roots_.begin(), outstanding_roots_.end(), root);
-    if (it != outstanding_roots_.end()) {
-      outstanding_roots_.erase(it);
-      ++roots_completed_;
+    std::size_t pos;
+    if (auto it = outstanding_index_.find(root); it != outstanding_index_.end()) {
+      pos = it->second;
+      outstanding_index_.erase(it);
+    } else {
+      // Not indexed: either never outstanding, or a duplicate initiation of
+      // a root whose first occurrence was already completed. The original
+      // linear-scan semantics (erase the earliest live occurrence) apply.
+      auto lin = std::find(outstanding_roots_.begin(), outstanding_roots_.end(), root);
+      if (lin == outstanding_roots_.end()) return;
+      pos = static_cast<std::size_t>(lin - outstanding_roots_.begin());
     }
+    outstanding_roots_[pos] = kInvalidVertex;
+    ++root_tombstones_;
+    ++roots_completed_;
+    if (root_tombstones_ * 2 > outstanding_roots_.size()) compact_outstanding_roots();
+  }
+
+  /// Roots initiated and not yet completed, in initiation order.
+  const std::vector<VertexId>& active_roots() {
+    compact_outstanding_roots();
+    return outstanding_roots_;
+  }
+
+  std::size_t outstanding_count() const noexcept {
+    return outstanding_roots_.size() - root_tombstones_;
+  }
+
+  void compact_outstanding_roots() {
+    if (root_tombstones_ == 0) return;
+    std::erase(outstanding_roots_, kInvalidVertex);
+    root_tombstones_ = 0;
+    rebuild_root_index();
+  }
+
+  /// try_emplace keeps the first occurrence of a duplicate root indexed,
+  /// matching what a linear scan would find.
+  void rebuild_root_index() {
+    outstanding_index_.clear();
+    for (std::size_t i = 0; i < outstanding_roots_.size(); ++i)
+      outstanding_index_.try_emplace(outstanding_roots_[i], i);
   }
 
   void collect(JobResult<Program>& result) {
@@ -1188,7 +1412,12 @@ class Engine {
 
   std::vector<VertexId> pending_roots_;
   std::size_t next_root_ = 0;
+  /// Outstanding roots in initiation order; completed entries are tombstoned
+  /// with kInvalidVertex and compacted when they reach half the array.
   std::vector<VertexId> outstanding_roots_;
+  /// root -> position in outstanding_roots_ (first occurrence; live entries only).
+  std::unordered_map<VertexId, std::size_t> outstanding_index_;
+  std::size_t root_tombstones_ = 0;
   std::uint64_t roots_completed_ = 0;
   std::uint32_t swath_index_ = 0;
   std::uint32_t last_swath_size_ = 0;
@@ -1217,6 +1446,17 @@ class Engine {
 
   std::vector<std::uint32_t> placement_;
   Seconds pending_placement_cost_ = 0.0;
+
+  // -- host parallelism (wall-clock only; no effect on results or model) ----
+  std::unique_ptr<ThreadPool> pool_;
+  std::uint32_t threads_ = 1;  ///< resolved execution lanes for this run
+  /// True during the parallel compute phase: route() stages emissions
+  /// instead of delivering, and aggregate/root callbacks log per partition.
+  bool staging_ = false;
+  std::vector<std::vector<StagedMessage>> outboxes_;  ///< [src * P + dst]
+  std::vector<SendScratch> send_scratch_;             ///< [dst * P + src]
+  std::vector<std::vector<std::pair<std::uint64_t, double>>> agg_log_;  ///< per src partition
+  std::vector<std::vector<VertexId>> root_log_;                         ///< per src partition
 };
 
 }  // namespace pregel

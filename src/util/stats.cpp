@@ -5,6 +5,20 @@
 
 namespace pregel {
 
+double median_of(std::vector<double> samples) noexcept {
+  if (samples.empty()) return 0.0;
+  const std::size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(mid),
+                   samples.end());
+  double median = samples[mid];
+  if (samples.size() % 2 == 0) {
+    const double lower =
+        *std::max_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(mid));
+    median = lower + (median - lower) / 2.0;
+  }
+  return median;
+}
+
 void RunningStats::add(double x) noexcept {
   ++n_;
   sum_ += x;

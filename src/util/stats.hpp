@@ -8,6 +8,11 @@
 
 namespace pregel {
 
+/// Exact median of a sample: the middle element for odd sizes, the average
+/// of the two middle elements for even sizes (O(n) via nth_element; takes
+/// the sample by value because selection reorders it). 0 when empty.
+double median_of(std::vector<double> samples) noexcept;
+
 /// Welford online accumulator: mean / variance / min / max in one pass with
 /// no stored samples. Used for per-superstep metric summaries.
 class RunningStats {

@@ -1,0 +1,64 @@
+// Persistent fork-join worker pool for superstep execution.
+//
+// The engine keeps one pool alive across supersteps and issues two
+// parallel_for barriers per superstep (compute, then merge), so the pool is
+// built for cheap repeated dispatch rather than general task scheduling:
+// one mutex, one epoch counter, and an atomic index that workers race on.
+// Work distribution is dynamic (whichever thread is free grabs the next
+// index), which is safe for the engine's determinism contract because each
+// index owns a disjoint slice of state — *what* runs where never affects
+// results, only wall-clock time.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pregel {
+
+class ThreadPool {
+ public:
+  /// `workers` total execution lanes, including the caller's thread during
+  /// parallel_for; workers - 1 OS threads are spawned. Clamped to >= 1.
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return workers_; }
+
+  /// std::thread::hardware_concurrency with the unknown (0) case mapped to 1.
+  static unsigned hardware_threads() noexcept;
+
+  /// Run body(i) for every i in [0, n); the calling thread participates and
+  /// the call returns only after every index completed. The first exception
+  /// thrown by any body is rethrown here after the barrier. Not reentrant:
+  /// body must not call parallel_for on the same pool.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  /// Grab-and-run indices until the current job is exhausted.
+  void run_indices();
+
+  unsigned workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_, done_cv_;
+  const std::function<void(std::size_t)>* body_ = nullptr;  // guarded by mutex_
+  std::size_t n_ = 0;                                       // guarded by mutex_
+  std::atomic<std::size_t> next_{0};
+  std::size_t finished_ = 0;   ///< workers done with the current epoch
+  std::uint64_t epoch_ = 0;    ///< bumped per job; workers wait on a change
+  bool stop_ = false;
+  std::exception_ptr error_;   // guarded by mutex_; first failure wins
+};
+
+}  // namespace pregel

@@ -1,0 +1,136 @@
+// Regression coverage for the combiner/seed inbox desync: inject_seed used
+// to append a seed message to a vertex's next inbox without the matching
+// source-VM entry, leaving the two arrays the combiner scan walks in
+// lockstep desynced (srcs[i] indexed past its end). These tests run every
+// root-seeded algorithm with the combiner enabled — the configuration that
+// materializes the desync — and pin the results against combiner-off runs;
+// debug builds additionally assert the lockstep invariant at every combiner
+// scan and inbox drain.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "algos/apsp.hpp"
+#include "algos/bc.hpp"
+#include "algos/sssp.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "partition/partitioner.hpp"
+
+namespace pregel {
+namespace {
+
+using algos::ApspProgram;
+using algos::BcProgram;
+using algos::SsspProgram;
+
+ClusterConfig small_cluster() {
+  ClusterConfig c;
+  c.num_partitions = 6;
+  c.initial_workers = 3;
+  return c;
+}
+
+TEST(CombinerSeeds, SsspFromSeededRootWithCombiner) {
+  const Graph g = watts_strogatz(400, 6, 0.15, 71);
+  const ClusterConfig c = small_cluster();
+  const auto parts = HashPartitioner{}.partition(g, c.num_partitions);
+
+  for (VertexId source : {VertexId{0}, VertexId{137}, VertexId{399}}) {
+    const auto plain = algos::run_sssp(g, c, parts, source, /*use_combiner=*/false);
+    const auto combined = algos::run_sssp(g, c, parts, source, /*use_combiner=*/true);
+    ASSERT_FALSE(combined.failed);
+    EXPECT_EQ(combined.values[source].distance, 0u);
+    for (std::size_t v = 0; v < plain.values.size(); ++v)
+      EXPECT_EQ(plain.values[v].distance, combined.values[v].distance)
+          << "source " << source << " vertex " << v;
+  }
+}
+
+// Multi-swath APSP injects fresh seeds at barriers throughout the run — the
+// sustained version of the desync scenario: every swath appends seed
+// messages to inboxes the combiner scan will walk.
+TEST(CombinerSeeds, ApspMultiSwathWithCombiner) {
+  const Graph g = barabasi_albert(250, 3, 73);
+  const ClusterConfig c = small_cluster();
+  const auto parts = HashPartitioner{}.partition(g, c.num_partitions);
+
+  std::vector<VertexId> roots;
+  for (VertexId r = 0; r < 32; ++r) roots.push_back(r * 5 % 250);
+  const SwathPolicy swath = SwathPolicy::make(std::make_shared<StaticSwathSizer>(8),
+                                              std::make_shared<StaticNInitiation>(2), 0);
+
+  Engine<ApspProgram> plain_engine(g, {}, c, parts);
+  JobOptions o;
+  o.roots = roots;
+  o.swath = swath;
+  o.use_combiner = false;
+  const auto plain = plain_engine.run(o);
+
+  Engine<ApspProgram> combined_engine(g, {}, c, parts);
+  o.use_combiner = true;
+  const auto combined = combined_engine.run(o);
+
+  ASSERT_FALSE(combined.failed);
+  EXPECT_EQ(combined.roots_completed, roots.size());
+  EXPECT_EQ(combined.roots_completed, plain.roots_completed);
+  ASSERT_EQ(plain.values.size(), combined.values.size());
+  for (std::size_t v = 0; v < plain.values.size(); ++v)
+    for (VertexId root : roots)
+      EXPECT_EQ(plain.values[v].distance_from(root), combined.values[v].distance_from(root))
+          << "vertex " << v << " root " << root;
+}
+
+// BC defines no combiner, so use_combiner must be inert for it — but the
+// engine still routes seeds through the combiner-aware bookkeeping when the
+// flag is set, which is exactly the code path the desync lived on.
+TEST(CombinerSeeds, BcRootsWithCombinerFlagInert) {
+  const Graph g = barabasi_albert(200, 3, 79);
+  const ClusterConfig c = small_cluster();
+  const auto parts = HashPartitioner{}.partition(g, c.num_partitions);
+
+  std::vector<VertexId> roots{0, 11, 57, 123, 199};
+  const SwathPolicy swath = SwathPolicy::make(std::make_shared<StaticSwathSizer>(2),
+                                              std::make_shared<StaticNInitiation>(4), 0);
+
+  JobOptions o;
+  o.roots = roots;
+  o.swath = swath;
+  o.use_combiner = false;
+  Engine<BcProgram> plain_engine(g, {}, c, parts);
+  const auto plain = plain_engine.run(o);
+
+  o.use_combiner = true;
+  Engine<BcProgram> flagged_engine(g, {}, c, parts);
+  const auto flagged = flagged_engine.run(o);
+
+  ASSERT_FALSE(flagged.failed);
+  EXPECT_EQ(flagged.roots_completed, roots.size());
+  for (std::size_t v = 0; v < plain.values.size(); ++v)
+    EXPECT_EQ(plain.values[v].bc_score, flagged.values[v].bc_score) << "vertex " << v;
+}
+
+// Seeds must never combine with worker traffic: a seed carries the manager
+// sentinel as its source, so a same-key message from any VM still buffers
+// separately. SSSP's seed (distance 0) decides the root's value — if a
+// worker message merged into it the root could report a nonzero distance.
+TEST(CombinerSeeds, SeedNeverMergesWithWorkerMessages) {
+  // Cycle: the root receives worker messages (distance n-1 candidates from
+  // its neighbors going the long way) in the same supersteps its own seed
+  // sits buffered.
+  const VertexId n = 60;
+  GraphBuilder b(n, /*undirected=*/true);
+  for (VertexId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  const Graph g = b.build();
+  const ClusterConfig c = small_cluster();
+  const auto parts = HashPartitioner{}.partition(g, c.num_partitions);
+
+  const auto r = algos::run_sssp(g, c, parts, /*source=*/0, /*use_combiner=*/true);
+  EXPECT_EQ(r.values[0].distance, 0u);
+  for (VertexId v = 0; v < n; ++v)
+    EXPECT_EQ(r.values[v].distance, std::min(v, n - v)) << "vertex " << v;
+}
+
+}  // namespace
+}  // namespace pregel

@@ -11,6 +11,37 @@
 namespace pregel {
 namespace {
 
+TEST(MedianOf, EmptyIsZero) { EXPECT_EQ(median_of({}), 0.0); }
+
+TEST(MedianOf, SingleAndPair) {
+  EXPECT_EQ(median_of({7.5}), 7.5);
+  // Even count: the average of the two middle samples, not either sample.
+  EXPECT_EQ(median_of({2.0, 10.0}), 6.0);
+}
+
+TEST(MedianOf, OddPicksMiddle) {
+  EXPECT_EQ(median_of({9.0, 1.0, 5.0}), 5.0);
+  EXPECT_EQ(median_of({3.0, 1.0, 4.0, 1.0, 5.0}), 3.0);
+}
+
+TEST(MedianOf, EvenAveragesMiddlePair) {
+  // The boundary the straggler timeout depends on: for {1, 2, 8, 100} the
+  // upper-median sample is 8 but the true median is 5.
+  EXPECT_EQ(median_of({100.0, 2.0, 8.0, 1.0}), 5.0);
+  EXPECT_EQ(median_of({4.0, 4.0, 4.0, 4.0}), 4.0);
+  EXPECT_EQ(median_of({1.0, 2.0, 3.0, 4.0, 5.0, 6.0}), 3.5);
+}
+
+TEST(MedianOf, UnsortedInputAndDuplicates) {
+  EXPECT_EQ(median_of({5.0, 5.0, 1.0, 5.0}), 5.0);
+  EXPECT_EQ(median_of({-3.0, -1.0, -2.0, -4.0}), -2.5);
+}
+
+TEST(MedianOf, AverageOfMiddlePairAvoidsOverflow) {
+  const double big = std::numeric_limits<double>::max();
+  EXPECT_EQ(median_of({big, big}), big);
+}
+
 TEST(RunningStats, EmptyIsNeutral) {
   RunningStats s;
   EXPECT_TRUE(s.empty());
