@@ -21,7 +21,8 @@ using namespace pregel;
 using namespace pregel::algos;
 using namespace pregel::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::init(argc, argv);
   banner("Ablation — combiners (the paper's omitted Pregel extension)",
          "benefit is algorithm dependent: APSP gains, PageRank barely, BC "
          "cannot use one");

@@ -39,7 +39,8 @@ Outcome outcome_of(const Run& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::init(argc, argv);
   banner("Ablation — dynamic partition placement (32 partitions on 8 VMs)",
          "rebalancing fixes sustained skew, chases moving BC frontiers, and "
          "is a no-op on uniform hash layouts");

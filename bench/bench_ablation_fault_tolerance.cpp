@@ -16,7 +16,8 @@ using namespace pregel;
 using namespace pregel::algos;
 using namespace pregel::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::init(argc, argv);
   banner("Ablation — checkpoint interval vs failure recovery cost",
          "the omitted Pregel extension, quantified: frequent checkpoints "
          "bound failure exposure (fewer replays -> fewer re-failures); "

@@ -13,7 +13,8 @@ using namespace pregel;
 using namespace pregel::algos;
 using namespace pregel::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::init(argc, argv);
   banner("Ablation — streaming partitioner heuristic family (Stanton-Kliot)",
          "the paper picks LDG as 'the best heuristic'; the family spans "
          "random (worst) to LDG/greedy (best)");

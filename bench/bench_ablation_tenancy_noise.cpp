@@ -21,7 +21,8 @@ using namespace pregel;
 using namespace pregel::algos;
 using namespace pregel::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::init(argc, argv);
   banner("Ablation — multi-tenancy noise amplification under BSP barriers",
          "identical per-VM noise, but span = max over workers: slowdown "
          "grows with both sigma and the worker count");

@@ -14,7 +14,8 @@ using namespace pregel;
 using namespace pregel::algos;
 using namespace pregel::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::init(argc, argv);
   banner("Ablation — thrash-penalty sensitivity of the swath speedup",
          "the swath win is exactly the avoided paging: no penalty, no win");
 

@@ -16,7 +16,8 @@ using namespace pregel;
 using namespace pregel::algos;
 using namespace pregel::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::init(argc, argv);
   banner("Ablation — static worker-count scaling (WG analog)",
          "speedup saturates as barriers grow; BC additionally gains "
          "superlinearly while added workers relieve memory pressure");

@@ -59,7 +59,8 @@ FixedRun run_fixed(const Graph& g, const ClusterConfig& cluster, const Partition
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::init(argc, argv);
   banner("Figures 15-16 — elastic scaling of BSP workers (BC, fixed swaths)",
          "superlinear per-superstep speedup at active-vertex peaks; dynamic "
          "50%-threshold scaling ~ oracle ~ 8-worker speed at ~4-worker cost");

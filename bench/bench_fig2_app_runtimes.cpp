@@ -24,7 +24,8 @@ using namespace pregel;
 using namespace pregel::algos;
 using namespace pregel::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::init(argc, argv);
   banner("Figure 2 — application runtimes (8 workers, log scale)",
          "BC and APSP ~4 orders of magnitude slower than PageRank; LJ only "
          "feasible for PageRank");

@@ -33,7 +33,8 @@ std::vector<double> per_worker_messages(const JobMetrics& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::init(argc, argv);
   banner("Figure 3 — message profile per superstep (WG, 8 workers)",
          "PageRank flat (~637k msgs/worker); BC and APSP triangle waves "
          "(peaks 4.7M and 3M for a single 7-root swath)");

@@ -54,7 +54,8 @@ ConfigResult run_config(const std::string& label, const Graph& g,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::init(argc, argv);
   banner("Figure 4 — swath-size heuristic speedup vs baseline (BC)",
          "sampling ~2.5-3x, adaptive up to 3.5x on 8 workers; adaptive on 4 "
          "workers beats the 8-worker baseline");

@@ -61,7 +61,8 @@ std::vector<double> resample(const Trace& tr, double t_max, std::size_t points) 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::init(argc, argv);
   banner("Figure 5 — memory over time, BC on WG",
          "baseline hits the physical-memory ceiling (spills); adaptive hugs "
          "the 6/7 target; closer to target without crossing RAM = faster");

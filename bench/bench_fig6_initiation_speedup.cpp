@@ -42,7 +42,8 @@ Run run_policy(const std::string& label, const Graph& g, const ClusterConfig& cl
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::init(argc, argv);
   banner("Figure 6 — swath-initiation heuristic speedup vs sequential (BC, 8 workers)",
          "dynamic up to 24% on WG; Static-N graph-dependent (N=4 best for CP)");
 

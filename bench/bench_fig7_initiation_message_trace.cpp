@@ -45,7 +45,8 @@ Trace run_trace(const std::string& label, const Graph& g, const ClusterConfig& c
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::init(argc, argv);
   banner("Figure 7 — message transfers over supersteps per initiation heuristic (BC, WG)",
          "sequential: peaks falling to zero; static-6: sustained high rate; "
          "dynamic: slightly conservative but automated. Flatter is better.");

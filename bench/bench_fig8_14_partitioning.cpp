@@ -80,7 +80,8 @@ RunRecord record_from(const JobMetrics& m, std::size_t peak_count = 4) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::init(argc, argv);
   banner("Figures 8-14 — partitioning impact on Pregel/BSP (8 workers)",
          "good partitioning helps WG (42-50% with METIS) but not CP: barrier "
          "synchronization turns METIS's activity concentration into wait time");

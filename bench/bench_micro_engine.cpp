@@ -2,14 +2,25 @@
 // routing throughput through the engine, partitioner throughput, and graph
 // generation. These are not paper figures; they track the simulator's own
 // performance so regressions in the substrate are visible.
+//
+// In addition to the native google-benchmark flags (--benchmark_format=json,
+// --benchmark_out=..., used by CI's bench-smoke job), `--report <path>` writes
+// a pregelpp-bench-v1 JSON report (see harness/bench_report.hpp) with per-series
+// median/p90 wall times and the engine's perf-counter totals.
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "algos/pagerank.hpp"
 #include "algos/sssp.hpp"
 #include "graph/generators.hpp"
+#include "harness/bench_report.hpp"
 #include "partition/multilevel.hpp"
 #include "partition/partitioner.hpp"
 #include "partition/streaming.hpp"
+#include "runtime/trace.hpp"
 
 namespace {
 
@@ -127,6 +138,88 @@ void BM_GenerateBarabasiAlbert(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateBarabasiAlbert)->Unit(benchmark::kMillisecond);
 
+// google-benchmark finalizes user counters inside its reporters (rate
+// counters divide by elapsed time, average counters by iterations); the Run
+// objects still carry the raw values, so reproduce that adjustment here.
+double finished_counter_value(const benchmark::Counter& c, double iterations,
+                              double real_seconds) {
+  double v = c.value;
+  if ((c.flags & benchmark::Counter::kIsRate) != 0 && real_seconds > 0.0)
+    v /= real_seconds;
+  if ((c.flags & benchmark::Counter::kIsIterationInvariant) != 0) v *= iterations;
+  if ((c.flags & benchmark::Counter::kAvgIterations) != 0 && iterations > 0.0)
+    v /= iterations;
+  if ((c.flags & benchmark::Counter::kInvert) != 0 && v != 0.0) v = 1.0 / v;
+  return v;
+}
+
+// Console output as usual, plus every per-iteration run folded into the
+// BenchReport as one wall-clock sample per repetition.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CollectingReporter(pregel::harness::BenchReport& report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      report_.add_sample(name, run.real_accumulated_time / iters);
+      for (const auto& [key, counter] : run.counters)
+        report_.set_series_counter(
+            name, key,
+            finished_counter_value(counter, iters, run.real_accumulated_time));
+    }
+  }
+
+ private:
+  pregel::harness::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --report before google-benchmark sees argv; its native flags
+  // (--benchmark_filter, --benchmark_format=json, --benchmark_out, ...)
+  // pass through untouched.
+  std::string report_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_path = std::string(arg.substr(std::string_view("--report=").size()));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  if (report_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+
+  // Enable the perf-counter registry (spans stay off — no timeline needed)
+  // so engine/cloud totals land in the report next to the timings.
+  pregel::trace::TraceConfig cfg;
+  cfg.spans = false;
+  cfg.counters = true;
+  cfg.process_name = "bench_micro_engine";
+  pregel::trace::Tracer::instance().configure(cfg);
+
+  pregel::harness::BenchReport report("micro_engine");
+  CollectingReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.include_trace_counters();
+  report.write_file(report_path);
+  return 0;
+}

@@ -21,7 +21,8 @@
 using namespace pregel;
 using namespace pregel::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::init(argc, argv);
   banner("Table 1 — evaluation datasets",
          "four SNAP small-world graphs; 90% effective diameters 4.7-9.4");
 

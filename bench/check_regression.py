@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI's bench-smoke job.
+
+Compares a fresh google-benchmark JSON run of bench_micro_engine against the
+checked-in baseline and fails (exit 1) when throughput regresses beyond the
+threshold.
+
+Usage:
+    python3 bench/check_regression.py CURRENT.json [BASELINE.json]
+        [--benchmark BM_EngineMessageRouting] [--threshold 0.25]
+
+The gate reads `items_per_second` from every non-aggregate entry whose name
+starts with the gated benchmark (e.g. BM_EngineMessageRouting/2,
+BM_EngineMessageRouting/5) and compares per-name medians. A name present in
+the baseline but missing from the current run is an error; extra names in the
+current run are ignored (new benchmarks don't need a baseline entry yet).
+
+Refreshing the baseline after an intentional perf change (one line):
+    cp BENCH_micro_engine.json bench/baselines/micro_engine.json
+where BENCH_micro_engine.json is the artifact downloaded from a green
+bench-smoke run on main (runner-generated numbers, so the comparison stays
+apples-to-apples; local hardware differs from CI hardware).
+
+The default threshold (25%) is wide on purpose: shared CI runners jitter, and
+the gate exists to catch algorithmic regressions (a dropped combiner, an
+accidental O(V) scan per message), not single-digit noise.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def medians_by_name(path, prefix):
+    """Map benchmark name -> median items_per_second across repetitions."""
+    with open(path) as f:
+        data = json.load(f)
+    samples = {}
+    for entry in data.get("benchmarks", []):
+        # Repetition runs carry run_type "iteration"; aggregates (_mean,
+        # _median, _stddev) and errored entries are skipped.
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        if entry.get("error_occurred"):
+            continue
+        name = entry.get("run_name", entry["name"])
+        if not name.startswith(prefix):
+            continue
+        if "items_per_second" not in entry:
+            continue
+        samples.setdefault(name, []).append(float(entry["items_per_second"]))
+    return {name: statistics.median(vals) for name, vals in samples.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="google-benchmark JSON from this run")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default="bench/baselines/micro_engine.json",
+        help="checked-in baseline JSON (default: %(default)s)",
+    )
+    parser.add_argument("--benchmark", default="BM_EngineMessageRouting")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="max allowed fractional items/s drop (default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    current = medians_by_name(args.current, args.benchmark)
+    baseline = medians_by_name(args.baseline, args.benchmark)
+    if not baseline:
+        print(f"error: no '{args.benchmark}' entries in baseline {args.baseline}")
+        return 1
+    if not current:
+        print(f"error: no '{args.benchmark}' entries in {args.current}")
+        return 1
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            print(f"error: baseline entry {name} missing from current run")
+            failures.append(name)
+            continue
+        now = current[name]
+        change = (now - base) / base
+        status = "OK"
+        if change < -args.threshold:
+            status = f"REGRESSION (> {args.threshold:.0%} drop)"
+            failures.append(name)
+        print(
+            f"{name}: baseline {base:,.0f} items/s -> current {now:,.0f} items/s "
+            f"({change:+.1%}) {status}"
+        )
+
+    if failures:
+        print(f"\nbench gate FAILED for: {', '.join(failures)}")
+        print("If this change is an accepted perf tradeoff, refresh the baseline")
+        print("(see the docstring at the top of this script).")
+        return 1
+    print("\nbench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

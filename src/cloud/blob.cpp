@@ -2,9 +2,21 @@
 
 #include <stdexcept>
 
+#include "runtime/trace.hpp"
 #include "util/check.hpp"
 
 namespace pregel::cloud {
+
+namespace {
+
+void count_blob_op(Bytes bytes) {
+  if (!trace::counters_on()) return;
+  trace::Tracer& t = trace::Tracer::instance();
+  t.counter("cloud.blob.ops").add(1);
+  if (bytes > 0) t.counter("cloud.blob.bytes").add(bytes);
+}
+
+}  // namespace
 
 BlobStore::BlobStore(double throughput_bps, Seconds op_latency)
     : throughput_bps_(throughput_bps), op_latency_(op_latency) {
@@ -13,6 +25,7 @@ BlobStore::BlobStore(double throughput_bps, Seconds op_latency)
 
 void BlobStore::put(const std::string& name, std::vector<std::byte> data) {
   ++ops_;
+  count_blob_op(static_cast<Bytes>(data.size()));
   blobs_[name] = std::move(data);
 }
 
@@ -20,6 +33,7 @@ const std::vector<std::byte>& BlobStore::get(const std::string& name) const {
   ++ops_;
   auto it = blobs_.find(name);
   if (it == blobs_.end()) throw std::out_of_range("BlobStore::get: no blob " + name);
+  count_blob_op(static_cast<Bytes>(it->second.size()));
   return it->second;
 }
 
@@ -27,6 +41,7 @@ bool BlobStore::exists(const std::string& name) const { return blobs_.contains(n
 
 void BlobStore::remove(const std::string& name) {
   ++ops_;
+  count_blob_op(0);
   blobs_.erase(name);
 }
 

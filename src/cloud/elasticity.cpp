@@ -1,8 +1,23 @@
 #include "cloud/elasticity.hpp"
 
+#include "runtime/trace.hpp"
 #include "util/check.hpp"
 
 namespace pregel::cloud {
+
+namespace {
+
+/// Every barrier-time scaling decision is countable; a decision that departs
+/// from the current worker count additionally counts as a change (the
+/// engine's scale.decision instant carries the from/to detail).
+void count_decision(std::uint32_t decided, const ScalingSignals& s) {
+  if (!trace::counters_on()) return;
+  trace::Tracer& t = trace::Tracer::instance();
+  t.counter("cloud.scaling.decisions").add(1);
+  if (decided != s.current_workers) t.counter("cloud.scaling.changes").add(1);
+}
+
+}  // namespace
 
 ActiveVertexScaling::ActiveVertexScaling(std::uint32_t low, std::uint32_t high,
                                          double threshold)
@@ -14,10 +29,14 @@ ActiveVertexScaling::ActiveVertexScaling(std::uint32_t low, std::uint32_t high,
 }
 
 std::uint32_t ActiveVertexScaling::decide(const ScalingSignals& s) {
-  if (s.total_vertices == 0) return low_;
-  const double frac =
-      static_cast<double>(s.active_vertices) / static_cast<double>(s.total_vertices);
-  return frac >= threshold_ ? high_ : low_;
+  const double frac = s.total_vertices == 0
+                          ? 0.0
+                          : static_cast<double>(s.active_vertices) /
+                                static_cast<double>(s.total_vertices);
+  const std::uint32_t decided =
+      s.total_vertices != 0 && frac >= threshold_ ? high_ : low_;
+  count_decision(decided, s);
+  return decided;
 }
 
 std::string ActiveVertexScaling::name() const {
@@ -36,12 +55,15 @@ HysteresisScaling::HysteresisScaling(std::uint32_t low, std::uint32_t high,
 }
 
 std::uint32_t HysteresisScaling::decide(const ScalingSignals& s) {
-  if (s.total_vertices == 0) return scaled_out_ ? high_ : low_;
-  const double frac =
-      static_cast<double>(s.active_vertices) / static_cast<double>(s.total_vertices);
-  if (!scaled_out_ && frac >= out_) scaled_out_ = true;
-  else if (scaled_out_ && frac <= in_) scaled_out_ = false;
-  return scaled_out_ ? high_ : low_;
+  if (s.total_vertices != 0) {
+    const double frac =
+        static_cast<double>(s.active_vertices) / static_cast<double>(s.total_vertices);
+    if (!scaled_out_ && frac >= out_) scaled_out_ = true;
+    else if (scaled_out_ && frac <= in_) scaled_out_ = false;
+  }
+  const std::uint32_t decided = scaled_out_ ? high_ : low_;
+  count_decision(decided, s);
+  return decided;
 }
 
 std::string HysteresisScaling::name() const {
@@ -64,8 +86,10 @@ std::uint32_t OracleScaling::decide(const ScalingSignals& s) {
   // The decision at the barrier before superstep s+1 uses that superstep's
   // recorded costs (the oracle knows the future — that is the point).
   const std::uint64_t next = s.superstep + 1;
-  if (next >= times_low_.size()) return low_;
-  return times_high_[next] < times_low_[next] ? high_ : low_;
+  const std::uint32_t decided =
+      next < times_low_.size() && times_high_[next] < times_low_[next] ? high_ : low_;
+  count_decision(decided, s);
+  return decided;
 }
 
 }  // namespace pregel::cloud

@@ -3,7 +3,20 @@
 #include <charconv>
 #include <stdexcept>
 
+#include "runtime/trace.hpp"
+
 namespace pregel::cloud {
+
+namespace {
+
+/// Registry handle cached once; after that an op costs one flag load plus
+/// one relaxed atomic add (these run on the control path every superstep).
+void count_queue_op() {
+  static trace::Counter& ops = trace::Tracer::instance().counter("cloud.queue.ops");
+  if (trace::counters_on()) ops.add(1);
+}
+
+}  // namespace
 
 std::optional<std::uint64_t> parse_prefixed_count(std::string_view body,
                                                   std::string_view prefix) {
@@ -18,6 +31,7 @@ std::optional<std::uint64_t> parse_prefixed_count(std::string_view body,
 
 std::uint64_t AzureQueue::put(std::string body) {
   ++ops_;
+  count_queue_op();
   const std::uint64_t id = next_id_++;
   visible_.push_back({id, std::move(body)});
   return id;
@@ -25,6 +39,7 @@ std::uint64_t AzureQueue::put(std::string body) {
 
 std::optional<QueueMessage> AzureQueue::get() {
   ++ops_;
+  count_queue_op();
   if (visible_.empty()) return std::nullopt;
   QueueMessage m = std::move(visible_.front());
   visible_.pop_front();
@@ -35,6 +50,7 @@ std::optional<QueueMessage> AzureQueue::get() {
 
 void AzureQueue::remove(std::uint64_t id) {
   ++ops_;
+  count_queue_op();
   if (inflight_.erase(id) == 0)
     throw std::logic_error("AzureQueue::remove: message not in flight");
 }

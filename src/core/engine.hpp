@@ -63,6 +63,7 @@
 #include "graph/graph.hpp"
 #include "partition/partitioner.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/trace.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -200,6 +201,7 @@ class Engine {
   JobResult<Program> run(const JobOptions& opts) {
     validate(opts);
     reset_run_state(opts);
+    trace::Span job_span("engine.run", "engine");
 
     JobResult<Program> result;
     result.metrics.recovery_mode =
@@ -427,6 +429,7 @@ class Engine {
     }
     reset_placement_to_modulo();
     pending_placement_cost_ = 0.0;
+    virtual_now_us_ = 0.0;
     baseline_memory_ = 0;
     for (std::uint32_t w = 0; w < workers_now_; ++w)
       baseline_memory_ = std::max(baseline_memory_, vm_graph_bytes(w));
@@ -466,6 +469,7 @@ class Engine {
   /// Returns false when the job dies during setup (graph blob unreadable
   /// past the retry budget).
   bool simulate_setup(JobResult<Program>& result) {
+    trace::Span span("engine.setup", "engine");
     // Workers download the graph file from blob storage in parallel, load
     // their partitions, and the manager broadcasts the worker topology
     // (§III: "Workers report back ... so the manager can build a mapping").
@@ -478,6 +482,11 @@ class Engine {
     result.metrics.setup_time = download + topology + read.extra_latency;
     result.metrics.total_time += result.metrics.setup_time;
     meter_.charge(cluster_.vm, workers_now_, result.metrics.setup_time);
+    virtual_now_us_ = result.metrics.total_time * 1e6;
+    if (trace::spans_on())
+      trace::Tracer::instance().virtual_complete(
+          "setup (graph download + topology)", "modeled", 0, 0.0,
+          result.metrics.setup_time * 1e6);
     if (!read.success) {
       result.failed = true;
       result.failure_reason = "graph blob unreadable after " +
@@ -554,6 +563,7 @@ class Engine {
   /// routed immediately; everything else this touches is partition-local, so
   /// one thread per partition runs contention-free.
   void compute_partition(std::uint32_t p) {
+    trace::Span span("engine.compute", "superstep", "part", p);
     PartitionState& ps = parts_[p];
     for (std::uint32_t l : ps.active_cur) {
       VertexContext<Program> ctx(this, p, l, ps.vertices[l]);
@@ -590,6 +600,7 @@ class Engine {
   /// go to this destination's scratch row; they cannot be written to the
   /// source partitions here because another merge thread may own them.
   void merge_destination(std::uint32_t q) {
+    trace::Span span("engine.merge", "superstep", "part", q);
     const std::size_t n = parts_.size();
     for (std::uint32_t src = 0; src < n; ++src) {
       std::vector<StagedMessage>& staged = outboxes_[src * n + q];
@@ -641,6 +652,7 @@ class Engine {
   }
 
   SuperstepMetrics execute_superstep() {
+    trace::Span span("engine.superstep", "superstep", "superstep", superstep_);
     agg_cur_.clear();
 
     if (threads_ > 1) {
@@ -781,6 +793,7 @@ class Engine {
     peak_memory_since_initiation_ =
         std::max(peak_memory_since_initiation_, sm.max_worker_memory());
     last_messages_sent_ = sm.messages_sent_total();
+    trace_superstep(sm, result.metrics.total_time);
 
     if (restart) {
       Bytes worst = 0;
@@ -800,7 +813,59 @@ class Engine {
     return false;
   }
 
+  /// Observability hook, called once per superstep after its modeled timing
+  /// is final. Rolls the superstep's totals into the perf-counter registry
+  /// and draws the modeled cluster on the virtual trace track: one busy span
+  /// and one barrier-wait span per worker VM in simulated time (the paper's
+  /// Figures 9/12 view), plus counter tracks for message traffic, active
+  /// vertices, and peak memory. Pure observation — reads the finished
+  /// metrics, writes only trace buffers, so results are unchanged whether
+  /// tracing is on or off.
+  void trace_superstep(const SuperstepMetrics& sm, Seconds total_time_after) {
+    trace::Tracer& t = trace::Tracer::instance();
+    virtual_now_us_ = total_time_after * 1e6;
+    if (t.counters_on()) {
+      std::uint64_t local = 0, remote = 0, bytes = 0, vertices = 0;
+      for (const WorkerStepMetrics& wm : sm.workers) {
+        local += wm.messages_sent_local;
+        remote += wm.messages_sent_remote;
+        bytes += wm.bytes_sent_remote;
+        vertices += wm.vertices_computed;
+      }
+      t.counter("engine.supersteps").add(1);
+      t.counter("engine.messages.local").add(local);
+      t.counter("engine.messages.remote").add(remote);
+      t.counter("engine.bytes.remote").add(bytes);
+      t.counter("engine.vertices.computed").add(vertices);
+    }
+    if (!t.spans_on()) return;
+    const double end_us = total_time_after * 1e6;
+    const double start_us = end_us - sm.span * 1e6;
+    for (std::uint32_t w = 0; w < sm.workers.size(); ++w) {
+      const WorkerStepMetrics& wm = sm.workers[w];
+      t.name_virtual_track(w, "worker VM " + std::to_string(w));
+      const double busy_us = wm.busy_time() * 1e6;
+      std::string args =
+          "{\"superstep\":" + std::to_string(sm.superstep) +
+          ",\"vertices\":" + std::to_string(wm.vertices_computed) +
+          ",\"messages_sent\":" + std::to_string(wm.messages_sent_total()) +
+          ",\"memory_peak\":" + std::to_string(wm.memory_peak) + "}";
+      t.virtual_complete("compute+network", "modeled", w, start_us, busy_us,
+                         std::move(args));
+      if (wm.barrier_wait > 0.0)
+        t.virtual_complete("barrier wait", "modeled", w, start_us + busy_us,
+                           wm.barrier_wait * 1e6);
+    }
+    t.virtual_counter("messages per superstep", start_us,
+                      static_cast<double>(sm.messages_sent_total()));
+    t.virtual_counter("active vertices", start_us,
+                      static_cast<double>(sm.active_vertices));
+    t.virtual_counter("max worker memory", start_us,
+                      static_cast<double>(sm.max_worker_memory()));
+  }
+
   void run_barrier(JobResult<Program>& result) {
+    trace::Span span("engine.barrier", "superstep", "superstep", superstep_);
     // 1. Master compute (aggregates from this superstep -> globals for next).
     if constexpr (requires(Program & pr, MasterContext<Program> & mc) {
                     pr.master_compute(mc);
@@ -829,6 +894,15 @@ class Engine {
       const std::uint32_t decided = std::clamp<std::uint32_t>(
           cluster_.scaling->decide(sig), 1, cluster_.num_partitions);
       if (decided != workers_now_) {
+        if (trace::spans_on()) {
+          const std::string args = "{\"superstep\":" + std::to_string(superstep_) +
+                                   ",\"from\":" + std::to_string(workers_now_) +
+                                   ",\"to\":" + std::to_string(decided) + "}";
+          trace::Tracer::instance().instant("scale.decision", "cloud", args);
+          trace::Tracer::instance().virtual_instant("scale.decision", "cloud",
+                                                    virtual_now_us_, args);
+        }
+        trace::add("engine.scale_events", 1);
         workers_now_ = decided;
         workers_changed_ = true;
         // New VM set: fall back to the default layout; the placement policy
@@ -912,6 +986,28 @@ class Engine {
     }
     ++swath_index_;
     last_swath_size_ = size;
+    if (trace::spans_on()) {
+      // The initiation instant carries the heuristic's input vector, so a
+      // trace shows *why* this swath launched, not just when.
+      const std::string args =
+          "{\"superstep\":" + std::to_string(superstep_) +
+          std::string(at_startup ? ",\"at_startup\":true" : ",\"at_startup\":false") +
+          ",\"swath_index\":" + std::to_string(swath_index_ - 1) +
+          ",\"size\":" + std::to_string(size) +
+          ",\"roots_remaining\":" +
+          std::to_string(pending_roots_.size() - next_root_) +
+          ",\"supersteps_since_initiation\":" +
+          std::to_string(supersteps_since_initiation_) +
+          ",\"messages_last_superstep\":" + std::to_string(last_messages_sent_) +
+          ",\"peak_memory_last_swath\":" +
+          std::to_string(peak_memory_since_initiation_) +
+          ",\"baseline_memory\":" + std::to_string(baseline_memory_) +
+          ",\"memory_target\":" + std::to_string(opts_.swath.memory_target) + "}";
+      trace::Tracer::instance().instant("swath.initiate", "swath", args);
+      trace::Tracer::instance().virtual_instant("swath.initiate", "swath",
+                                                virtual_now_us_, args);
+    }
+    trace::add("engine.swaths", 1);
     supersteps_since_initiation_ = 0;
     peak_memory_since_initiation_ = 0;
     opts_.swath.initiation->on_initiated();
@@ -963,6 +1059,11 @@ class Engine {
     if (out.success) result.metrics.faults_masked += out.faults;
     result.metrics.retries_attempted += out.attempts - 1;
     result.metrics.retry_latency += out.extra_latency;
+    if (trace::counters_on()) {
+      trace::Tracer& t = trace::Tracer::instance();
+      if (out.faults > 0) t.counter("engine.faults.injected").add(out.faults);
+      if (out.attempts > 1) t.counter("engine.retries").add(out.attempts - 1);
+    }
     return out;
   }
 
@@ -992,6 +1093,7 @@ class Engine {
   // ---- control plane (simulated Azure queues) -------------------------------
 
   void control_superstep_begin(JobResult<Program>& result) {
+    trace::Span span("engine.control.step-queue", "cloud", "superstep", superstep_);
     auto& step = queues_.queue("step");
     for (std::uint32_t w = 0; w < workers_now_; ++w) {
       guarded_control_op(cloud::FaultKind::kQueueOp, w, result);
@@ -1007,6 +1109,7 @@ class Engine {
   }
 
   void control_superstep_end(const SuperstepMetrics& sm, JobResult<Program>& result) {
+    trace::Span span("engine.control.barrier-queue", "cloud", "superstep", superstep_);
     auto& barrier = queues_.queue("barrier");
     for (std::uint32_t w = 0; w < sm.workers.size(); ++w) {
       guarded_control_op(cloud::FaultKind::kQueueOp, w, result);
@@ -1048,6 +1151,7 @@ class Engine {
   void maybe_checkpoint(JobResult<Program>& result) {
     if (cluster_.checkpoint_interval == 0) return;
     if ((superstep_ + 1) % cluster_.checkpoint_interval != 0) return;
+    trace::Span span("engine.checkpoint", "recovery", "superstep", superstep_);
 
     // Workers upload in parallel; the slowest (including its blob-write
     // retries) bounds the barrier extension. A worker that exhausts its
@@ -1071,6 +1175,7 @@ class Engine {
           cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
       t += static_cast<double>(biggest) / bw_Bps + cost_.params().queue_op_latency;
       ++result.metrics.checkpoints_written;
+      trace::add("engine.checkpoints", 1);
     } else {
       ++result.metrics.checkpoint_failures;
     }
@@ -1142,6 +1247,8 @@ class Engine {
   }
 
   void recover_from_checkpoint(JobResult<Program>& result) {
+    trace::Span span("engine.recover.full", "recovery", "superstep", superstep_);
+    trace::add("engine.recoveries", 1);
     const Snapshot& s = *checkpoint_;
     result.metrics.replayed_supersteps += superstep_ + 1 - s.superstep;
     ++failure_epoch_;
@@ -1177,6 +1284,8 @@ class Engine {
   /// logged outbox bytes, and only the replacement VM downloads checkpoint
   /// data.
   void recover_confined(JobResult<Program>& result, std::uint32_t dead_vm) {
+    trace::Span span("engine.recover.confined", "recovery", "vm", dead_vm);
+    trace::add("engine.recoveries", 1);
     const Snapshot& s = *checkpoint_;
     result.metrics.replayed_supersteps += superstep_ + 1 - s.superstep;
     ++failure_epoch_;
@@ -1446,6 +1555,11 @@ class Engine {
 
   std::vector<std::uint32_t> placement_;
   Seconds pending_placement_cost_ = 0.0;
+
+  /// Modeled-clock cursor (microseconds of simulated time elapsed so far),
+  /// used only to place trace events on the virtual cluster track. Purely
+  /// observational; never read by the simulation itself.
+  double virtual_now_us_ = 0.0;
 
   // -- host parallelism (wall-clock only; no effect on results or model) ----
   std::unique_ptr<ThreadPool> pool_;

@@ -4,12 +4,14 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "graph/generators.hpp"
 #include "partition/multilevel.hpp"
 #include "partition/streaming.hpp"
+#include "runtime/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -29,13 +31,50 @@ bool env_flag(const char* name) {
   return v != nullptr && *v != '\0' && *v != '0';
 }
 
+// Set by init() before the first env() call; env() folds it in.
+bool g_smoke = false;
+
+// Trace export destination, fixed at init() time so the atexit handler needs
+// no allocation-order guarantees beyond this translation unit's statics.
+std::string g_trace_path;
+
+void flush_trace() {
+  trace::Tracer& t = trace::Tracer::instance();
+  namespace fs = std::filesystem;
+  const fs::path trace_path(g_trace_path);
+  if (trace_path.has_parent_path()) fs::create_directories(trace_path.parent_path());
+  {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "[trace] cannot open " << g_trace_path << "\n";
+      return;
+    }
+    t.write_chrome_trace(out);
+  }
+  fs::path counters_path = trace_path;
+  counters_path.replace_filename(trace_path.stem().string() + "_counters.json");
+  {
+    std::ofstream out(counters_path);
+    if (out) t.write_counter_summary(out);
+  }
+  std::cout << "[trace] " << trace_path.string() << " (" << t.event_count()
+            << " events; counters in " << counters_path.string() << ")\n";
+}
+
+std::string program_stem(const char* argv0) {
+  const std::string stem = std::filesystem::path(argv0).stem().string();
+  return stem.empty() ? "bench" : stem;
+}
+
 }  // namespace
 
 const ExperimentEnv& env() {
   static const ExperimentEnv e = [] {
     ExperimentEnv out;
-    out.quick = env_flag("PREGEL_QUICK");
-    out.scale_div = env_unsigned("PREGEL_SCALE_DIV", out.quick ? 50u : 10u);
+    out.smoke = g_smoke || env_flag("PREGEL_SMOKE");
+    out.quick = env_flag("PREGEL_QUICK") || out.smoke;
+    out.scale_div =
+        env_unsigned("PREGEL_SCALE_DIV", out.smoke ? 100u : (out.quick ? 50u : 10u));
     if (const char* d = std::getenv("PREGEL_RESULTS_DIR"); d != nullptr && *d != '\0')
       out.results_dir = d;
     out.seed = env_unsigned("PREGEL_SEED", 2013);
@@ -43,6 +82,49 @@ const ExperimentEnv& env() {
   }();
   return e;
 }
+
+void init(int& argc, char** argv) {
+  bool trace_requested = false;
+  std::string trace_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      g_smoke = true;
+    } else if (arg == "--trace") {
+      trace_requested = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_requested = true;
+      trace_path = arg.substr(std::string_view("--trace=").size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+
+  // PREGEL_TRACE=1 enables tracing; any other non-empty value is the path.
+  if (const char* v = std::getenv("PREGEL_TRACE"); v != nullptr && *v != '\0' && std::string_view(v) != "0") {
+    trace_requested = true;
+    if (std::string_view(v) != "1" && trace_path.empty()) trace_path = v;
+  }
+  if (!trace_requested) return;
+
+  const std::string name = program_stem(argv[0]);
+  trace::TraceConfig cfg;
+  cfg.spans = true;
+  cfg.counters = true;
+  cfg.process_name = name;
+  trace::Tracer::instance().configure(cfg);
+  g_trace_path = trace_path.empty()
+                     ? (std::filesystem::path(env().results_dir) /
+                        ("TRACE_" + name + ".json"))
+                           .string()
+                     : trace_path;
+  std::atexit(flush_trace);
+}
+
+std::size_t repetitions(std::size_t normal) { return env().smoke ? 1 : normal; }
 
 const Graph& dataset(const std::string& short_name) {
   static std::unordered_map<std::string, Graph> cache;

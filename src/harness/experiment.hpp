@@ -25,6 +25,10 @@ struct ExperimentEnv {
   unsigned scale_div = 10;
   /// PREGEL_QUICK=1: much smaller graphs / fewer roots for smoke runs.
   bool quick = false;
+  /// --smoke / PREGEL_SMOKE=1: CI-sized runs — implies quick, shrinks the
+  /// datasets a further 2x (scale_div 100 unless overridden), and callers
+  /// with repetition loops drop to 1 repetition.
+  bool smoke = false;
   /// Where CSVs land (PREGEL_RESULTS_DIR, default "results").
   std::string results_dir = "results";
   /// Base RNG seed (PREGEL_SEED, default 2013 — the year of the paper).
@@ -33,6 +37,19 @@ struct ExperimentEnv {
 
 /// Read the environment once per process.
 const ExperimentEnv& env();
+
+/// Shared bench-driver entry point; call first in main(), before env() or
+/// dataset(). Strips the flags every driver understands from argv:
+///   --smoke          CI smoke mode (see ExperimentEnv::smoke)
+///   --trace[=path]   record a Chrome trace-event timeline + counter summary,
+///                    written at exit to `path` (default
+///                    results_dir/TRACE_<program>.json, counters alongside
+///                    as *_counters.json). PREGEL_TRACE=1|path is equivalent.
+/// Unrecognized arguments are left in place for the driver.
+void init(int& argc, char** argv);
+
+/// Repetition count for timing loops: 1 in smoke mode, else `normal`.
+std::size_t repetitions(std::size_t normal);
 
 /// Generate (and cache per process) the analog of a paper dataset.
 const Graph& dataset(const std::string& short_name);

@@ -1,0 +1,119 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pregel {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::separator() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // "key": <value> — no comma between key and its value
+  }
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back()) out_ << ',';
+    first_in_scope_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separator();
+  out_ << '{';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  first_in_scope_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separator();
+  out_ << '[';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  first_in_scope_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  separator();
+  out_ << '"' << json_escape(k) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separator();
+  out_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separator();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separator();
+  if (!std::isfinite(v)) {
+    out_ << "null";  // JSON has no NaN/Inf; null keeps the document parseable
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separator();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separator();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view fragment) {
+  separator();
+  out_ << fragment;
+  return *this;
+}
+
+}  // namespace pregel

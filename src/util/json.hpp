@@ -1,0 +1,63 @@
+// Minimal streaming JSON writer.
+//
+// The observability layer exports two machine-readable artifacts — Chrome
+// trace-event files and bench-report JSON — and hand-rolled string pasting
+// is exactly how such exporters end up emitting unparseable output (missing
+// commas, unescaped quotes, NaNs). This writer owns the syntax: callers
+// only state structure (objects/arrays/keys/values) and the writer
+// guarantees the result is well-formed JSON. No reading, no DOM — the repo
+// only ever *emits* JSON.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pregel {
+
+/// Escape a string for inclusion inside a JSON string literal (quotes not
+/// included): ", \, control characters.
+std::string json_escape(std::string_view s);
+
+/// Structural JSON emitter with automatic comma placement. Usage:
+///   JsonWriter w(out);
+///   w.begin_object();
+///   w.key("name").value("pagerank");
+///   w.key("samples").begin_array();
+///   w.value(1.5); w.value(2.5);
+///   w.end_array();
+///   w.end_object();
+/// Misnested begin/end pairs are the caller's bug; the writer keeps comma
+/// and quoting correctness for any properly nested sequence.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);  ///< non-finite values are emitted as null
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  /// Splice a pre-rendered JSON fragment (assumed well-formed) as a value.
+  JsonWriter& raw(std::string_view fragment);
+
+ private:
+  void separator();  ///< comma bookkeeping before any value/begin/key
+
+  std::ostream& out_;
+  std::vector<bool> first_in_scope_;  ///< per open scope: nothing emitted yet
+  bool after_key_ = false;
+};
+
+}  // namespace pregel

@@ -1,0 +1,118 @@
+// Observability must be observation-only: running a job with tracing enabled
+// (spans + counters) must produce bit-identical vertex values and metric
+// records to the same job untraced, at every host parallelism level. This is
+// the guarantee that lets traces be captured in production runs without
+// invalidating the determinism contract of the staged merge.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "algos/pagerank.hpp"
+#include "algos/sssp.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "partition/partitioner.hpp"
+#include "runtime/trace.hpp"
+
+namespace pregel {
+namespace {
+
+using algos::PageRankProgram;
+using algos::SsspProgram;
+
+// Bit-exact equality (double ==, deliberately): tracing must not perturb the
+// replayed serial evaluation order, not merely stay "close".
+void expect_identical(const JobMetrics& a, const JobMetrics& b) {
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.setup_time, b.setup_time);
+  EXPECT_EQ(a.cost_usd, b.cost_usd);
+  ASSERT_EQ(a.supersteps.size(), b.supersteps.size());
+  for (std::size_t s = 0; s < a.supersteps.size(); ++s) {
+    const SuperstepMetrics& x = a.supersteps[s];
+    const SuperstepMetrics& y = b.supersteps[s];
+    EXPECT_EQ(x.active_vertices, y.active_vertices) << "superstep " << s;
+    EXPECT_EQ(x.span, y.span) << "superstep " << s;
+    EXPECT_EQ(x.barrier_overhead, y.barrier_overhead) << "superstep " << s;
+    ASSERT_EQ(x.workers.size(), y.workers.size()) << "superstep " << s;
+    for (std::size_t w = 0; w < x.workers.size(); ++w) {
+      EXPECT_EQ(x.workers[w].messages_sent_local, y.workers[w].messages_sent_local)
+          << s << "/" << w;
+      EXPECT_EQ(x.workers[w].messages_sent_remote, y.workers[w].messages_sent_remote)
+          << s << "/" << w;
+      EXPECT_EQ(x.workers[w].bytes_sent_remote, y.workers[w].bytes_sent_remote)
+          << s << "/" << w;
+      EXPECT_EQ(x.workers[w].memory_peak, y.workers[w].memory_peak) << s << "/" << w;
+      EXPECT_EQ(x.workers[w].compute_time, y.workers[w].compute_time) << s << "/" << w;
+    }
+  }
+}
+
+void trace_all_on() {
+  trace::TraceConfig cfg;
+  cfg.spans = true;
+  cfg.counters = true;
+  cfg.process_name = "test_trace_determinism";
+  trace::Tracer::instance().configure(cfg);
+}
+
+void trace_off() { trace::Tracer::instance().configure(trace::TraceConfig{}); }
+
+ClusterConfig eight_partitions_four_vms() {
+  ClusterConfig c;
+  c.num_partitions = 8;
+  c.initial_workers = 4;
+  return c;
+}
+
+template <typename Program>
+JobResult<Program> run_job(const Graph& g, const Program& program, JobOptions o,
+                           std::uint32_t parallelism) {
+  const ClusterConfig c = eight_partitions_four_vms();
+  const auto parts = HashPartitioner{}.partition(g, c.num_partitions);
+  Engine<Program> e(g, program, c, parts);
+  o.parallelism = parallelism;
+  return e.run(o);
+}
+
+template <typename Program, typename ValueEq>
+void expect_traced_equals_untraced(const Graph& g, const Program& program,
+                                   const JobOptions& o, ValueEq value_eq) {
+  for (const std::uint32_t lanes : {1u, 2u, 4u}) {
+    trace_off();
+    const auto plain = run_job(g, program, o, lanes);
+
+    trace_all_on();
+    const auto traced = run_job(g, program, o, lanes);
+    EXPECT_GT(trace::Tracer::instance().event_count(), 0u) << "tracing was not live";
+    trace_off();
+
+    ASSERT_EQ(plain.values.size(), traced.values.size()) << "lanes " << lanes;
+    for (std::size_t v = 0; v < plain.values.size(); ++v)
+      EXPECT_TRUE(value_eq(plain.values[v], traced.values[v]))
+          << "lanes " << lanes << " v" << v;
+    expect_identical(plain.metrics, traced.metrics);
+  }
+}
+
+TEST(TraceDeterminism, PageRankUnperturbedAcrossLaneCounts) {
+  const Graph g = barabasi_albert(500, 3, 29);
+  JobOptions o;
+  o.start_all_vertices = true;
+  expect_traced_equals_untraced(g, PageRankProgram{6, 0.85}, o,
+                                [](const auto& a, const auto& b) { return a.rank == b.rank; });
+}
+
+TEST(TraceDeterminism, SsspUnperturbedAcrossLaneCounts) {
+  const Graph g = barabasi_albert(400, 4, 31);
+  JobOptions o;
+  o.roots = {0};
+  o.use_combiner = true;
+  expect_traced_equals_untraced(g, SsspProgram{}, o,
+                                [](const auto& a, const auto& b) {
+                                  return a.distance == b.distance;
+                                });
+}
+
+}  // namespace
+}  // namespace pregel

@@ -1,0 +1,373 @@
+// Round-trip tests of the tracing layer's exporters: the Chrome trace JSON
+// must parse, per-thread timelines must be time-ordered, thread ids must be
+// stable across batches, and the counter summary must reflect the registry.
+// The JSON is checked with a small recursive-descent parser kept inside the
+// test (no external JSON dependency in the repo).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "runtime/trace.hpp"
+
+namespace pregel {
+namespace {
+
+// ---- minimal JSON parser ---------------------------------------------------
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> v;
+
+  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v); }
+  const JsonObject& object() const { return std::get<JsonObject>(v); }
+  const JsonArray& array() const { return std::get<JsonArray>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+  double number() const { return std::get<double>(v); }
+
+  bool has(const std::string& key) const {
+    return is_object() && object().count(key) > 0;
+  }
+  const JsonValue& at(const std::string& key) const { return object().at(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("json parse error at " + std::to_string(pos_) + ": " + why);
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\t' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue{string()};
+      case 't':
+        literal("true");
+        return JsonValue{true};
+      case 'f':
+        literal("false");
+        return JsonValue{false};
+      case 'n':
+        literal("null");
+        return JsonValue{nullptr};
+      default: return JsonValue{number()};
+    }
+  }
+  void literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) expect(*p);
+  }
+  JsonValue object() {
+    expect('{');
+    JsonObject out;
+    skip_ws();
+    if (consume('}')) return JsonValue{out};
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      out.emplace(std::move(key), value());
+      skip_ws();
+      if (consume('}')) return JsonValue{out};
+      expect(',');
+    }
+  }
+  JsonValue array() {
+    expect('[');
+    JsonArray out;
+    skip_ws();
+    if (consume(']')) return JsonValue{out};
+    while (true) {
+      out.push_back(value());
+      skip_ws();
+      if (consume(']')) return JsonValue{out};
+      expect(',');
+    }
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+            const unsigned code = static_cast<unsigned>(
+                std::stoul(s_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            // The exporter only emits \u00XX for control bytes.
+            out += static_cast<char>(code);
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+  double number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("bad number");
+    return std::stod(s_.substr(start, pos_ - start));
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---- fixtures --------------------------------------------------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::TraceConfig cfg;
+    cfg.spans = true;
+    cfg.counters = true;
+    cfg.process_name = "test_trace";
+    trace::Tracer::instance().configure(cfg);
+  }
+  void TearDown() override {
+    trace::Tracer::instance().configure(trace::TraceConfig{});  // all off, cleared
+  }
+
+  static JsonValue export_trace() {
+    std::ostringstream out;
+    trace::Tracer::instance().write_chrome_trace(out);
+    return JsonParser(out.str()).parse();
+  }
+};
+
+TEST_F(TraceTest, ChromeExportIsValidJsonWithExpectedShape) {
+  {
+    trace::Span outer("outer", "test");
+    trace::Span inner("inner", "test", "part", 7);
+  }
+  trace::Tracer::instance().instant("tick", "test", "{\"superstep\":3}");
+  trace::add("test.counter", 41);
+  trace::add("test.counter", 1);
+
+  const JsonValue doc = export_trace();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc.has("displayTimeUnit"));
+  ASSERT_TRUE(doc.has("traceEvents"));
+  const JsonArray& events = doc.at("traceEvents").array();
+  ASSERT_FALSE(events.empty());
+
+  bool saw_outer = false, saw_inner = false, saw_tick = false, saw_meta = false;
+  for (const JsonValue& e : events) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_TRUE(e.has("ph"));
+    ASSERT_TRUE(e.has("name"));
+    const std::string ph = e.at("ph").str();
+    const std::string name = e.at("name").str();
+    if (ph == "M") saw_meta = true;
+    if (ph == "X" && name == "outer") saw_outer = true;
+    if (ph == "X" && name == "inner") {
+      saw_inner = true;
+      ASSERT_TRUE(e.has("args"));
+      EXPECT_EQ(e.at("args").at("part").number(), 7.0);
+    }
+    if (ph == "i" && name == "tick") {
+      saw_tick = true;
+      EXPECT_EQ(e.at("args").at("superstep").number(), 3.0);
+    }
+    if (ph == "X" || ph == "i") {
+      ASSERT_TRUE(e.has("ts"));
+      ASSERT_TRUE(e.has("pid"));
+      ASSERT_TRUE(e.has("tid"));
+    }
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+  EXPECT_TRUE(saw_tick);
+  EXPECT_TRUE(saw_meta);
+}
+
+TEST_F(TraceTest, SpanEndTimesAreMonotonicPerThread) {
+  auto burst = [] {
+    for (int i = 0; i < 50; ++i) {
+      trace::Span s("span", "test", "i", static_cast<std::uint64_t>(i));
+    }
+  };
+  std::thread a(burst), b(burst);
+  burst();
+  a.join();
+  b.join();
+
+  const JsonValue doc = export_trace();
+  // Complete events are recorded when the span *ends*, so within one host
+  // thread's buffer (pid 1, fixed tid) end timestamps ts+dur never decrease.
+  std::map<double, double> last_end_by_tid;
+  std::size_t spans_seen = 0;
+  for (const JsonValue& e : doc.at("traceEvents").array()) {
+    if (e.at("ph").str() != "X" || e.at("pid").number() != 1.0) continue;
+    ++spans_seen;
+    const double tid = e.at("tid").number();
+    const double end = e.at("ts").number() + e.at("dur").number();
+    auto [it, inserted] = last_end_by_tid.emplace(tid, end);
+    if (!inserted) {
+      EXPECT_GE(end, it->second) << "tid " << tid;
+      it->second = end;
+    }
+  }
+  EXPECT_EQ(spans_seen, 150u);
+  EXPECT_EQ(last_end_by_tid.size(), 3u);  // three distinct host threads
+}
+
+TEST_F(TraceTest, ThreadIdsAreStableAcrossBatchesAndReset) {
+  auto my_tid = [this] {
+    const JsonValue doc = export_trace();
+    for (const JsonValue& e : doc.at("traceEvents").array())
+      if (e.at("ph").str() == "X" && e.at("name").str() == "probe")
+        return e.at("tid").number();
+    ADD_FAILURE() << "probe span not exported";
+    return -1.0;
+  };
+
+  { trace::Span s("probe", "test"); }
+  const double first = my_tid();
+
+  { trace::Span s("probe", "test"); }  // second batch, same thread
+  EXPECT_EQ(my_tid(), first);
+
+  trace::Tracer::instance().reset();  // clears events, keeps registrations
+  { trace::Span s("probe", "test"); }
+  EXPECT_EQ(my_tid(), first);
+}
+
+TEST_F(TraceTest, VirtualTrackEventsCarryExplicitPlacement) {
+  trace::Tracer& t = trace::Tracer::instance();
+  t.name_virtual_track(2, "worker VM 2");
+  t.virtual_complete("compute", "modeled", 2, 1000.0, 250.0, "{\"superstep\":1}");
+  t.virtual_instant("swath.initiate", "swath", 1000.0);
+  t.virtual_counter("messages", 1250.0, 99.0);
+
+  const JsonValue doc = export_trace();
+  bool saw_span = false, saw_name = false, saw_counter = false;
+  for (const JsonValue& e : doc.at("traceEvents").array()) {
+    if (e.at("ph").str() == "X" && e.at("name").str() == "compute") {
+      saw_span = true;
+      EXPECT_EQ(e.at("pid").number(), double(trace::Tracer::kVirtualPid));
+      EXPECT_EQ(e.at("tid").number(), 2.0);
+      EXPECT_EQ(e.at("ts").number(), 1000.0);
+      EXPECT_EQ(e.at("dur").number(), 250.0);
+    }
+    if (e.at("ph").str() == "M" && e.has("args") && e.at("args").has("name") &&
+        e.at("args").at("name").str() == "worker VM 2")
+      saw_name = true;
+    if (e.at("ph").str() == "C" && e.at("name").str() == "messages") saw_counter = true;
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_name);
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST_F(TraceTest, CounterSummaryRoundTrips) {
+  trace::Tracer& t = trace::Tracer::instance();
+  t.counter("engine.messages").add(123);
+  t.counter("engine.messages").add(77);
+  t.counter("cloud.queue.ops").add(9);
+  t.counter("never.incremented");  // zero counters are omitted from export
+
+  std::ostringstream out;
+  t.write_counter_summary(out);
+  const JsonValue doc = JsonParser(out.str()).parse();
+  ASSERT_TRUE(doc.has("counters"));
+  const JsonObject& counters = doc.at("counters").object();
+  ASSERT_EQ(counters.count("engine.messages"), 1u);
+  EXPECT_EQ(counters.at("engine.messages").number(), 200.0);
+  EXPECT_EQ(counters.at("cloud.queue.ops").number(), 9.0);
+  EXPECT_EQ(counters.count("never.incremented"), 0u);
+
+  const auto totals = t.counter_totals();
+  ASSERT_EQ(totals.size(), 2u);  // sorted, non-zero only
+  EXPECT_EQ(totals[0].first, "cloud.queue.ops");
+  EXPECT_EQ(totals[1].first, "engine.messages");
+}
+
+TEST_F(TraceTest, NamesNeedingEscapesStayValidJson) {
+  trace::Tracer::instance().instant("quote\" backslash\\ newline\n tab\t", "test");
+  const JsonValue doc = export_trace();
+  bool found = false;
+  for (const JsonValue& e : doc.at("traceEvents").array())
+    if (e.at("ph").str() == "i" &&
+        e.at("name").str() == "quote\" backslash\\ newline\n tab\t")
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceDisabled, RecordsNothingAndReportsOff) {
+  trace::Tracer::instance().configure(trace::TraceConfig{});
+  EXPECT_FALSE(trace::spans_on());
+  EXPECT_FALSE(trace::counters_on());
+  {
+    trace::Span s("ignored", "test");
+    trace::add("ignored.counter", 5);
+  }
+  EXPECT_EQ(trace::Tracer::instance().event_count(), 0u);
+  EXPECT_TRUE(trace::Tracer::instance().counter_totals().empty());
+}
+
+}  // namespace
+}  // namespace pregel
