@@ -28,11 +28,12 @@ struct Trace {
 
 Trace run_trace(const std::string& label, const Graph& g, const ClusterConfig& cluster,
                 const Partitioning& parts, const std::vector<VertexId>& roots,
-                const SwathPolicy& policy) {
+                const SwathPolicy& policy, const MemGovernorConfig& governor = {}) {
   JobOptions opts;
   opts.roots = roots;
   opts.swath = policy;
   opts.fail_on_vm_restart = false;
+  opts.governor = governor;
   Engine<BcProgram> engine(g, {}, cluster, parts);
   const auto r = engine.run(opts);
   Trace tr;
@@ -93,6 +94,26 @@ int main(int argc, char** argv) {
       SwathPolicy::make(std::make_shared<AdaptiveSwathSizer>(4),
                         std::make_shared<SequentialInitiation>(), target));
 
+  // Governed reruns: the memory-pressure governor (veto/clamp, spill, shed)
+  // holds every sizer's resident peak at or below the target, including the
+  // baseline swath that otherwise rides the paging ceiling.
+  const MemGovernorConfig gov = default_governor();
+  const auto gov_base = run_trace(
+      "baseline+gov", g, cluster, parts, roots,
+      SwathPolicy::make(std::make_shared<StaticSwathSizer>(baseline_size),
+                        std::make_shared<SequentialInitiation>(), target),
+      gov);
+  const auto gov_sampling = run_trace(
+      "sampling+gov", g, cluster, parts, roots,
+      SwathPolicy::make(std::make_shared<SamplingSwathSizer>(4, 2),
+                        std::make_shared<SequentialInitiation>(), target),
+      gov);
+  const auto gov_adaptive = run_trace(
+      "adaptive+gov", g, cluster, parts, roots,
+      SwathPolicy::make(std::make_shared<AdaptiveSwathSizer>(4),
+                        std::make_shared<SequentialInitiation>(), target),
+      gov);
+
   const double t_max =
       std::max({base.t_seconds.back(), sampling.t_seconds.back(), adaptive.t_seconds.back()});
   constexpr std::size_t kPoints = 70;
@@ -108,7 +129,8 @@ int main(int argc, char** argv) {
       70, 18, "max worker memory (MiB) over modeled time");
 
   TextTable t({"run", "total time", "peak mem", "vs RAM", "vs target"});
-  for (const auto* tr : {&base, &sampling, &adaptive}) {
+  for (const auto* tr :
+       {&base, &sampling, &adaptive, &gov_base, &gov_sampling, &gov_adaptive}) {
     double peak = 0;
     for (double m : tr->mem_mib) peak = std::max(peak, m);
     t.add_row({tr->label, format_seconds(tr->t_seconds.back()), fmt(peak, 0) + " MiB",
@@ -116,11 +138,14 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
   std::cout << "\nRAM = " << fmt(ram_mib, 0) << " MiB, heuristic target = "
-            << fmt(target_mib, 0) << " MiB (6/7 of RAM, as in the paper)\n";
+            << fmt(target_mib, 0) << " MiB (6/7 of RAM, as in the paper)\n"
+            << "+gov rows rerun the same sizer under the memory-pressure "
+               "governor: resident peak <= target\n";
 
   write_csv("fig5_memory_trace", [&](CsvWriter& w) {
     w.header({"run", "modeled_time_s", "max_worker_memory_mib"});
-    for (const auto* tr : {&base, &sampling, &adaptive})
+    for (const auto* tr :
+         {&base, &sampling, &adaptive, &gov_base, &gov_sampling, &gov_adaptive})
       for (std::size_t i = 0; i < tr->t_seconds.size(); ++i)
         w.field(tr->label).field(tr->t_seconds[i]).field(tr->mem_mib[i]).end_row();
   });

@@ -1,9 +1,8 @@
 #include "cloud/blob.hpp"
 
-#include <stdexcept>
-
 #include "runtime/trace.hpp"
 #include "util/check.hpp"
+#include "util/crc32c.hpp"
 
 namespace pregel::cloud {
 
@@ -23,18 +22,35 @@ BlobStore::BlobStore(double throughput_bps, Seconds op_latency)
   PREGEL_CHECK_MSG(throughput_bps > 0.0, "BlobStore: throughput must be positive");
 }
 
+BlobStore::StoredBlob& BlobStore::stored(const std::string& name, const char* op) {
+  auto it = blobs_.find(name);
+  if (it == blobs_.end())
+    throw std::out_of_range(std::string("BlobStore::") + op + ": no blob " + name);
+  return it->second;
+}
+
+const BlobStore::StoredBlob& BlobStore::stored(const std::string& name,
+                                               const char* op) const {
+  auto it = blobs_.find(name);
+  if (it == blobs_.end())
+    throw std::out_of_range(std::string("BlobStore::") + op + ": no blob " + name);
+  return it->second;
+}
+
 void BlobStore::put(const std::string& name, std::vector<std::byte> data) {
   ++ops_;
   count_blob_op(static_cast<Bytes>(data.size()));
-  blobs_[name] = std::move(data);
+  const std::uint32_t crc = util::crc32c(data);
+  blobs_[name] = StoredBlob{std::move(data), crc};
 }
 
 const std::vector<std::byte>& BlobStore::get(const std::string& name) const {
   ++ops_;
-  auto it = blobs_.find(name);
-  if (it == blobs_.end()) throw std::out_of_range("BlobStore::get: no blob " + name);
-  count_blob_op(static_cast<Bytes>(it->second.size()));
-  return it->second;
+  const StoredBlob& blob = stored(name, "get");
+  count_blob_op(static_cast<Bytes>(blob.data.size()));
+  if (util::crc32c(blob.data) != blob.crc)
+    throw BlobCorruptError("BlobStore::get: checksum mismatch on blob " + name);
+  return blob.data;
 }
 
 bool BlobStore::exists(const std::string& name) const { return blobs_.contains(name); }
@@ -46,9 +62,23 @@ void BlobStore::remove(const std::string& name) {
 }
 
 Bytes BlobStore::size_of(const std::string& name) const {
-  auto it = blobs_.find(name);
-  if (it == blobs_.end()) throw std::out_of_range("BlobStore::size_of: no blob " + name);
-  return static_cast<Bytes>(it->second.size());
+  return static_cast<Bytes>(stored(name, "size_of").data.size());
+}
+
+std::uint32_t BlobStore::checksum_of(const std::string& name) const {
+  return stored(name, "checksum_of").crc;
+}
+
+void BlobStore::corrupt(const std::string& name, std::size_t index) {
+  StoredBlob& blob = stored(name, "corrupt");
+  PREGEL_CHECK_MSG(index < blob.data.size(), "BlobStore::corrupt: index out of range");
+  blob.data[index] ^= std::byte{0xFF};
+}
+
+void BlobStore::tear(const std::string& name, std::size_t new_size) {
+  StoredBlob& blob = stored(name, "tear");
+  PREGEL_CHECK_MSG(new_size < blob.data.size(), "BlobStore::tear: must shrink the blob");
+  blob.data.resize(new_size);
 }
 
 Seconds BlobStore::transfer_time(Bytes bytes) const noexcept {

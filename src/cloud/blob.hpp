@@ -5,9 +5,16 @@
 // loads the vertices belonging to its partition. The simulation models a
 // flat named byte store with throughput-based read/write timing, so graph
 // load time appears in job setup cost.
+//
+// Every payload is checksummed (CRC32C) on put and re-verified on get, the
+// way real object stores validate payloads end to end: a torn or corrupted
+// blob surfaces as BlobCorruptError — a detectable, retriable integrity
+// failure — never as silently wrong bytes. corrupt()/tear() are test hooks
+// that tamper with a stored payload without refreshing its checksum.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,6 +22,12 @@
 #include "util/units.hpp"
 
 namespace pregel::cloud {
+
+/// Thrown by BlobStore::get when a payload fails checksum verification.
+class BlobCorruptError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class BlobStore {
  public:
@@ -24,12 +37,21 @@ class BlobStore {
   explicit BlobStore(double throughput_bps = mbps(400), Seconds op_latency = 50_ms);
 
   void put(const std::string& name, std::vector<std::byte> data);
-  /// Throws std::out_of_range when missing.
+  /// Throws std::out_of_range when missing, BlobCorruptError when the
+  /// payload no longer matches its stored CRC32C.
   const std::vector<std::byte>& get(const std::string& name) const;
   bool exists(const std::string& name) const;
   void remove(const std::string& name);
 
   Bytes size_of(const std::string& name) const;
+
+  /// CRC32C recorded at put time. Throws std::out_of_range when missing.
+  std::uint32_t checksum_of(const std::string& name) const;
+
+  /// Test hooks: flip the byte at `index` / truncate to `new_size` bytes
+  /// (torn write) without updating the stored checksum.
+  void corrupt(const std::string& name, std::size_t index);
+  void tear(const std::string& name, std::size_t new_size);
 
   /// Modeled wall time for one client to download/upload `bytes`.
   Seconds transfer_time(Bytes bytes) const noexcept;
@@ -37,7 +59,15 @@ class BlobStore {
   std::uint64_t total_ops() const noexcept { return ops_; }
 
  private:
-  std::unordered_map<std::string, std::vector<std::byte>> blobs_;
+  struct StoredBlob {
+    std::vector<std::byte> data;
+    std::uint32_t crc = 0;
+  };
+
+  StoredBlob& stored(const std::string& name, const char* op);
+  const StoredBlob& stored(const std::string& name, const char* op) const;
+
+  std::unordered_map<std::string, StoredBlob> blobs_;
   double throughput_bps_;
   Seconds op_latency_;
   mutable std::uint64_t ops_ = 0;

@@ -55,4 +55,11 @@ Seconds CostModel::barrier_time(std::uint32_t workers) const noexcept {
   return 2.0 * params_.queue_op_latency + params_.barrier_per_worker * workers;
 }
 
+Seconds CostModel::spill_transfer_time(Bytes bytes, const VmSpec& vm) const noexcept {
+  if (bytes == 0) return 0.0;
+  const double bandwidth_Bps = vm.network_bps * params_.network_efficiency / 8.0;
+  const Seconds one_way = bandwidth_Bps > 0.0 ? static_cast<double>(bytes) / bandwidth_Bps : 0.0;
+  return 2.0 * one_way;  // spill out now + read back when the pressure clears
+}
+
 }  // namespace pregel::cloud

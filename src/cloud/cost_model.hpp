@@ -101,6 +101,12 @@ class CostModel {
   /// step-token dequeue + barrier-token enqueue + manager processing.
   Seconds barrier_time(std::uint32_t workers) const noexcept;
 
+  /// Modeled wall time to spill `bytes` of message buffers to blob storage
+  /// and read them back later: a round trip through the VM's NIC at
+  /// effective bandwidth. The memory-pressure governor charges this when it
+  /// trades spill I/O for staying under the memory target.
+  Seconds spill_transfer_time(Bytes bytes, const VmSpec& vm) const noexcept;
+
   /// Wire bytes for a message with `payload` bytes.
   Bytes wire_bytes(Bytes payload) const noexcept {
     return payload + params_.message_envelope_bytes;

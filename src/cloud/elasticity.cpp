@@ -72,6 +72,33 @@ std::string HysteresisScaling::name() const {
          "<->" + std::to_string(high_);
 }
 
+MemoryPressureScaling::MemoryPressureScaling(std::uint32_t low, std::uint32_t high,
+                                             Bytes memory_target, double out_fraction,
+                                             double in_fraction)
+    : low_(low), high_(high), target_(memory_target), out_(out_fraction), in_(in_fraction) {
+  PREGEL_CHECK_MSG(low >= 1, "MemoryPressureScaling: low must be >= 1");
+  PREGEL_CHECK_MSG(high >= low, "MemoryPressureScaling: high must be >= low");
+  PREGEL_CHECK_MSG(memory_target > 0, "MemoryPressureScaling: memory_target must be > 0");
+  PREGEL_CHECK_MSG(0.0 < in_fraction && in_fraction < out_fraction,
+                   "MemoryPressureScaling: need 0 < in < out");
+}
+
+std::uint32_t MemoryPressureScaling::decide(const ScalingSignals& s) {
+  const double pressure =
+      static_cast<double>(s.max_worker_memory) / static_cast<double>(target_);
+  if (!scaled_out_ && pressure >= out_) scaled_out_ = true;
+  else if (scaled_out_ && pressure <= in_) scaled_out_ = false;
+  const std::uint32_t decided = scaled_out_ ? high_ : low_;
+  count_decision(decided, s);
+  return decided;
+}
+
+std::string MemoryPressureScaling::name() const {
+  return "mem-pressure[" + std::to_string(static_cast<int>(in_ * 100)) + "%," +
+         std::to_string(static_cast<int>(out_ * 100)) + "%]:" + std::to_string(low_) +
+         "<->" + std::to_string(high_);
+}
+
 OracleScaling::OracleScaling(std::uint32_t low, std::uint32_t high,
                              std::vector<Seconds> times_low, std::vector<Seconds> times_high)
     : low_(low),

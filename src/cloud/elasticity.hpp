@@ -81,6 +81,25 @@ class HysteresisScaling final : public ScalingPolicy {
   bool scaled_out_ = false;
 };
 
+/// Memory-pressure scaling: scale out when the modeled per-worker peak nears
+/// the memory budget (more workers shrink each VM's partition share and
+/// message buffers), scale back in with hysteresis once pressure clears.
+/// Complements the governor's degradation ladder: scaling trades money for
+/// headroom between supersteps, the governor sheds load within one.
+class MemoryPressureScaling final : public ScalingPolicy {
+ public:
+  MemoryPressureScaling(std::uint32_t low, std::uint32_t high, Bytes memory_target,
+                        double out_fraction = 0.85, double in_fraction = 0.5);
+  std::uint32_t decide(const ScalingSignals& signals) override;
+  std::string name() const override;
+
+ private:
+  std::uint32_t low_, high_;
+  Bytes target_;
+  double out_, in_;
+  bool scaled_out_ = false;
+};
+
 /// Oracle scaling for the Figure 16 projection: given the recorded
 /// per-superstep times of two fixed runs, pick the cheaper configuration at
 /// every superstep. Constructed by the bench harness after both runs.

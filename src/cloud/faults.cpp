@@ -25,6 +25,7 @@ void FaultPlan::validate() const {
   check_rate(queue_op_failure_rate, "queue_op_failure_rate");
   check_rate(blob_read_failure_rate, "blob_read_failure_rate");
   check_rate(blob_write_failure_rate, "blob_write_failure_rate");
+  check_rate(blob_corruption_rate, "blob_corruption_rate");
   check_rate(vm_preemption_rate, "vm_preemption_rate");
   check_rate(straggler_rate, "straggler_rate");
   if (straggler_slowdown < 1.0)
@@ -45,6 +46,7 @@ double FaultInjector::rate_of(FaultKind kind) const noexcept {
     case FaultKind::kQueueOp: return plan_.queue_op_failure_rate;
     case FaultKind::kBlobRead: return plan_.blob_read_failure_rate;
     case FaultKind::kBlobWrite: return plan_.blob_write_failure_rate;
+    case FaultKind::kBlobCorrupt: return plan_.blob_corruption_rate;
   }
   return 0.0;
 }
@@ -65,6 +67,10 @@ double FaultInjector::next_uniform(FaultKind kind) noexcept {
       counter = &blob_write_draws_;
       seed = plan_.blob_seed ^ 0x5bd1e995ULL;
       break;
+    case FaultKind::kBlobCorrupt:
+      counter = &blob_corrupt_draws_;
+      seed = plan_.corruption_seed;
+      break;
   }
   const std::uint64_t bits = mix64(seed ^ (0x9E3779B97F4A7C15ULL * ++*counter));
   return u01(bits);
@@ -75,6 +81,7 @@ std::uint64_t FaultInjector::draws(FaultKind kind) const noexcept {
     case FaultKind::kQueueOp: return queue_draws_;
     case FaultKind::kBlobRead: return blob_read_draws_;
     case FaultKind::kBlobWrite: return blob_write_draws_;
+    case FaultKind::kBlobCorrupt: return blob_corrupt_draws_;
   }
   return 0;
 }
@@ -83,12 +90,23 @@ RetryOutcome FaultInjector::attempt(FaultKind kind, const RetryPolicy& retry,
                                     Seconds attempt_latency) {
   RetryOutcome out;
   const double rate = rate_of(kind);
-  if (rate <= 0.0) return out;  // clean first try, nothing charged
+  // Corruption composes with blob reads only: an otherwise-successful read
+  // attempt additionally draws from the corruption stream, so a zero
+  // corruption rate leaves the read stream's draw sequence untouched.
+  const double corrupt_rate =
+      kind == FaultKind::kBlobRead ? plan_.blob_corruption_rate : 0.0;
+  if (rate <= 0.0 && corrupt_rate <= 0.0) return out;  // clean first try, nothing charged
 
   Seconds sleep = retry.base_backoff;
   for (std::uint32_t a = 1; a <= retry.max_attempts; ++a) {
     out.attempts = a;
-    if (next_uniform(kind) >= rate) {
+    bool failed = rate > 0.0 && next_uniform(kind) < rate;
+    if (!failed && corrupt_rate > 0.0 &&
+        next_uniform(FaultKind::kBlobCorrupt) < corrupt_rate) {
+      failed = true;  // payload delivered but fails checksum verification
+      ++out.corruptions;
+    }
+    if (!failed) {
       out.success = true;
       return out;
     }

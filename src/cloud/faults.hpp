@@ -23,8 +23,10 @@
 
 namespace pregel::cloud {
 
-/// Transient fault classes the injector can produce.
-enum class FaultKind { kQueueOp, kBlobRead, kBlobWrite };
+/// Transient fault classes the injector can produce. kBlobCorrupt models a
+/// read that completes but returns a payload failing checksum verification;
+/// the read path escalates it to a retriable failure.
+enum class FaultKind { kQueueOp, kBlobRead, kBlobWrite, kBlobCorrupt };
 
 /// What goes wrong, how often, and under which seeds.
 struct FaultPlan {
@@ -32,6 +34,12 @@ struct FaultPlan {
   double queue_op_failure_rate = 0.0;
   double blob_read_failure_rate = 0.0;
   double blob_write_failure_rate = 0.0;
+
+  /// Probability that a blob read returns a payload whose CRC32C check
+  /// fails (torn or bit-rotted object). Drawn from its own stream on
+  /// otherwise-successful read attempts only, so it composes with
+  /// blob_read_failure_rate without perturbing its draw sequence.
+  double blob_corruption_rate = 0.0;
 
   /// Spot-style VM preemption probability per VM per superstep. A preempted
   /// VM is a worker failure: the engine recovers from the last checkpoint
@@ -49,11 +57,12 @@ struct FaultPlan {
   std::uint64_t blob_seed = 0xFA02;
   std::uint64_t preemption_seed = 0xFA03;
   std::uint64_t straggler_seed = 0xFA04;
+  std::uint64_t corruption_seed = 0xFA05;
 
-  /// True when any retriable (queue/blob) rate is nonzero.
+  /// True when any retriable (queue/blob/corruption) rate is nonzero.
   bool any_transient() const noexcept {
     return queue_op_failure_rate > 0.0 || blob_read_failure_rate > 0.0 ||
-           blob_write_failure_rate > 0.0;
+           blob_write_failure_rate > 0.0 || blob_corruption_rate > 0.0;
   }
   /// Throws std::logic_error on out-of-range rates or slowdown < 1.
   void validate() const;
@@ -80,6 +89,7 @@ struct RetryOutcome {
   bool success = true;
   std::uint32_t attempts = 1;   ///< total attempts made (1 = clean first try)
   std::uint64_t faults = 0;     ///< transient failures drawn along the way
+  std::uint64_t corruptions = 0;  ///< checksum-failed reads among the faults
   Seconds extra_latency = 0.0;  ///< failed-attempt latency + backoff sleeps
 };
 
@@ -120,6 +130,7 @@ class FaultInjector {
   std::uint64_t queue_draws_ = 0;
   std::uint64_t blob_read_draws_ = 0;
   std::uint64_t blob_write_draws_ = 0;
+  std::uint64_t blob_corrupt_draws_ = 0;
 };
 
 }  // namespace pregel::cloud

@@ -14,6 +14,7 @@
 #include "cloud/vm.hpp"
 #include "core/swath.hpp"
 #include "graph/graph.hpp"
+#include "runtime/mem_governor.hpp"
 #include "runtime/metrics.hpp"
 
 namespace pregel {
@@ -113,6 +114,11 @@ struct JobOptions {
   /// When a worker VM exceeds the restart threshold: throw JobFailure (true)
   /// or record the failure and keep simulating (false).
   bool fail_on_vm_restart = true;
+  /// Memory-pressure governor (degradation ladder: veto/clamp -> spill/park
+  /// -> governed-OOM restore). Budget comes from `swath.memory_target`;
+  /// disabled by default, and with it enabled a restart-level breach is
+  /// absorbed by the ladder instead of honoring fail_on_vm_restart.
+  MemGovernorConfig governor;
   /// Host threads executing partitions within a superstep: 0 = one per
   /// hardware thread, 1 = serial fast path, N = exactly N lanes (capped at
   /// the partition count). Purely a wall-clock knob: results, modeled times,

@@ -51,6 +51,7 @@
 #include <optional>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -218,14 +219,20 @@ class Engine {
         for (std::uint32_t l = 0; l < parts_[p].vertices.size(); ++l)
           activate_local(p, l);
     } else {
-      maybe_initiate_swath(/*at_startup=*/true);
+      // The governor's rewind anchor must precede the first initiation:
+      // only then can rungs 2-3 park roots of the startup swath or replay it
+      // under a halved size cap (a restore re-initiates, clamped, below).
+      if (governor_.enabled()) take_snapshot(0);
+      maybe_initiate_swath(/*at_startup=*/true, result);
     }
 
     // With fault tolerance on, the initial state is implicitly recoverable
     // (the input graph lives in blob storage): a failure before the first
     // periodic checkpoint restarts from superstep 0 instead of losing the
     // job. No upload is charged — nothing new needs writing.
-    if (cluster_.checkpoint_interval > 0) take_snapshot(0);
+    if ((cluster_.checkpoint_interval > 0 || governor_.enabled()) &&
+        !checkpoint_.has_value())
+      take_snapshot(0);
 
     std::uint64_t executed = 0;
     while (superstep_ < opts_.max_supersteps && executed++ < 4 * opts_.max_supersteps) {
@@ -271,6 +278,13 @@ class Engine {
           recover_from_checkpoint(result);
         continue;  // re-execute from the restored superstep
       }
+
+      // Memory-pressure governor, rungs 2-3: at the barrier, decide whether
+      // this superstep's pressure warrants parking roots (shed) or a
+      // governed-OOM restore. Both rewind to the snapshot and re-execute.
+      const GovernorVerdict verdict = governor_step(result);
+      if (verdict == GovernorVerdict::kRewound) continue;
+      if (verdict == GovernorVerdict::kFailed) break;
 
       run_barrier(result);
       maybe_checkpoint(result);
@@ -372,6 +386,7 @@ class Engine {
   // ---- run lifecycle -------------------------------------------------------
 
   void validate(const JobOptions& opts) const {
+    opts.governor.validate();
     PREGEL_CHECK_MSG(!(opts.start_all_vertices && !opts.roots.empty()),
                      "JobOptions: start_all_vertices excludes explicit roots");
     if (!opts.roots.empty()) {
@@ -430,9 +445,11 @@ class Engine {
     reset_placement_to_modulo();
     pending_placement_cost_ = 0.0;
     virtual_now_us_ = 0.0;
-    baseline_memory_ = 0;
-    for (std::uint32_t w = 0; w < workers_now_; ++w)
-      baseline_memory_ = std::max(baseline_memory_, vm_graph_bytes(w));
+    recompute_baseline_memory();
+    governor_.reset(opts.governor, opts.swath.memory_target);
+    governor_breach_ = false;
+    last_unspilled_peak_ = 0;
+    last_post_spill_peak_ = 0;
 
     // Host-parallelism: resolve the lane count and size the staging buffers.
     // The pool persists across runs when the resolved width is unchanged.
@@ -504,6 +521,16 @@ class Engine {
   void reset_placement_to_modulo() {
     placement_.resize(parts_.size());
     for (std::uint32_t p = 0; p < placement_.size(); ++p) placement_[p] = p % workers_now_;
+  }
+
+  /// Per-worker resident floor (the graph bytes of the partitions each VM
+  /// hosts) feeding the sizers' headroom math. Placement-sensitive: it must
+  /// be re-derived whenever the partition->VM mapping changes, or the sizers
+  /// extrapolate against a stale baseline.
+  void recompute_baseline_memory() {
+    baseline_memory_ = 0;
+    for (std::uint32_t w = 0; w < workers_now_; ++w)
+      baseline_memory_ = std::max(baseline_memory_, vm_graph_bytes(w));
   }
 
   Bytes vm_graph_bytes(std::uint32_t vm) const {
@@ -696,6 +723,36 @@ class Engine {
                        ps.inbox_cur_bytes + ps.inbox_next_bytes + ps.outbuf_bytes;
     }
 
+    Bytes unspilled_peak = 0;
+    for (std::uint32_t i = 0; i < w; ++i)
+      unspilled_peak = std::max(unspilled_peak, vm_load[i].memory_peak);
+    last_unspilled_peak_ = unspilled_peak;
+
+    // Governor rung 2a: above the hard watermark, spill the coldest message
+    // buffers to blob storage until the resident peak falls back to the soft
+    // watermark (or the spillable bytes run out). The spilled bytes leave
+    // the resident footprint before the restart check; the round-trip blob
+    // I/O is charged to the worker's network time below.
+    std::vector<Bytes> vm_spill;
+    if (governor_.enabled()) {
+      vm_spill.assign(w, 0);
+      std::vector<Bytes> vm_spillable(w, 0);
+      for (std::uint32_t p = 0; p < parts_.size(); ++p) {
+        const PartitionState& ps = parts_[p];
+        vm_spillable[vm_of(p)] += ps.inbox_cur_bytes + ps.inbox_next_bytes + ps.outbuf_bytes;
+      }
+      for (std::uint32_t i = 0; i < w; ++i) {
+        const Bytes spill = governor_.spill_amount(vm_load[i].memory_peak, vm_spillable[i]);
+        if (spill == 0) continue;
+        vm_spill[i] = spill;
+        vm_load[i].memory_peak -= spill;
+        ++result.metrics.governor_spills;
+        result.metrics.governor_spill_bytes += spill;
+        trace::add("engine.governor.spills", 1);
+      }
+    }
+
+    Bytes post_spill_peak = 0;
     Seconds slowest = 0.0;
     bool restart = false;
     const bool replaying = confined_replay_active();
@@ -729,10 +786,18 @@ class Engine {
         wm.compute_time = raw_compute[i] * jitter;
         wm.network_time = raw_network[i] * jitter;
       }
+      if (!vm_spill.empty() && vm_spill[i] > 0) {
+        wm.spilled_bytes = vm_spill[i];
+        const Seconds spill_t = cost_.spill_transfer_time(vm_spill[i], cluster_.vm);
+        wm.network_time += spill_t;
+        result.metrics.governor_spill_time += spill_t;
+      }
       slowest = std::max(slowest, wm.busy_time());
+      post_spill_peak = std::max(post_spill_peak, L.memory_peak);
 
       if (cost_.triggers_restart(L.memory_peak, cluster_.vm)) restart = true;
     }
+    last_post_spill_peak_ = post_spill_peak;
 
     // Barrier straggler timeout: a worker running past k x the median busy
     // time is declared slow; the least-loaded VM speculatively re-executes
@@ -790,12 +855,22 @@ class Engine {
 
     result.metrics.total_time += sm.span;
     meter_.charge(cluster_.vm, w, sm.span);
+    // Sizers see the pre-spill peak: spilling hides pressure from the
+    // resident footprint, not from the controllers that must shrink it.
+    // (Identical to sm.max_worker_memory() when the governor is off.)
     peak_memory_since_initiation_ =
-        std::max(peak_memory_since_initiation_, sm.max_worker_memory());
+        std::max(peak_memory_since_initiation_, last_unspilled_peak_);
     last_messages_sent_ = sm.messages_sent_total();
     trace_superstep(sm, result.metrics.total_time);
 
     if (restart) {
+      if (governor_.enabled() && checkpoint_.has_value()) {
+        // Rung 3 trigger: the thrashed VM would be restarted by the fabric.
+        // Flag the breach for the governor ladder at this barrier instead of
+        // killing the job (fail_on_vm_restart is deliberately bypassed).
+        governor_breach_ = true;
+        return false;
+      }
       Bytes worst = 0;
       std::uint32_t worst_vm = 0;
       for (std::uint32_t i = 0; i < w; ++i)
@@ -878,7 +953,7 @@ class Engine {
 
     // 2. Swath scheduling.
     ++supersteps_since_initiation_;
-    maybe_initiate_swath(/*at_startup=*/false);
+    maybe_initiate_swath(/*at_startup=*/false, result);
     result.roots_completed = roots_completed_;
     result.swaths_initiated = swath_index_;
 
@@ -910,6 +985,7 @@ class Engine {
         // is per-VM-identity and does not survive the re-provisioning.
         reset_placement_to_modulo();
         vm_straggler_counts_.assign(workers_now_, 0);
+        recompute_baseline_memory();
       }
     }
 
@@ -950,11 +1026,12 @@ class Engine {
         pending_placement_cost_ = static_cast<double>(worst) / bw_Bps +
                                   cost_.params().queue_op_latency;
         placement_ = std::move(next);
+        recompute_baseline_memory();
       }
     }
   }
 
-  void maybe_initiate_swath(bool at_startup) {
+  void maybe_initiate_swath(bool at_startup, JobResult<Program>& result) {
     if (opts_.roots.empty() || next_root_ >= pending_roots_.size()) return;
 
     if (!at_startup) {
@@ -966,6 +1043,25 @@ class Engine {
       sig.max_worker_memory = peak_memory_since_initiation_;
       sig.memory_target = opts_.swath.memory_target;
       if (!opts_.swath.initiation->should_initiate(sig)) return;
+      // Governor rung 1: while the observed pressure sits at or above the
+      // soft watermark, initiations the policy would allow are vetoed. Only
+      // defers while in-flight work can drain the pressure — with nothing
+      // outstanding (or no coming activity) a veto would stall the job with
+      // roots still pending.
+      if (governor_.veto_initiation() && outstanding_count() > 0 && any_pending_activity()) {
+        ++result.metrics.governor_vetoes;
+        trace::add("engine.governor.vetoes", 1);
+        if (trace::spans_on()) {
+          const std::string args =
+              "{\"superstep\":" + std::to_string(superstep_) +
+              ",\"pressure\":" + std::to_string(governor_.last_pressure()) +
+              ",\"active_roots\":" + std::to_string(outstanding_count()) + "}";
+          trace::Tracer::instance().instant("governor.veto", "governor", args);
+          trace::Tracer::instance().virtual_instant("governor.veto", "governor",
+                                                    virtual_now_us_, args);
+        }
+        return;
+      }
     }
 
     SwathSizeSignals ss;
@@ -976,6 +1072,24 @@ class Engine {
     ss.memory_target = opts_.swath.memory_target;
     ss.roots_remaining = static_cast<std::uint32_t>(pending_roots_.size() - next_root_);
     std::uint32_t size = opts_.swath.sizer->next_size(ss);
+    if (governor_.enabled()) {
+      // Rung 1b: clamp the sizer's proposal to the governed headroom (and to
+      // the halved cap after any governed-OOM episode).
+      const std::uint32_t clamped = governor_.clamp_swath_size(size);
+      if (clamped < size) {
+        ++result.metrics.governor_swath_clamps;
+        trace::add("engine.governor.clamps", 1);
+        if (trace::spans_on()) {
+          const std::string args = "{\"superstep\":" + std::to_string(superstep_) +
+                                   ",\"proposed\":" + std::to_string(size) +
+                                   ",\"clamped\":" + std::to_string(clamped) + "}";
+          trace::Tracer::instance().instant("governor.clamp", "governor", args);
+          trace::Tracer::instance().virtual_instant("governor.clamp", "governor",
+                                                    virtual_now_us_, args);
+        }
+        size = clamped;
+      }
+    }
     size = std::min<std::uint32_t>(std::max<std::uint32_t>(size, 1), ss.roots_remaining);
 
     for (std::uint32_t i = 0; i < size; ++i) {
@@ -1059,10 +1173,12 @@ class Engine {
     if (out.success) result.metrics.faults_masked += out.faults;
     result.metrics.retries_attempted += out.attempts - 1;
     result.metrics.retry_latency += out.extra_latency;
+    result.metrics.blob_corruptions += out.corruptions;
     if (trace::counters_on()) {
       trace::Tracer& t = trace::Tracer::instance();
       if (out.faults > 0) t.counter("engine.faults.injected").add(out.faults);
       if (out.attempts > 1) t.counter("engine.retries").add(out.attempts - 1);
+      if (out.corruptions > 0) t.counter("engine.blob.corruptions").add(out.corruptions);
     }
     return out;
   }
@@ -1275,6 +1391,7 @@ class Engine {
     meter_.charge(cluster_.vm, workers_now_, t);
 
     restore_snapshot_state();
+    reinitiate_after_restore(result);
   }
 
   /// Confined recovery: only `dead_vm`'s partitions reload the checkpoint
@@ -1303,6 +1420,172 @@ class Engine {
     confined_replay_until_ = superstep_;
     replay_lost_vm_ = dead_vm;
     restore_snapshot_state();
+    reinitiate_after_restore(result);
+  }
+
+  // ---- memory-pressure governor (graceful degradation ladder) --------------
+
+  /// A restore to the governor's pre-initiation anchor leaves nothing in
+  /// flight; the replay must re-initiate immediately (now under the
+  /// governor's clamp and cap) or the run loop would see no activity and end
+  /// with roots still pending.
+  void reinitiate_after_restore(JobResult<Program>& result) {
+    if (opts_.start_all_vertices) return;
+    if (outstanding_count() > 0 || any_pending_activity()) return;
+    if (next_root_ >= pending_roots_.size()) return;
+    maybe_initiate_swath(/*at_startup=*/true, result);
+  }
+
+  /// Will the coming superstep do any work? Runs at the barrier, before
+  /// prepare_superstep swaps active_next in, so it inspects next-superstep
+  /// state where any_activity() inspects the current one. Future wakes count:
+  /// the engine idles through the gap on its own.
+  bool any_pending_activity() const {
+    for (const PartitionState& ps : parts_)
+      if (!ps.active_next.empty() || !ps.wakes.empty()) return true;
+    return false;
+  }
+
+  /// Roots initiated since the snapshot and still in flight — exactly the
+  /// ones a shed can park, because rewinding to the snapshot un-initiates
+  /// them without touching any completed root's recorded result.
+  std::uint32_t parkable_root_count() const {
+    if (!checkpoint_) return 0;
+    std::uint32_t n = 0;
+    for (std::size_t i = checkpoint_->next_root; i < next_root_; ++i)
+      if (outstanding_index_.contains(pending_roots_[i])) ++n;
+    return n;
+  }
+
+  enum class GovernorVerdict { kProceed, kRewound, kFailed };
+
+  /// Barrier-time governor consultation: feed it this superstep's pressure
+  /// observation and apply the action it picks. Free when disabled.
+  GovernorVerdict governor_step(JobResult<Program>& result) {
+    if (!governor_.enabled()) return GovernorVerdict::kProceed;
+    const bool breach = governor_breach_;
+    governor_breach_ = false;
+    MemGovernor::Observation obs;
+    obs.unspilled_peak = last_unspilled_peak_;
+    obs.post_spill_peak = last_post_spill_peak_;
+    obs.baseline = baseline_memory_;
+    obs.active_roots = outstanding_count();
+    obs.parkable_roots = parkable_root_count();
+    obs.restart_breach = breach;
+    switch (governor_.observe(obs)) {
+      case MemGovernor::Action::kNone:
+        return GovernorVerdict::kProceed;
+      case MemGovernor::Action::kShed:
+        shed_newest_roots(result);
+        return GovernorVerdict::kRewound;
+      case MemGovernor::Action::kEscalate:
+        governed_oom_restore(result);
+        return GovernorVerdict::kRewound;
+      case MemGovernor::Action::kGiveUp:
+        result.failed = true;
+        result.failure_reason =
+            "governed OOM: memory pressure persisted after " +
+            std::to_string(governor_.sheds()) + " sheds and " +
+            std::to_string(governor_.escalations()) +
+            " governed restores at superstep " + std::to_string(superstep_);
+        return GovernorVerdict::kFailed;
+    }
+    return GovernorVerdict::kProceed;
+  }
+
+  /// Rung 2b: rewind to the snapshot, but re-queue the newest in-flight
+  /// roots at the BACK of the pending list so the replay resumes with a
+  /// lighter swath; parked roots re-initiate in later swaths. A proactive
+  /// rollback the manager orders at the barrier: no failure detection or VM
+  /// reacquisition, just the checkpoint download under the retry policy.
+  void shed_newest_roots(JobResult<Program>& result) {
+    trace::Span span("engine.governor.shed", "recovery", "superstep", superstep_);
+    const Snapshot& s = *checkpoint_;
+    std::vector<VertexId> parkable;
+    for (std::size_t i = s.next_root; i < next_root_; ++i) {
+      const VertexId r = pending_roots_[i];
+      if (outstanding_index_.contains(r)) parkable.push_back(r);
+    }
+    const std::uint32_t k =
+        governor_.park_count(static_cast<std::uint32_t>(parkable.size()));
+    PREGEL_DCHECK(k >= 1 && k <= parkable.size());
+    const std::unordered_set<VertexId> parked(parkable.end() - k, parkable.end());
+
+    result.metrics.replayed_supersteps += superstep_ + 1 - s.superstep;
+    Bytes biggest = 0;
+    for (std::uint32_t i = 0; i < workers_now_; ++i)
+      biggest = std::max(biggest, checkpoint_bytes(i));
+    const auto read = control_op(cloud::FaultKind::kBlobRead, result);
+    const double bw_Bps = cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
+    Seconds t = static_cast<double>(biggest) / bw_Bps +
+                cost_.params().queue_op_latency + read.extra_latency;
+    if (!read.success) t += cluster_.retry.op_deadline;
+    result.metrics.governor_shed_time += t;
+    result.metrics.total_time += t;
+    meter_.charge(cluster_.vm, workers_now_, t);
+
+    restore_snapshot_state();
+    // Park: move the shed roots behind every other pending root, preserving
+    // relative order. The snapshot's own pending list is updated too — a
+    // later failure rollback must not silently undo the parking.
+    std::stable_partition(
+        pending_roots_.begin() + static_cast<std::ptrdiff_t>(next_root_),
+        pending_roots_.end(), [&](VertexId r) { return !parked.contains(r); });
+    checkpoint_->pending_roots = pending_roots_;
+    governor_.on_shed();
+    ++result.metrics.governor_sheds;
+    result.metrics.governor_roots_parked += k;
+    trace::add("engine.governor.sheds", 1);
+    if (trace::spans_on()) {
+      const std::string args = "{\"superstep\":" + std::to_string(superstep_) +
+                               ",\"roots_parked\":" + std::to_string(k) +
+                               ",\"resume_superstep\":" + std::to_string(s.superstep) + "}";
+      trace::Tracer::instance().instant("governor.shed", "governor", args);
+      trace::Tracer::instance().virtual_instant("governor.shed", "governor",
+                                                virtual_now_us_, args);
+    }
+    reinitiate_after_restore(result);
+  }
+
+  /// Rung 3: governed-OOM episode. The pressure breached the restart
+  /// threshold and shedding is exhausted (or impossible): the thrashed VM is
+  /// restarted by the fabric, everyone reloads the checkpoint, and the
+  /// governor halves its swath-size cap so the replay cannot re-offend.
+  /// Recorded as an episode in the metrics, not a job failure.
+  void governed_oom_restore(JobResult<Program>& result) {
+    trace::Span span("engine.governor.escalate", "recovery", "superstep", superstep_);
+    const Snapshot& s = *checkpoint_;
+    result.metrics.replayed_supersteps += superstep_ + 1 - s.superstep;
+    ++failure_epoch_;
+    replay_lost_vm_.reset();
+    const std::uint32_t offending = last_swath_size_;
+
+    Bytes biggest = 0;
+    for (std::uint32_t i = 0; i < workers_now_; ++i)
+      biggest = std::max(biggest, checkpoint_bytes(i));
+    const auto read = control_op(cloud::FaultKind::kBlobRead, result);
+    const double bw_Bps = cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
+    Seconds t = cluster_.failure_detection_time + cluster_.vm_reacquisition_time +
+                static_cast<double>(biggest) / bw_Bps + read.extra_latency;
+    if (!read.success) t += cluster_.retry.op_deadline;
+    result.metrics.recovery_time += t;
+    result.metrics.total_time += t;
+    meter_.charge(cluster_.vm, workers_now_, t);
+
+    restore_snapshot_state();
+    governor_.on_escalated(offending);
+    ++result.metrics.governed_oom_episodes;
+    trace::add("engine.governor.escalations", 1);
+    if (trace::spans_on()) {
+      const std::string args = "{\"superstep\":" + std::to_string(superstep_) +
+                               ",\"offending_swath_size\":" + std::to_string(offending) +
+                               ",\"new_swath_cap\":" + std::to_string(governor_.swath_cap()) +
+                               ",\"resume_superstep\":" + std::to_string(s.superstep) + "}";
+      trace::Tracer::instance().instant("governor.escalate", "governor", args);
+      trace::Tracer::instance().virtual_instant("governor.escalate", "governor",
+                                                virtual_now_us_, args);
+    }
+    reinitiate_after_restore(result);
   }
 
   /// Manager-injected seeds carry this sentinel in the combiner source
@@ -1539,6 +1822,13 @@ class Engine {
   std::optional<Snapshot> checkpoint_;
   std::vector<std::pair<std::uint64_t, std::uint32_t>> scheduled_failures_;
   std::uint64_t failure_epoch_ = 0;
+
+  /// Memory-pressure governor state: the ladder itself plus this superstep's
+  /// observation inputs (pre-spill peak, post-spill peak, restart breach).
+  MemGovernor governor_;
+  bool governor_breach_ = false;
+  Bytes last_unspilled_peak_ = 0;
+  Bytes last_post_spill_peak_ = 0;
 
   cloud::FaultInjector faults_;
   Seconds pending_retry_latency_ = 0.0;

@@ -43,6 +43,17 @@ std::uint32_t SamplingSwathSizer::next_size(const SwathSizeSignals& s) {
           std::max(1.0, std::floor(budget / max_per_root_bytes_)));
     }
   }
+  if (max_per_root_bytes_ > 0.0) {
+    // Re-clamp the cached extrapolation to the *current* headroom: after a
+    // recovery or placement change baseline_memory moves, and the stale
+    // estimate could otherwise propose sizes above the budget.
+    const double budget = s.memory_target > s.baseline_memory
+                              ? static_cast<double>(s.memory_target - s.baseline_memory)
+                              : 0.0;
+    const auto fit = static_cast<std::uint32_t>(
+        std::max(1.0, std::floor(budget / max_per_root_bytes_)));
+    return std::min(extrapolated_, fit);
+  }
   return extrapolated_;
 }
 
@@ -67,6 +78,9 @@ std::uint32_t AdaptiveSwathSizer::next_size(const SwathSizeSignals& s) {
   const double used = s.peak_memory_last_swath > s.baseline_memory
                           ? static_cast<double>(s.peak_memory_last_swath - s.baseline_memory)
                           : 0.0;
+  if (used > 0.0)
+    last_per_root_bytes_ = used / static_cast<double>(s.last_swath_size);
+
   double proposal;
   if (used <= 0.0 || budget <= 0.0) {
     proposal = static_cast<double>(s.last_swath_size) * growth_cap_;
@@ -77,8 +91,16 @@ std::uint32_t AdaptiveSwathSizer::next_size(const SwathSizeSignals& s) {
   }
   proposal = std::clamp(proposal, 1.0,
                         static_cast<double>(s.last_swath_size) * growth_cap_);
+  // Headroom clamp, applied both to the proposal fed to the EWMA and to the
+  // smoothed output: the controller's memory of bolder proposals must not
+  // outlive a shrunken budget (stale baseline after recovery).
+  const double fit = last_per_root_bytes_ > 0.0
+                         ? std::max(1.0, std::floor(budget / last_per_root_bytes_))
+                         : std::numeric_limits<double>::infinity();
+  proposal = std::min(proposal, fit);
   ewma_.add(proposal);
-  return static_cast<std::uint32_t>(std::max(1.0, std::round(ewma_.value())));
+  const double smoothed = std::min(std::round(ewma_.value()), fit);
+  return static_cast<std::uint32_t>(std::max(1.0, smoothed));
 }
 
 StaticNInitiation::StaticNInitiation(std::uint64_t n) : n_(n) {

@@ -86,6 +86,10 @@ class AdaptiveSwathSizer final : public SwathSizer {
   double smoothing_;
   double growth_cap_;
   Ewma ewma_;
+  /// Per-root incremental peak observed in the most recent swath; clamps
+  /// proposals to the *current* headroom so a stale baseline (e.g. after
+  /// recovery) can't push the smoothed size past the budget.
+  double last_per_root_bytes_ = 0.0;
 };
 
 /// What initiation policies see after every superstep.

@@ -154,6 +154,16 @@ Bytes memory_target(const cloud::VmSpec& vm) {
   return static_cast<Bytes>(static_cast<double>(vm.ram) * 6.0 / 7.0);
 }
 
+MemGovernorConfig default_governor() {
+  MemGovernorConfig g;
+  g.enabled = true;
+  g.soft_watermark = 0.85;
+  g.hard_watermark = 1.0;
+  g.spill_enabled = true;
+  g.shed_enabled = true;
+  return g;
+}
+
 ClusterConfig make_cluster(const ExperimentEnv& e, std::uint32_t partitions,
                            std::uint32_t workers) {
   ClusterConfig c;

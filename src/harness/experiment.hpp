@@ -65,6 +65,12 @@ cloud::VmSpec experiment_vm(const ExperimentEnv& e);
 /// mirroring the paper's "6 GB threshold on 7 GB VMs".
 Bytes memory_target(const cloud::VmSpec& vm);
 
+/// Standard memory-pressure governor for the experiment regime: enabled,
+/// soft watermark at 85% of the swath memory target, hard at 100%, spilling
+/// and load shedding on. Pair with a SwathPolicy whose memory_target is set
+/// (the governor budgets against it).
+MemGovernorConfig default_governor();
+
 /// Standard cluster: `partitions` logical partitions on `workers` VMs.
 ClusterConfig make_cluster(const ExperimentEnv& e, std::uint32_t partitions,
                            std::uint32_t workers);

@@ -1,0 +1,98 @@
+#include "runtime/mem_governor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pregel {
+
+void MemGovernorConfig::validate() const {
+  if (!enabled) return;
+  if (!(soft_watermark > 0.0) || !std::isfinite(soft_watermark))
+    throw std::invalid_argument("MemGovernorConfig: soft_watermark must be positive");
+  if (!(hard_watermark >= soft_watermark) || !std::isfinite(hard_watermark))
+    throw std::invalid_argument("MemGovernorConfig: hard_watermark must be >= soft_watermark");
+  if (!(shed_fraction > 0.0) || shed_fraction > 1.0)
+    throw std::invalid_argument("MemGovernorConfig: shed_fraction must be in (0, 1]");
+}
+
+void MemGovernor::reset(const MemGovernorConfig& cfg, Bytes target) {
+  cfg.validate();
+  cfg_ = cfg;
+  enabled_ = cfg.enabled && target > 0;
+  target_ = enabled_ ? target : 0;
+  const auto scaled = [&](double f) {
+    return static_cast<Bytes>(static_cast<double>(target_) * f);
+  };
+  soft_bytes_ = enabled_ ? scaled(cfg_.soft_watermark) : 0;
+  hard_bytes_ = enabled_ ? scaled(cfg_.hard_watermark) : 0;
+  last_pressure_ = 0.0;
+  last_baseline_ = 0;
+  per_root_bytes_ = 0.0;
+  sheds_ = 0;
+  escalations_ = 0;
+  swath_cap_ = std::numeric_limits<std::uint32_t>::max();
+}
+
+MemGovernor::Action MemGovernor::observe(const Observation& obs) {
+  if (!enabled_) return Action::kNone;
+  last_pressure_ = static_cast<double>(obs.unspilled_peak) / static_cast<double>(target_);
+  last_baseline_ = obs.baseline;
+  if (obs.active_roots > 0 && obs.unspilled_peak > obs.baseline) {
+    const double incremental = static_cast<double>(obs.unspilled_peak - obs.baseline) /
+                               static_cast<double>(obs.active_roots);
+    per_root_bytes_ = std::max(per_root_bytes_, incremental);
+  }
+
+  const bool can_shed =
+      cfg_.shed_enabled && obs.parkable_roots > 0 && sheds_ < cfg_.max_sheds;
+  if (obs.restart_breach) {
+    if (can_shed) return Action::kShed;
+    if (escalations_ < cfg_.max_escalations) return Action::kEscalate;
+    return Action::kGiveUp;
+  }
+  // Hard-watermark breach the spill path could not relieve: shed if possible,
+  // otherwise tolerate — the budget is a policy target, not physical RAM.
+  if (obs.post_spill_peak > hard_bytes_ && can_shed) return Action::kShed;
+  return Action::kNone;
+}
+
+bool MemGovernor::veto_initiation() const noexcept {
+  if (!enabled_) return false;
+  return last_pressure_ >= cfg_.soft_watermark;
+}
+
+std::uint32_t MemGovernor::clamp_swath_size(std::uint32_t proposal) const noexcept {
+  if (!enabled_) return proposal;
+  std::uint32_t clamped = std::min(proposal, swath_cap_);
+  if (per_root_bytes_ > 0.0 && soft_bytes_ > last_baseline_) {
+    const double headroom = static_cast<double>(soft_bytes_ - last_baseline_);
+    const auto fit = static_cast<std::uint64_t>(headroom / per_root_bytes_);
+    clamped = static_cast<std::uint32_t>(std::min<std::uint64_t>(clamped, std::max<std::uint64_t>(fit, 1)));
+  } else if (per_root_bytes_ > 0.0) {
+    clamped = 1;  // baseline alone is already at the soft watermark
+  }
+  return std::max<std::uint32_t>(clamped, 1);
+}
+
+Bytes MemGovernor::spill_amount(Bytes vm_peak, Bytes spillable) const noexcept {
+  if (!enabled_ || !cfg_.spill_enabled) return 0;
+  if (vm_peak <= hard_bytes_) return 0;
+  const Bytes excess_over_soft = vm_peak - soft_bytes_;  // hard >= soft
+  return std::min(spillable, excess_over_soft);
+}
+
+std::uint32_t MemGovernor::park_count(std::uint32_t parkable) const noexcept {
+  if (parkable == 0) return 0;
+  const auto want = static_cast<std::uint32_t>(
+      std::llround(static_cast<double>(parkable) * cfg_.shed_fraction));
+  return std::clamp<std::uint32_t>(want, 1, parkable);
+}
+
+void MemGovernor::on_escalated(std::uint32_t offending_swath_size) noexcept {
+  ++escalations_;
+  const std::uint32_t base = std::min(swath_cap_, std::max<std::uint32_t>(offending_swath_size, 1));
+  swath_cap_ = std::max<std::uint32_t>(base / 2, 1);
+}
+
+}  // namespace pregel

@@ -1,0 +1,159 @@
+// Per-worker memory-pressure governor: the graceful-degradation ladder that
+// keeps the swath machinery inside its memory budget at runtime.
+//
+// The paper's swath-size heuristics (§IV) exist because buffering too many
+// concurrent traversals overwhelms worker memory — but the sampling and
+// adaptive controllers *predict* footprints and can overshoot, and on a real
+// cloud an overshoot kills the job. The governor closes that loop. It tracks
+// the modeled per-VM resident peak (graph + frontier state + inboxes +
+// outboxes, the same accounting the sizers see) against
+// `SwathPolicy::memory_target` and reacts in escalating rungs:
+//
+//   1. soft watermark — veto new swath initiations (backpressure into the
+//      InitiationPolicy) and clamp the sizer's next-swath estimate to the
+//      measured per-root headroom;
+//   2. hard watermark — shed load: spill message buffers to blob storage
+//      (I/O charged to the cost model) and park the newest in-flight roots,
+//      rewinding to the last checkpoint so the parked roots replay later;
+//   3. breach despite shedding (the fabric's restart threshold trips) —
+//      escalate to a checkpoint restore with a halved swath-size cap,
+//      recorded as a governed-OOM episode instead of a job failure.
+//
+// The governor itself is pure decision logic — deterministic, engine-agnostic
+// and allocation-free — so the engine stays the single owner of simulation
+// state and the ladder is unit-testable in isolation. All governor work
+// happens at barriers; the per-message hot path never consults it.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/units.hpp"
+
+namespace pregel {
+
+/// Tuning knobs for the memory-pressure governor. Defaults mirror the
+/// paper's 6/7-of-RAM budget discipline: back off at 85% of the target,
+/// shed at 100%. Disabled by default — existing runs are bit-identical.
+struct MemGovernorConfig {
+  bool enabled = false;
+
+  /// Fraction of the memory target at which new swath initiations are
+  /// vetoed and sizer proposals are clamped to measured headroom.
+  double soft_watermark = 0.85;
+
+  /// Fraction of the memory target above which the governor sheds load
+  /// (spills message buffers, parks the newest in-flight roots).
+  double hard_watermark = 1.0;
+
+  /// Rung-2 relief toggles: spill message buffers to blob storage / park
+  /// newest in-flight roots. Both default on; turning both off reduces the
+  /// governor to soft-watermark backpressure only.
+  bool spill_enabled = true;
+  bool shed_enabled = true;
+
+  /// Fraction of the parkable (initiated since the last checkpoint, still
+  /// in flight) roots parked per shed; always at least one root.
+  double shed_fraction = 0.5;
+
+  /// Rewinds are expensive, so both shed and escalate rungs are bounded.
+  /// Past `max_sheds` a hard breach escalates; past `max_escalations` a
+  /// breach that would restart the VM fails the job with a clear reason.
+  std::uint32_t max_sheds = 32;
+  std::uint32_t max_escalations = 8;
+
+  /// Throws std::invalid_argument on nonsensical settings.
+  void validate() const;
+};
+
+/// Decision core of the degradation ladder. The engine feeds it one
+/// Observation per superstep (at the barrier) and acts on the returned
+/// Action; everything else is accounting.
+class MemGovernor {
+ public:
+  enum class Action {
+    kNone,      ///< under control — no barrier-time intervention
+    kShed,      ///< rewind to checkpoint, parking the newest in-flight roots
+    kEscalate,  ///< governed-OOM: restore from checkpoint, halve swath cap
+    kGiveUp,    ///< ladder exhausted — fail the job with a clear reason
+  };
+
+  /// Barrier-time snapshot of one superstep's memory behaviour.
+  struct Observation {
+    Bytes unspilled_peak = 0;   ///< max per-VM resident before spill relief
+    Bytes post_spill_peak = 0;  ///< max per-VM resident after spilling
+    Bytes baseline = 0;         ///< graph-resident bytes of the fullest VM
+    std::uint64_t active_roots = 0;     ///< roots currently in flight
+    std::uint32_t parkable_roots = 0;   ///< roots a shed could park
+    bool restart_breach = false;        ///< fabric restart threshold tripped
+  };
+
+  MemGovernor() = default;
+
+  /// Re-arm for a run. Disabled (every query becomes a no-op) unless
+  /// cfg.enabled and `target` > 0.
+  void reset(const MemGovernorConfig& cfg, Bytes target);
+
+  bool enabled() const noexcept { return enabled_; }
+  Bytes target() const noexcept { return target_; }
+  Bytes soft_bytes() const noexcept { return soft_bytes_; }
+  Bytes hard_bytes() const noexcept { return hard_bytes_; }
+
+  /// Record one superstep and pick the ladder rung. Shedding needs parkable
+  /// roots and remaining shed budget; a restart-level breach with nothing
+  /// left to shed escalates, and an exhausted ladder gives up. A hard-
+  /// watermark breach that does NOT trip the fabric's restart threshold
+  /// never escalates past shedding — the governor must not fail a job the
+  /// cloud itself would have tolerated.
+  Action observe(const Observation& obs);
+
+  /// Rung 1: true while the last observed pressure is at/above the soft
+  /// watermark — the engine then skips new swath initiations.
+  bool veto_initiation() const noexcept;
+
+  /// Rung 1: clamp a sizer proposal to the escalation cap and to the
+  /// headroom below the soft watermark implied by the measured worst-case
+  /// per-root footprint. Never returns 0.
+  std::uint32_t clamp_swath_size(std::uint32_t proposal) const noexcept;
+
+  /// Rung 2 (spill): bytes to move to blob storage for a VM whose resident
+  /// peak is `vm_peak` given at most `spillable` bytes of message buffers —
+  /// enough to fall back to the soft watermark, triggered only above the
+  /// hard one.
+  Bytes spill_amount(Bytes vm_peak, Bytes spillable) const noexcept;
+
+  /// Rung 2 (shed): how many of `parkable` newest roots one shed parks.
+  std::uint32_t park_count(std::uint32_t parkable) const noexcept;
+
+  /// Bookkeeping hooks the engine calls after acting on observe().
+  void on_shed() noexcept { ++sheds_; }
+  void on_escalated(std::uint32_t offending_swath_size) noexcept;
+
+  std::uint32_t sheds() const noexcept { return sheds_; }
+  std::uint32_t escalations() const noexcept { return escalations_; }
+
+  /// Swath-size ceiling imposed by governed-OOM escalations (halved per
+  /// episode); unbounded until the first escalation.
+  std::uint32_t swath_cap() const noexcept { return swath_cap_; }
+
+  /// Unspilled peak / target from the most recent observation.
+  double last_pressure() const noexcept { return last_pressure_; }
+
+ private:
+  MemGovernorConfig cfg_;
+  bool enabled_ = false;
+  Bytes target_ = 0;
+  Bytes soft_bytes_ = 0;
+  Bytes hard_bytes_ = 0;
+  double last_pressure_ = 0.0;
+  Bytes last_baseline_ = 0;
+  /// Worst observed incremental resident bytes per in-flight root; feeds the
+  /// headroom clamp. Measured, not predicted — this is what makes the clamp
+  /// robust to a stale sizer baseline after recovery.
+  double per_root_bytes_ = 0.0;
+  std::uint32_t sheds_ = 0;
+  std::uint32_t escalations_ = 0;
+  std::uint32_t swath_cap_ = std::numeric_limits<std::uint32_t>::max();
+};
+
+}  // namespace pregel

@@ -24,6 +24,9 @@ struct WorkerStepMetrics {
   Bytes bytes_sent_remote = 0;
   Bytes bytes_received_remote = 0;
   Bytes memory_peak = 0;
+  /// Message-buffer bytes the memory governor moved to blob storage this
+  /// superstep; memory_peak is net of them (spilled = off-VM).
+  Bytes spilled_bytes = 0;
 
   Seconds compute_time = 0.0;
   Seconds network_time = 0.0;
@@ -95,6 +98,23 @@ struct JobMetrics {
   /// Azure-queue operations used by the control plane (step tokens + barrier
   /// check-ins through the simulated queue service).
   std::uint64_t control_queue_ops = 0;
+
+  /// Blob reads that returned a payload failing CRC32C verification; each is
+  /// escalated to a retriable failure (and counted in faults_injected too).
+  std::uint64_t blob_corruptions = 0;
+
+  // Memory-pressure governor (degradation ladder; see docs/FAULTS.md).
+  std::uint32_t governor_vetoes = 0;       ///< swath initiations skipped (soft watermark)
+  std::uint32_t governor_swath_clamps = 0; ///< sizer proposals cut to headroom
+  std::uint32_t governor_sheds = 0;        ///< rewinds that parked in-flight roots
+  std::uint64_t governor_roots_parked = 0; ///< roots parked across all sheds
+  std::uint32_t governor_spills = 0;       ///< VM-supersteps that spilled buffers
+  Bytes governor_spill_bytes = 0;          ///< total bytes moved to blob storage
+  Seconds governor_spill_time = 0.0;       ///< spill round-trip I/O; in total_time
+  Seconds governor_shed_time = 0.0;        ///< shed rewind cost; in total_time
+  /// Restart-level breaches absorbed by checkpoint restore + halved swath
+  /// cap instead of failing the job.
+  std::uint32_t governed_oom_episodes = 0;
 
   std::uint64_t total_messages() const noexcept;
   std::uint64_t total_supersteps() const noexcept { return supersteps.size(); }

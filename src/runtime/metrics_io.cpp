@@ -9,7 +9,7 @@ void write_worker_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
   w.header({"superstep", "worker", "vertices_computed", "messages_processed",
             "messages_sent_local", "messages_sent_remote", "bytes_sent_remote",
             "bytes_received_remote", "memory_peak_bytes", "compute_seconds",
-            "network_seconds", "barrier_wait_seconds"});
+            "network_seconds", "barrier_wait_seconds", "spilled_bytes"});
   for (const auto& sm : metrics.supersteps) {
     for (std::size_t i = 0; i < sm.workers.size(); ++i) {
       const auto& wm = sm.workers[i];
@@ -25,6 +25,7 @@ void write_worker_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
           .field(wm.compute_time)
           .field(wm.network_time)
           .field(wm.barrier_wait)
+          .field(wm.spilled_bytes)
           .end_row();
     }
   }
@@ -55,7 +56,7 @@ void write_fault_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
   w.header({"recovery_mode", "checkpoints", "checkpoint_failures", "failures",
             "replayed_supersteps", "recovery_s", "confined_replay_s", "faults_injected",
             "faults_masked", "retries_attempted", "retry_latency_s",
-            "straggler_reexecutions"});
+            "straggler_reexecutions", "blob_corruptions"});
   w.field(metrics.recovery_mode)
       .field(static_cast<std::uint64_t>(metrics.checkpoints_written))
       .field(static_cast<std::uint64_t>(metrics.checkpoint_failures))
@@ -68,6 +69,23 @@ void write_fault_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
       .field(metrics.retries_attempted)
       .field(metrics.retry_latency)
       .field(static_cast<std::uint64_t>(metrics.straggler_reexecutions))
+      .field(metrics.blob_corruptions)
+      .end_row();
+}
+
+void write_governor_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
+  CsvWriter w(out);
+  w.header({"vetoes", "swath_clamps", "sheds", "roots_parked", "spills", "spill_bytes",
+            "spill_time_s", "shed_time_s", "governed_oom_episodes"});
+  w.field(static_cast<std::uint64_t>(metrics.governor_vetoes))
+      .field(static_cast<std::uint64_t>(metrics.governor_swath_clamps))
+      .field(static_cast<std::uint64_t>(metrics.governor_sheds))
+      .field(metrics.governor_roots_parked)
+      .field(static_cast<std::uint64_t>(metrics.governor_spills))
+      .field(metrics.governor_spill_bytes)
+      .field(metrics.governor_spill_time)
+      .field(metrics.governor_shed_time)
+      .field(static_cast<std::uint64_t>(metrics.governed_oom_episodes))
       .end_row();
 }
 
@@ -90,7 +108,15 @@ void write_job_summary(const JobMetrics& metrics, std::ostream& out) {
       << " retries_attempted=" << metrics.retries_attempted
       << " retry_latency_s=" << metrics.retry_latency
       << " straggler_reexecutions=" << metrics.straggler_reexecutions
-      << " control_queue_ops=" << metrics.control_queue_ops << "\n";
+      << " control_queue_ops=" << metrics.control_queue_ops
+      << " blob_corruptions=" << metrics.blob_corruptions
+      << " governor_vetoes=" << metrics.governor_vetoes
+      << " governor_swath_clamps=" << metrics.governor_swath_clamps
+      << " governor_sheds=" << metrics.governor_sheds
+      << " governor_roots_parked=" << metrics.governor_roots_parked
+      << " governor_spills=" << metrics.governor_spills
+      << " governor_spill_bytes=" << metrics.governor_spill_bytes
+      << " governed_oom_episodes=" << metrics.governed_oom_episodes << "\n";
 }
 
 }  // namespace pregel

@@ -11,7 +11,7 @@ namespace pregel {
 
 /// Per-superstep, per-worker long-format CSV:
 /// superstep,worker,vertices,msgs_processed,msgs_local,msgs_remote,
-/// bytes_sent,bytes_recv,memory_peak,compute_s,network_s,wait_s
+/// bytes_sent,bytes_recv,memory_peak,compute_s,network_s,wait_s,spilled_bytes
 void write_worker_metrics_csv(const JobMetrics& metrics, std::ostream& out);
 
 /// Per-superstep rollup CSV:
@@ -22,8 +22,13 @@ void write_superstep_metrics_csv(const JobMetrics& metrics, std::ostream& out);
 /// One-row fault-tolerance rollup CSV:
 /// recovery_mode,checkpoints,checkpoint_failures,failures,replayed_supersteps,
 /// recovery_s,confined_replay_s,faults_injected,faults_masked,
-/// retries_attempted,retry_latency_s,straggler_reexecutions
+/// retries_attempted,retry_latency_s,straggler_reexecutions,blob_corruptions
 void write_fault_metrics_csv(const JobMetrics& metrics, std::ostream& out);
+
+/// One-row memory-governor rollup CSV:
+/// vetoes,swath_clamps,sheds,roots_parked,spills,spill_bytes,spill_time_s,
+/// shed_time_s,governed_oom_episodes
+void write_governor_metrics_csv(const JobMetrics& metrics, std::ostream& out);
 
 /// One-line key=value job summary (human- and grep-friendly).
 void write_job_summary(const JobMetrics& metrics, std::ostream& out);

@@ -1,0 +1,33 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace pregel::util {
+
+namespace {
+
+// Byte-at-a-time table for the reflected Castagnoli polynomial 0x82F63B78.
+// Software only: the simulator checksums a handful of control-plane blobs
+// per superstep, so hardware CRC32 instructions would be over-engineering.
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) c = (c & 1u) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_crc32c_table();
+
+}  // namespace
+
+std::uint32_t crc32c_update(std::uint32_t crc, std::span<const std::byte> data) noexcept {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::byte b : data)
+    c = kTable[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace pregel::util

@@ -1,0 +1,26 @@
+// CRC-32C (Castagnoli) checksums for blob and checkpoint payload integrity.
+//
+// The Castagnoli polynomial (0x1EDC6F41) is the variant used by iSCSI, ext4
+// and most cloud object stores for end-to-end payload verification, which is
+// exactly the role it plays here: every blob carries its checksum and the
+// read path re-verifies it, so torn or corrupted payloads surface as
+// detectable integrity failures instead of silent bad data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace pregel::util {
+
+/// Incremental update: feed `data` into a running checksum previously
+/// returned by crc32c()/crc32c_update(). Chaining over split buffers yields
+/// the same value as one call over the concatenation.
+std::uint32_t crc32c_update(std::uint32_t crc, std::span<const std::byte> data) noexcept;
+
+/// One-shot checksum of a buffer. crc32c of "123456789" is 0xE3069283.
+inline std::uint32_t crc32c(std::span<const std::byte> data) noexcept {
+  return crc32c_update(0, data);
+}
+
+}  // namespace pregel::util

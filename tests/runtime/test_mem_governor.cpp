@@ -1,0 +1,205 @@
+#include "runtime/mem_governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pregel {
+namespace {
+
+constexpr Bytes kMiB = 1024 * 1024;
+
+MemGovernorConfig enabled_config() {
+  MemGovernorConfig cfg;
+  cfg.enabled = true;
+  return cfg;
+}
+
+MemGovernor::Observation calm_observation() {
+  MemGovernor::Observation obs;
+  obs.unspilled_peak = 10 * kMiB;
+  obs.post_spill_peak = 10 * kMiB;
+  obs.baseline = 5 * kMiB;
+  obs.active_roots = 4;
+  obs.parkable_roots = 4;
+  return obs;
+}
+
+TEST(MemGovernorConfig, ValidateRejectsNonsense) {
+  MemGovernorConfig cfg = enabled_config();
+  cfg.soft_watermark = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = enabled_config();
+  cfg.hard_watermark = cfg.soft_watermark - 0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = enabled_config();
+  cfg.shed_fraction = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = enabled_config();
+  cfg.shed_fraction = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  // Disabled config is never validated against: callers may leave garbage in
+  // knobs they do not use.
+  cfg = MemGovernorConfig{};
+  cfg.soft_watermark = -1.0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(MemGovernor, DisabledIsInert) {
+  MemGovernor gov;
+  gov.reset(MemGovernorConfig{}, 100 * kMiB);
+  EXPECT_FALSE(gov.enabled());
+  auto obs = calm_observation();
+  obs.restart_breach = true;
+  EXPECT_EQ(gov.observe(obs), MemGovernor::Action::kNone);
+  EXPECT_FALSE(gov.veto_initiation());
+  EXPECT_EQ(gov.clamp_swath_size(1000), 1000u);
+  EXPECT_EQ(gov.spill_amount(1000 * kMiB, 1000 * kMiB), 0u);
+}
+
+TEST(MemGovernor, ZeroTargetDisablesEvenWhenConfigured) {
+  MemGovernor gov;
+  gov.reset(enabled_config(), 0);
+  EXPECT_FALSE(gov.enabled());
+}
+
+TEST(MemGovernor, VetoTracksSoftWatermark) {
+  MemGovernor gov;
+  gov.reset(enabled_config(), 100 * kMiB);
+  auto obs = calm_observation();
+  obs.unspilled_peak = 84 * kMiB;  // below 85% soft watermark
+  EXPECT_EQ(gov.observe(obs), MemGovernor::Action::kNone);
+  EXPECT_FALSE(gov.veto_initiation());
+  obs.unspilled_peak = 86 * kMiB;  // above it
+  EXPECT_EQ(gov.observe(obs), MemGovernor::Action::kNone);
+  EXPECT_TRUE(gov.veto_initiation());
+  obs.unspilled_peak = 40 * kMiB;  // pressure drained: veto lifts
+  gov.observe(obs);
+  EXPECT_FALSE(gov.veto_initiation());
+}
+
+TEST(MemGovernor, ClampUsesMeasuredPerRootFootprint) {
+  MemGovernor gov;
+  gov.reset(enabled_config(), 100 * kMiB);
+  auto obs = calm_observation();
+  obs.baseline = 25 * kMiB;
+  obs.unspilled_peak = 65 * kMiB;  // 10 MiB per root across 4 roots
+  obs.active_roots = 4;
+  gov.observe(obs);
+  // Headroom below soft watermark: 85 - 25 = 60 MiB -> 6 roots fit.
+  EXPECT_EQ(gov.clamp_swath_size(100), 6u);
+  EXPECT_EQ(gov.clamp_swath_size(4), 4u);  // never raises a proposal
+  // Baseline swallowing the whole soft budget clamps to the minimum of 1.
+  obs.baseline = 90 * kMiB;
+  obs.unspilled_peak = 95 * kMiB;
+  gov.observe(obs);
+  EXPECT_EQ(gov.clamp_swath_size(100), 1u);
+}
+
+TEST(MemGovernor, SpillOnlyAboveHardWatermarkAndBoundedBySpillable) {
+  MemGovernor gov;
+  gov.reset(enabled_config(), 100 * kMiB);
+  // At or below hard watermark (100%): no spill.
+  EXPECT_EQ(gov.spill_amount(100 * kMiB, 50 * kMiB), 0u);
+  // Above: spill down to the soft watermark...
+  EXPECT_EQ(gov.spill_amount(120 * kMiB, 50 * kMiB), 35 * kMiB);
+  // ...but never more than the message buffers actually present.
+  EXPECT_EQ(gov.spill_amount(120 * kMiB, 10 * kMiB), 10 * kMiB);
+  MemGovernorConfig no_spill = enabled_config();
+  no_spill.spill_enabled = false;
+  gov.reset(no_spill, 100 * kMiB);
+  EXPECT_EQ(gov.spill_amount(120 * kMiB, 50 * kMiB), 0u);
+}
+
+TEST(MemGovernor, ParkCountFollowsShedFraction) {
+  MemGovernor gov;
+  MemGovernorConfig cfg = enabled_config();
+  cfg.shed_fraction = 0.5;
+  gov.reset(cfg, 100 * kMiB);
+  EXPECT_EQ(gov.park_count(8), 4u);
+  EXPECT_EQ(gov.park_count(1), 1u);  // always parks at least one
+  EXPECT_EQ(gov.park_count(0), 0u);
+  cfg.shed_fraction = 1.0;
+  gov.reset(cfg, 100 * kMiB);
+  EXPECT_EQ(gov.park_count(8), 8u);
+}
+
+TEST(MemGovernor, HardBreachShedsOnlyWithParkableRoots) {
+  MemGovernor gov;
+  gov.reset(enabled_config(), 100 * kMiB);
+  auto obs = calm_observation();
+  obs.unspilled_peak = 130 * kMiB;
+  obs.post_spill_peak = 110 * kMiB;  // spill could not relieve the breach
+  obs.parkable_roots = 4;
+  EXPECT_EQ(gov.observe(obs), MemGovernor::Action::kShed);
+  // Without parkable roots a policy-level breach is tolerated, never
+  // escalated: the budget is a target, not physical RAM.
+  obs.parkable_roots = 0;
+  EXPECT_EQ(gov.observe(obs), MemGovernor::Action::kNone);
+}
+
+TEST(MemGovernor, RestartBreachEscalationLadder) {
+  MemGovernor gov;
+  MemGovernorConfig cfg = enabled_config();
+  cfg.max_sheds = 2;
+  cfg.max_escalations = 2;
+  gov.reset(cfg, 100 * kMiB);
+  auto obs = calm_observation();
+  obs.restart_breach = true;
+  obs.parkable_roots = 4;
+
+  // Sheds first, while the budget lasts.
+  EXPECT_EQ(gov.observe(obs), MemGovernor::Action::kShed);
+  gov.on_shed();
+  EXPECT_EQ(gov.observe(obs), MemGovernor::Action::kShed);
+  gov.on_shed();
+  // Shed budget exhausted: escalate to governed-OOM restores.
+  EXPECT_EQ(gov.observe(obs), MemGovernor::Action::kEscalate);
+  gov.on_escalated(16);
+  EXPECT_EQ(gov.swath_cap(), 8u);
+  EXPECT_EQ(gov.observe(obs), MemGovernor::Action::kEscalate);
+  gov.on_escalated(8);
+  EXPECT_EQ(gov.swath_cap(), 4u);
+  // Ladder exhausted.
+  EXPECT_EQ(gov.observe(obs), MemGovernor::Action::kGiveUp);
+}
+
+TEST(MemGovernor, RestartBreachWithNothingToShedEscalatesImmediately) {
+  MemGovernor gov;
+  gov.reset(enabled_config(), 100 * kMiB);
+  auto obs = calm_observation();
+  obs.restart_breach = true;
+  obs.parkable_roots = 0;
+  EXPECT_EQ(gov.observe(obs), MemGovernor::Action::kEscalate);
+}
+
+TEST(MemGovernor, EscalationCapHalvesAndClampsProposals) {
+  MemGovernor gov;
+  gov.reset(enabled_config(), 100 * kMiB);
+  EXPECT_EQ(gov.clamp_swath_size(64), 64u);  // no cap before any escalation
+  gov.on_escalated(64);
+  EXPECT_EQ(gov.swath_cap(), 32u);
+  EXPECT_EQ(gov.clamp_swath_size(64), 32u);
+  gov.on_escalated(1);  // cap never drops below 1
+  EXPECT_EQ(gov.swath_cap(), 1u);
+  EXPECT_EQ(gov.clamp_swath_size(64), 1u);
+}
+
+TEST(MemGovernor, ResetClearsLadderState) {
+  MemGovernor gov;
+  gov.reset(enabled_config(), 100 * kMiB);
+  gov.on_shed();
+  gov.on_escalated(8);
+  auto obs = calm_observation();
+  obs.unspilled_peak = 90 * kMiB;
+  gov.observe(obs);
+  EXPECT_TRUE(gov.veto_initiation());
+  gov.reset(enabled_config(), 100 * kMiB);
+  EXPECT_EQ(gov.sheds(), 0u);
+  EXPECT_EQ(gov.escalations(), 0u);
+  EXPECT_FALSE(gov.veto_initiation());
+  EXPECT_EQ(gov.clamp_swath_size(1000), 1000u);
+}
+
+}  // namespace
+}  // namespace pregel

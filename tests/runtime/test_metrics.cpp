@@ -36,6 +36,7 @@ SuperstepMetrics make_superstep(std::uint64_t id) {
   b.compute_time = 1.0;
   b.network_time = 0.5;
   b.barrier_wait = 2.5;
+  b.spilled_bytes = 64;
   sm.workers = {a, b};
   sm.span = 4.0;
   sm.barrier_overhead = 1.0;
@@ -76,7 +77,9 @@ TEST(MetricsIo, WorkerCsvShape) {
   // Header + 2 supersteps x 2 workers.
   EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 5);
   EXPECT_NE(s.find("superstep,worker,vertices_computed"), std::string::npos);
-  EXPECT_NE(s.find("0,0,6,12,3,9,900,400,1000,2,1,1"), std::string::npos);
+  EXPECT_NE(s.find("spilled_bytes"), std::string::npos);
+  EXPECT_NE(s.find("0,0,6,12,3,9,900,400,1000,2,1,1,0"), std::string::npos);
+  EXPECT_NE(s.find("0,1,4,8,2,4,400,900,2000,1,0.5,2.5,64"), std::string::npos);
 }
 
 TEST(MetricsIo, SuperstepCsvShape) {
@@ -129,12 +132,52 @@ TEST(MetricsIo, FaultCsvShape) {
   m.faults_masked = 11;
   m.retries_attempted = 13;
   m.straggler_reexecutions = 2;
+  m.blob_corruptions = 3;
   std::ostringstream out;
   write_fault_metrics_csv(m, out);
   const std::string s = out.str();
   EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);  // header + one row
   EXPECT_NE(s.find("recovery_mode,checkpoints,checkpoint_failures"), std::string::npos);
-  EXPECT_NE(s.find("full-rollback,4,1,2,6,3.5,0,11,11,13,0,2"), std::string::npos);
+  EXPECT_NE(s.find("blob_corruptions"), std::string::npos);
+  EXPECT_NE(s.find("full-rollback,4,1,2,6,3.5,0,11,11,13,0,2,3"), std::string::npos);
+}
+
+TEST(MetricsIo, GovernorCsvShape) {
+  JobMetrics m;
+  m.governor_vetoes = 5;
+  m.governor_swath_clamps = 4;
+  m.governor_sheds = 2;
+  m.governor_roots_parked = 9;
+  m.governor_spills = 3;
+  m.governor_spill_bytes = 4096;
+  m.governor_spill_time = 0.25;
+  m.governor_shed_time = 1.5;
+  m.governed_oom_episodes = 1;
+  std::ostringstream out;
+  write_governor_metrics_csv(m, out);
+  const std::string s = out.str();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);  // header + one row
+  EXPECT_NE(s.find("vetoes,swath_clamps,sheds,roots_parked"), std::string::npos);
+  EXPECT_NE(s.find("5,4,2,9,3,4096,0.25,1.5,1"), std::string::npos);
+}
+
+TEST(MetricsIo, JobSummaryIncludesGovernorFields) {
+  JobMetrics m;
+  m.blob_corruptions = 2;
+  m.governor_vetoes = 7;
+  m.governor_sheds = 1;
+  m.governor_roots_parked = 4;
+  m.governor_spill_bytes = 512;
+  m.governed_oom_episodes = 1;
+  std::ostringstream out;
+  write_job_summary(m, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("blob_corruptions=2"), std::string::npos);
+  EXPECT_NE(s.find("governor_vetoes=7"), std::string::npos);
+  EXPECT_NE(s.find("governor_sheds=1"), std::string::npos);
+  EXPECT_NE(s.find("governor_roots_parked=4"), std::string::npos);
+  EXPECT_NE(s.find("governor_spill_bytes=512"), std::string::npos);
+  EXPECT_NE(s.find("governed_oom_episodes=1"), std::string::npos);
 }
 
 }  // namespace
