@@ -1,0 +1,152 @@
+// Ablation: live vertex migration vs the paper's §V imbalance result.
+//
+// The paper's central negative finding is that edge-cut-optimal partitions
+// *hurt* traversal workloads on BSP: BC's frontier sweeps through one
+// well-cut region at a time, the barrier makes the busiest worker set the
+// pace, and per-superstep makespan imbalance eats the cut-quality win.
+// cit-Patents is the starkest case — its temporal locality gives METIS-like
+// partitions with beautiful cuts and terrible per-superstep activity maximas.
+//
+// Setup: the CP analog, BC from a fixed root set, hash vs METIS-like
+// partitions, live rebalancing off vs the activity-greedy planner replanning
+// every barrier. Reported per cell:
+//   - mean per-superstep makespan imbalance (max worker busy / mean busy,
+//     averaged over supersteps with any work) — the quantity §V blames;
+//   - modeled time, barrier wait, and the migration traffic that bought the
+//     improvement.
+// Expected shape: hash starts near 1 and migration finds little; METIS-like
+// starts high and activity-greedy pulls the imbalance (and barrier wait)
+// down at the price of migrated bytes.
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algos/bc.hpp"
+#include "harness/experiment.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/rebalance.hpp"
+
+using namespace pregel;
+using namespace pregel::algos;
+using namespace pregel::harness;
+
+namespace {
+
+/// Mean over supersteps of (max worker busy / mean worker busy), counting
+/// only steps where any worker did work. 1.0 = perfectly level supersteps.
+double mean_makespan_imbalance(const JobMetrics& m) {
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (const auto& ss : m.supersteps) {
+    double max_busy = 0.0, total_busy = 0.0;
+    for (const auto& w : ss.workers) {
+      const double busy = w.compute_time + w.network_time;
+      max_busy = std::max(max_busy, busy);
+      total_busy += busy;
+    }
+    if (total_busy <= 0.0 || ss.workers.empty()) continue;
+    const double mean_busy = total_busy / static_cast<double>(ss.workers.size());
+    sum += max_busy / mean_busy;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+struct Row {
+  std::string partitioner, rebalance;
+  double imbalance;
+  Seconds total, wait;
+  std::uint32_t migrations;
+  Bytes migrated_bytes;
+  double gain;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::init(argc, argv);
+  banner("Ablation — activity-aware rebalancing on cit-Patents (BC)",
+         "METIS-like cuts minimize remote messages but maximize per-superstep "
+         "imbalance; the activity-greedy migration planner levels the "
+         "supersteps live, paying for it in migrated bytes");
+
+  const Graph& g = dataset("CP");
+  const std::uint32_t partitions = 16, workers = 4;
+  ClusterConfig base = make_cluster(env(), partitions, workers);
+  const std::size_t n_roots = env().quick ? 4 : 12;
+  const auto roots = pick_roots(g, n_roots, env().seed + 53);
+
+  MultilevelPartitioner::Options mo;
+  mo.seed = env().seed;
+  const auto metis_like = MultilevelPartitioner{mo}.partition(g, partitions);
+  const auto hashed = HashPartitioner{}.partition(g, partitions);
+
+  TextTable t({"partitioner", "rebalance", "imbalance", "modeled time",
+               "barrier wait", "migrations", "moved MiB"});
+  std::vector<Row> rows;
+
+  for (const auto* pr : {&hashed, &metis_like}) {
+    const std::string pname = (pr == &hashed) ? "hash" : "metis-like";
+    for (bool rebalance : {false, true}) {
+      ClusterConfig c = base;
+      if (rebalance) {
+        c.migration.planner = std::make_shared<ActivityGreedyPlanner>(0.1);
+        c.migration.period = 1;  // replan at every barrier
+      }
+      Engine<BcProgram> e(g, {}, c, *pr);
+      JobOptions o;
+      o.roots = roots;
+      o.swath = SwathPolicy::make(std::make_shared<StaticSwathSizer>(4),
+                                  std::make_shared<StaticNInitiation>(4),
+                                  memory_target(c.vm));
+      const auto r = e.run(o);
+      Row row{pname,
+              rebalance ? "activity-greedy" : "off",
+              mean_makespan_imbalance(r.metrics),
+              r.metrics.total_time,
+              r.metrics.total_barrier_wait(),
+              r.metrics.migrations,
+              r.metrics.migrated_bytes,
+              r.metrics.rebalance_gain};
+      rows.push_back(row);
+      t.add_row({row.partitioner, row.rebalance, fmt(row.imbalance, 3),
+                 format_seconds(row.total), format_seconds(row.wait),
+                 std::to_string(row.migrations),
+                 fmt(static_cast<double>(row.migrated_bytes) / (1024.0 * 1024.0), 1)});
+    }
+  }
+
+  t.print(std::cout);
+
+  auto cell = [&rows](const std::string& p, const std::string& rb) -> const Row& {
+    for (const auto& r : rows)
+      if (r.partitioner == p && r.rebalance == rb) return r;
+    return rows.front();
+  };
+  const double metis_off = cell("metis-like", "off").imbalance;
+  const double metis_on = cell("metis-like", "activity-greedy").imbalance;
+  const double hash_off = cell("hash", "off").imbalance;
+  std::cout << "\nper-superstep imbalance: hash/off " << fmt(hash_off, 3)
+            << ", metis/off " << fmt(metis_off, 3)
+            << " (the paper's penalty), metis/rebalanced " << fmt(metis_on, 3)
+            << " — activity-greedy recovers "
+            << fmt(metis_off > hash_off
+                       ? 100.0 * (metis_off - metis_on) / (metis_off - hash_off)
+                       : 0.0,
+                   1)
+            << "% of the gap to the hash layout\n";
+
+  write_csv("ablation_rebalance", [&](CsvWriter& w) {
+    w.header({"partitioner", "rebalance", "mean_makespan_imbalance",
+              "modeled_seconds", "barrier_wait_seconds", "migrations",
+              "migrated_bytes", "rebalance_gain"});
+    for (const auto& r : rows)
+      w.field(r.partitioner).field(r.rebalance).field(r.imbalance)
+          .field(r.total).field(r.wait)
+          .field(static_cast<std::uint64_t>(r.migrations))
+          .field(r.migrated_bytes).field(r.gain).end_row();
+  });
+  return 0;
+}

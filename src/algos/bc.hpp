@@ -64,6 +64,11 @@ struct BcProgram {
 
   struct VertexValue {
     double bc_score = 0.0;
+    /// Kahan compensation for bc_score: a vertex on many shortest paths
+    /// accumulates thousands of small deltas into a growing score, where
+    /// naive summation loses low-order bits root by root. The compensated
+    /// sum keeps the total exact to the last ulp regardless of swath order.
+    double bc_comp = 0.0;
     std::vector<RootEntry> entries;
 
     RootEntry* find(VertexId root) {
@@ -166,7 +171,11 @@ struct BcProgram {
       // The root: traversal complete. Endpoints score nothing.
       ctx.aggregate(make_key(e.root, kRootDone), 1.0);
     } else {
-      v.bc_score += e.delta;
+      // Kahan compensated accumulation (see VertexValue::bc_comp).
+      const double y = e.delta - v.bc_comp;
+      const double t = v.bc_score + y;
+      v.bc_comp = (t - v.bc_score) - y;
+      v.bc_score = t;
     }
     ctx.charge_state_bytes(-(kEntryBytes +
                              kPredBytes * static_cast<std::int64_t>(e.preds.size())));

@@ -26,6 +26,7 @@ void FaultPlan::validate() const {
   check_rate(blob_read_failure_rate, "blob_read_failure_rate");
   check_rate(blob_write_failure_rate, "blob_write_failure_rate");
   check_rate(blob_corruption_rate, "blob_corruption_rate");
+  check_rate(queue_corruption_rate, "queue_corruption_rate");
   check_rate(vm_preemption_rate, "vm_preemption_rate");
   check_rate(straggler_rate, "straggler_rate");
   if (straggler_slowdown < 1.0)
@@ -47,6 +48,7 @@ double FaultInjector::rate_of(FaultKind kind) const noexcept {
     case FaultKind::kBlobRead: return plan_.blob_read_failure_rate;
     case FaultKind::kBlobWrite: return plan_.blob_write_failure_rate;
     case FaultKind::kBlobCorrupt: return plan_.blob_corruption_rate;
+    case FaultKind::kQueueCorrupt: return plan_.queue_corruption_rate;
   }
   return 0.0;
 }
@@ -71,6 +73,10 @@ double FaultInjector::next_uniform(FaultKind kind) noexcept {
       counter = &blob_corrupt_draws_;
       seed = plan_.corruption_seed;
       break;
+    case FaultKind::kQueueCorrupt:
+      counter = &queue_corrupt_draws_;
+      seed = plan_.queue_corruption_seed;
+      break;
   }
   const std::uint64_t bits = mix64(seed ^ (0x9E3779B97F4A7C15ULL * ++*counter));
   return u01(bits);
@@ -82,6 +88,7 @@ std::uint64_t FaultInjector::draws(FaultKind kind) const noexcept {
     case FaultKind::kBlobRead: return blob_read_draws_;
     case FaultKind::kBlobWrite: return blob_write_draws_;
     case FaultKind::kBlobCorrupt: return blob_corrupt_draws_;
+    case FaultKind::kQueueCorrupt: return queue_corrupt_draws_;
   }
   return 0;
 }
@@ -90,11 +97,15 @@ RetryOutcome FaultInjector::attempt(FaultKind kind, const RetryPolicy& retry,
                                     Seconds attempt_latency) {
   RetryOutcome out;
   const double rate = rate_of(kind);
-  // Corruption composes with blob reads only: an otherwise-successful read
-  // attempt additionally draws from the corruption stream, so a zero
-  // corruption rate leaves the read stream's draw sequence untouched.
-  const double corrupt_rate =
-      kind == FaultKind::kBlobRead ? plan_.blob_corruption_rate : 0.0;
+  // Corruption composes with delivery kinds only: an otherwise-successful
+  // blob-read or queue-op attempt additionally draws from its corruption
+  // stream, so a zero corruption rate leaves the base stream's draw
+  // sequence untouched.
+  const double corrupt_rate = kind == FaultKind::kBlobRead ? plan_.blob_corruption_rate
+                              : kind == FaultKind::kQueueOp ? plan_.queue_corruption_rate
+                                                            : 0.0;
+  const FaultKind corrupt_kind = kind == FaultKind::kQueueOp ? FaultKind::kQueueCorrupt
+                                                             : FaultKind::kBlobCorrupt;
   if (rate <= 0.0 && corrupt_rate <= 0.0) return out;  // clean first try, nothing charged
 
   Seconds sleep = retry.base_backoff;
@@ -102,7 +113,7 @@ RetryOutcome FaultInjector::attempt(FaultKind kind, const RetryPolicy& retry,
     out.attempts = a;
     bool failed = rate > 0.0 && next_uniform(kind) < rate;
     if (!failed && corrupt_rate > 0.0 &&
-        next_uniform(FaultKind::kBlobCorrupt) < corrupt_rate) {
+        next_uniform(corrupt_kind) < corrupt_rate) {
       failed = true;  // payload delivered but fails checksum verification
       ++out.corruptions;
     }

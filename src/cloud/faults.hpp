@@ -25,8 +25,10 @@ namespace pregel::cloud {
 
 /// Transient fault classes the injector can produce. kBlobCorrupt models a
 /// read that completes but returns a payload failing checksum verification;
-/// the read path escalates it to a retriable failure.
-enum class FaultKind { kQueueOp, kBlobRead, kBlobWrite, kBlobCorrupt };
+/// the read path escalates it to a retriable failure. kQueueCorrupt is the
+/// queue-plane analog: a dequeue that delivers a message whose CRC32C check
+/// fails (the data-plane hot path, not just recovery reads).
+enum class FaultKind { kQueueOp, kBlobRead, kBlobWrite, kBlobCorrupt, kQueueCorrupt };
 
 /// What goes wrong, how often, and under which seeds.
 struct FaultPlan {
@@ -40,6 +42,12 @@ struct FaultPlan {
   /// otherwise-successful read attempts only, so it composes with
   /// blob_read_failure_rate without perturbing its draw sequence.
   double blob_corruption_rate = 0.0;
+
+  /// Probability that a queue operation delivers a message failing its
+  /// CRC32C check. Composes with queue_op_failure_rate exactly as
+  /// blob_corruption_rate composes with blob reads: drawn from its own
+  /// stream on otherwise-successful attempts only.
+  double queue_corruption_rate = 0.0;
 
   /// Spot-style VM preemption probability per VM per superstep. A preempted
   /// VM is a worker failure: the engine recovers from the last checkpoint
@@ -58,11 +66,13 @@ struct FaultPlan {
   std::uint64_t preemption_seed = 0xFA03;
   std::uint64_t straggler_seed = 0xFA04;
   std::uint64_t corruption_seed = 0xFA05;
+  std::uint64_t queue_corruption_seed = 0xFA06;
 
   /// True when any retriable (queue/blob/corruption) rate is nonzero.
   bool any_transient() const noexcept {
     return queue_op_failure_rate > 0.0 || blob_read_failure_rate > 0.0 ||
-           blob_write_failure_rate > 0.0 || blob_corruption_rate > 0.0;
+           blob_write_failure_rate > 0.0 || blob_corruption_rate > 0.0 ||
+           queue_corruption_rate > 0.0;
   }
   /// Throws std::logic_error on out-of-range rates or slowdown < 1.
   void validate() const;
@@ -131,6 +141,7 @@ class FaultInjector {
   std::uint64_t blob_read_draws_ = 0;
   std::uint64_t blob_write_draws_ = 0;
   std::uint64_t blob_corrupt_draws_ = 0;
+  std::uint64_t queue_corrupt_draws_ = 0;
 };
 
 }  // namespace pregel::cloud

@@ -1,0 +1,74 @@
+// Migration execution: pricing and performing vertex transfers between
+// worker VMs through the modeled cloud planes.
+//
+// A MigrationPlanner (partition/rebalance.*) decides *what* moves; this
+// module decides *what it costs* and whether it survives the weather. Each
+// cross-VM transfer is coordinated through the simulated queue service
+// (manifest put/get/remove on a "migrate" queue, so control traffic shows
+// up in queue-op counts and is exposed to kQueueOp/kQueueCorrupt faults)
+// and the payload rides the blob plane (donor kBlobWrite, receiver
+// kBlobRead draws — so torn transfers surface exactly like torn
+// checkpoints). Transfers within one migration event proceed in parallel
+// across VM pairs; the stall charged to the barrier is the slowest VM's
+// byte time plus one queue round-trip plus the worst retry tail.
+//
+// Failure is atomic: if any leg exhausts its retry budget, the whole event
+// aborts, state stays where it was, and only the wasted retry latency is
+// charged — the engine retries (or not) at a later barrier. With all fault
+// rates zero, the executor draws nothing and adds no metric noise beyond
+// the transfer itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "cloud/cost_model.hpp"
+#include "cloud/faults.hpp"
+#include "cloud/queue.hpp"
+#include "cloud/vm.hpp"
+#include "util/units.hpp"
+
+namespace pregel::cloud {
+
+/// One VM-to-VM leg of a migration event: `bytes` of vertex state,
+/// adjacency, and pending inbox moving from `from_vm` to `to_vm`.
+struct MigrationTransfer {
+  std::uint32_t from_vm = 0;
+  std::uint32_t to_vm = 0;
+  Bytes bytes = 0;
+  std::uint64_t vertices = 0;
+};
+
+struct MigrationOutcome {
+  bool aborted = false;
+  /// Barrier extension for the event (0 when there was nothing to move).
+  Seconds stall = 0.0;
+  Bytes bytes_moved = 0;
+  std::uint64_t vertices_moved = 0;
+  std::uint64_t queue_ops = 0;
+};
+
+/// The engine's fault-charging hook: runs one control-plane op of `kind`
+/// under the job's retry policy and accounts faults/retries/corruptions in
+/// the job metrics. Returning !success means the retry budget is exhausted.
+using ControlOpFn = std::function<RetryOutcome(FaultKind)>;
+
+class MigrationExecutor {
+ public:
+  MigrationExecutor(const CostModel& cost, const VmSpec& vm, QueueService& queues,
+                    ControlOpFn control_op);
+
+  /// Execute one migration event (a batch of transfers decided at a single
+  /// barrier). Legs with zero bytes and zero vertices are skipped.
+  MigrationOutcome execute(std::span<const MigrationTransfer> transfers,
+                           std::uint64_t superstep);
+
+ private:
+  const CostModel& cost_;
+  const VmSpec& vm_;
+  QueueService& queues_;
+  ControlOpFn control_op_;
+};
+
+}  // namespace pregel::cloud

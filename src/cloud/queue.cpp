@@ -1,9 +1,12 @@
 #include "cloud/queue.hpp"
 
 #include <charconv>
+#include <cstddef>
+#include <span>
 #include <stdexcept>
 
 #include "runtime/trace.hpp"
+#include "util/crc32c.hpp"
 
 namespace pregel::cloud {
 
@@ -29,11 +32,21 @@ std::optional<std::uint64_t> parse_prefixed_count(std::string_view body,
   return value;
 }
 
+std::uint32_t queue_body_checksum(std::string_view body) noexcept {
+  return util::crc32c(
+      std::span(reinterpret_cast<const std::byte*>(body.data()), body.size()));
+}
+
+bool verify_queue_message(const QueueMessage& m) noexcept {
+  return m.crc == queue_body_checksum(m.body);
+}
+
 std::uint64_t AzureQueue::put(std::string body) {
   ++ops_;
   count_queue_op();
   const std::uint64_t id = next_id_++;
-  visible_.push_back({id, std::move(body)});
+  const std::uint32_t crc = queue_body_checksum(body);
+  visible_.push_back({id, std::move(body), crc});
   return id;
 }
 

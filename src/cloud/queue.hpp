@@ -36,7 +36,17 @@ std::optional<std::uint64_t> parse_prefixed_count(std::string_view body,
 struct QueueMessage {
   std::uint64_t id = 0;
   std::string body;
+  /// CRC32C of `body`, stamped by put(). Consumers verify on dequeue; the
+  /// simulated corruption fault (FaultKind::kQueueCorrupt) models the check
+  /// failing, forcing a retriable re-read exactly like the blob plane.
+  std::uint32_t crc = 0;
 };
+
+/// CRC32C over a message body (what put() stamps into QueueMessage::crc).
+std::uint32_t queue_body_checksum(std::string_view body) noexcept;
+
+/// True when `m.crc` matches its body — consumers call this after get().
+bool verify_queue_message(const QueueMessage& m) noexcept;
 
 /// One named queue with Azure-like get/put/delete semantics.
 class AzureQueue {

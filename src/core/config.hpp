@@ -14,6 +14,7 @@
 #include "cloud/vm.hpp"
 #include "core/swath.hpp"
 #include "graph/graph.hpp"
+#include "partition/rebalance.hpp"
 #include "runtime/mem_governor.hpp"
 #include "runtime/metrics.hpp"
 
@@ -58,6 +59,12 @@ struct ClusterConfig {
   /// rebalancing placement counters the partition-local activity maximas of
   /// §VII. Migration time (partition bytes over the network) is charged.
   std::shared_ptr<cloud::PlacementPolicy> placement;
+  /// Live vertex migration: a planner (none installed = subsystem off) plus
+  /// when to consult it (every `period` barriers and/or after scaling
+  /// events). Transfers ride the modeled queue/blob planes with every byte
+  /// charged; results stay bit-identical to the unmigrated run (see
+  /// docs/ELASTICITY.md).
+  MigrationOptions migration;
 
   // -- Fault tolerance (Pregel's checkpoint/recovery, which the paper lists
   // -- among the advanced features its framework could support) ------------

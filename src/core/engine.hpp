@@ -57,12 +57,14 @@
 
 #include "cloud/cost_model.hpp"
 #include "cloud/faults.hpp"
+#include "cloud/migration.hpp"
 #include "cloud/network.hpp"
 #include "cloud/queue.hpp"
 #include "core/aggregates.hpp"
 #include "core/config.hpp"
 #include "graph/graph.hpp"
 #include "partition/partitioner.hpp"
+#include "partition/rebalance.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/trace.hpp"
 #include "util/check.hpp"
@@ -131,7 +133,7 @@ class VertexContext {
   /// Account algorithm state growth/shrink at this vertex (modeled bytes;
   /// feeds the worker memory meter and thus the swath heuristics).
   void charge_state_bytes(std::int64_t delta) {
-    engine_->charge_state(partition_, delta);
+    engine_->charge_state(partition_, local_, delta);
   }
 
   /// Declare a traversal root complete (root-scheduled algorithms).
@@ -196,7 +198,8 @@ class Engine {
                      "Engine: partitioning does not match graph");
     PREGEL_CHECK_MSG(partitioning.num_parts() == cluster_.num_partitions,
                      "Engine: partitioning has wrong number of parts");
-    build_partitions(partitioning);
+    initial_assignment_ = partitioning.assignment();
+    build_partitions(initial_assignment_);
   }
 
   JobResult<Program> run(const JobOptions& opts) {
@@ -320,6 +323,11 @@ class Engine {
     };
   }
 
+  /// Spill relief is offered to the swath sizers only while the modeled
+  /// blob round-trip stays below this fraction of a superstep span —
+  /// spilling that dominates the superstep is not relief, it is thrash.
+  static constexpr double kSpillCheapFraction = 0.25;
+
   // ---- per-partition state ------------------------------------------------
 
   struct PartitionState {
@@ -335,17 +343,44 @@ class Engine {
     std::vector<bool> in_active_next;
     std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> wakes;
     std::int64_t state_bytes = 0;
+    /// Per-vertex breakdown of state_bytes, maintained only when migration
+    /// is possible this run — a moving vertex must carry its exact modeled
+    /// state so both partitions' totals stay right.
+    std::vector<std::int64_t> state_bytes_v;
     Bytes graph_bytes = 0;
     Bytes outbuf_bytes = 0;  ///< serialized remote sends buffered this superstep
     cloud::WorkerLoad load;  ///< raw counters, reset each superstep
+    /// Rank and combiner source of the vertex currently in compute(); set
+    /// per vertex during staged execution so route() can tag emissions
+    /// without recomputing either per message.
+    std::uint32_t computing_rank = 0;
+    std::uint8_t computing_src = 0;
   };
 
   /// One emission captured during parallel compute, pending the
   /// deterministic merge (destination partition is the outbox row index;
-  /// emission order is the vector order).
+  /// emission order is the vector order). sender_rank is the sender's
+  /// immutable global serial rank — after a migration the merge keys on it
+  /// to reproduce the unmigrated delivery order exactly; combine_src is the
+  /// sender-side combining domain captured at emission time.
   struct StagedMessage {
     std::uint32_t target_local;
+    std::uint32_t sender_rank;
+    std::uint8_t combine_src;
     M message;
+  };
+
+  /// Aggregate contribution / root completion captured during staged
+  /// compute; `rank` is the emitting vertex's serial rank so the barrier
+  /// replay can reproduce the serial order even after a migration.
+  struct StagedAgg {
+    std::uint32_t rank;
+    std::uint64_t key;
+    double value;
+  };
+  struct StagedRootDone {
+    std::uint32_t rank;
+    VertexId root;
   };
 
   /// Source-side counters a destination's merge accumulates on behalf of a
@@ -356,13 +391,19 @@ class Engine {
     Bytes outbuf_bytes = 0;
   };
 
-  void build_partitions(const Partitioning& partitioning) {
+  /// (Re)build partition state from the run's initial assignment. Also
+  /// derives the immutable per-run serial order: rank_of_[v] numbers every
+  /// vertex in the order the serial engine visits it (partition-major,
+  /// ascending within each partition). Message delivery in the unmigrated
+  /// run happens exactly in sender-rank order, which is what lets the
+  /// post-migration merge reproduce it bit-for-bit.
+  void build_partitions(const std::vector<PartitionId>& assignment) {
     const VertexId n = graph_->num_vertices();
     part_of_.resize(n);
     local_of_.resize(n);
     parts_.assign(cluster_.num_partitions, {});
     for (VertexId v = 0; v < n; ++v) {
-      const PartitionId p = partitioning.part_of(v);
+      const PartitionId p = assignment[v];
       part_of_[v] = p;
       local_of_[v] = static_cast<std::uint32_t>(parts_[p].vertices.size());
       parts_[p].vertices.push_back(v);
@@ -381,6 +422,17 @@ class Engine {
       // ~8 B per adjacency entry.
       ps.graph_bytes = static_cast<Bytes>(pn) * 64 + arcs * 8;
     }
+    orig_part_ = part_of_;
+    rank_of_.resize(n);
+    std::uint32_t r = 0;
+    for (const auto& ps : parts_)
+      for (const VertexId v : ps.vertices) rank_of_[v] = r++;
+  }
+
+  Bytes partition_graph_bytes(const std::vector<VertexId>& vertices) const {
+    EdgeIndex arcs = 0;
+    for (VertexId v : vertices) arcs += graph_->out_degree(v);
+    return static_cast<Bytes>(vertices.size()) * 64 + arcs * 8;
   }
 
   // ---- run lifecycle -------------------------------------------------------
@@ -403,6 +455,16 @@ class Engine {
   }
 
   void reset_run_state(const JobOptions& opts) {
+    // A previous run's migrations rewired the vertex->partition map; every
+    // run starts from the pristine build-time assignment.
+    if (parts_dirty_) {
+      build_partitions(initial_assignment_);
+      parts_dirty_ = false;
+    }
+    migrated_ = false;
+    migration_possible_ =
+        cluster_.migration.enabled() ||
+        (opts.governor.enabled && opts.governor.scale_out_enabled);
     opts_ = opts;
     opts_combine_ = opts.use_combiner;
     last_messages_sent_ = 0;
@@ -439,6 +501,10 @@ class Engine {
       std::fill(ps.in_active_next.begin(), ps.in_active_next.end(), false);
       ps.wakes.clear();
       ps.state_bytes = 0;
+      if (migration_possible_)
+        ps.state_bytes_v.assign(ps.vertices.size(), 0);
+      else
+        ps.state_bytes_v.clear();
       ps.outbuf_bytes = 0;
       ps.load = {};
     }
@@ -450,6 +516,8 @@ class Engine {
     governor_breach_ = false;
     last_unspilled_peak_ = 0;
     last_post_spill_peak_ = 0;
+    peak_spillable_since_initiation_ = 0;
+    last_superstep_span_ = 0.0;
 
     // Host-parallelism: resolve the lane count and size the staging buffers.
     // The pool persists across runs when the resolved width is unchanged.
@@ -458,8 +526,15 @@ class Engine {
     threads_ = std::min<std::uint32_t>(std::max<std::uint32_t>(requested, 1),
                                        static_cast<std::uint32_t>(parts_.size()));
     staging_ = false;
-    if (threads_ > 1) {
-      if (!pool_ || pool_->size() != threads_) pool_ = std::make_unique<ThreadPool>(threads_);
+    // Staging buffers serve two callers: the thread pool (any run with
+    // threads_ > 1) and the post-migration rank merge (even serial runs —
+    // once vertices move, delivery order must be reconstructed by rank).
+    if (threads_ > 1 || migration_possible_) {
+      if (threads_ > 1) {
+        if (!pool_ || pool_->size() != threads_) pool_ = std::make_unique<ThreadPool>(threads_);
+      } else {
+        pool_.reset();
+      }
       outboxes_.assign(parts_.size() * parts_.size(), {});
       send_scratch_.assign(parts_.size() * parts_.size(), {});
       agg_log_.assign(parts_.size(), {});
@@ -565,7 +640,17 @@ class Engine {
         ps.wakes.erase(it);
       }
       for (std::uint32_t l : ps.active_cur) ps.in_active_next[l] = false;
-      std::sort(ps.active_cur.begin(), ps.active_cur.end());
+      if (migrated_) {
+        // After a migration, local index order no longer equals serial-visit
+        // order; compute must walk actives in immutable-rank order so staged
+        // emissions come out rank-sorted per outbox row.
+        std::sort(ps.active_cur.begin(), ps.active_cur.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                    return rank_of_[ps.vertices[a]] < rank_of_[ps.vertices[b]];
+                  });
+      } else {
+        std::sort(ps.active_cur.begin(), ps.active_cur.end());
+      }
       ps.load = {};
       ps.outbuf_bytes = 0;
     }
@@ -594,6 +679,14 @@ class Engine {
     PartitionState& ps = parts_[p];
     for (std::uint32_t l : ps.active_cur) {
       VertexContext<Program> ctx(this, p, l, ps.vertices[l]);
+      if (staging_) {
+        // Tag emissions with the sender's immutable rank and its combining
+        // domain. The domain is the VM of the vertex's *original* partition:
+        // identical to vm_of(p) while unmigrated, and invariant under
+        // migration so combiner groupings never change with the plan.
+        ps.computing_rank = rank_of_[ps.vertices[l]];
+        ps.computing_src = static_cast<std::uint8_t>(placement_[orig_part_[ps.vertices[l]]]);
+      }
       std::vector<M>& box = ps.inbox_cur[l];
       if constexpr (has_combiner()) {
         // Lockstep invariant: with a combiner active, every buffered message
@@ -627,13 +720,56 @@ class Engine {
   /// go to this destination's scratch row; they cannot be written to the
   /// source partitions here because another merge thread may own them.
   void merge_destination(std::uint32_t q) {
+    if (migrated_) {
+      merge_destination_ranked(q);
+      return;
+    }
     trace::Span span("engine.merge", "superstep", "part", q);
     const std::size_t n = parts_.size();
     for (std::uint32_t src = 0; src < n; ++src) {
       std::vector<StagedMessage>& staged = outboxes_[src * n + q];
       SendScratch& acc = send_scratch_[q * n + src];
       for (StagedMessage& s : staged)
-        deliver(src, q, s.target_local, std::move(s.message), acc.load, acc.outbuf_bytes);
+        deliver(src, q, s.target_local, std::move(s.message), acc.load, acc.outbuf_bytes,
+                s.combine_src);
+      staged.clear();
+      if (staged.capacity() > 64) staged.shrink_to_fit();
+    }
+  }
+
+  /// Post-migration merge for destination q: a K-way merge of the outbox
+  /// rows by sender rank. Each row is rank-sorted (compute walks actives in
+  /// rank order) and a rank never appears in two rows (a vertex lives in
+  /// exactly one partition), so repeatedly draining the full equal-rank run
+  /// from the row with the smallest head rank reproduces the unmigrated
+  /// serial delivery order exactly.
+  void merge_destination_ranked(std::uint32_t q) {
+    trace::Span span("engine.merge", "superstep", "part", q);
+    const std::size_t n = parts_.size();
+    std::vector<std::size_t> pos(n, 0);
+    for (;;) {
+      std::uint32_t best = static_cast<std::uint32_t>(n);
+      std::uint32_t best_rank = 0;
+      for (std::uint32_t src = 0; src < n; ++src) {
+        const std::vector<StagedMessage>& staged = outboxes_[src * n + q];
+        if (pos[src] >= staged.size()) continue;
+        const std::uint32_t r = staged[pos[src]].sender_rank;
+        if (best == n || r < best_rank) {
+          best = src;
+          best_rank = r;
+        }
+      }
+      if (best == n) break;
+      std::vector<StagedMessage>& staged = outboxes_[best * n + q];
+      SendScratch& acc = send_scratch_[q * n + best];
+      while (pos[best] < staged.size() && staged[pos[best]].sender_rank == best_rank) {
+        StagedMessage& s = staged[pos[best]++];
+        deliver(best, q, s.target_local, std::move(s.message), acc.load, acc.outbuf_bytes,
+                s.combine_src);
+      }
+    }
+    for (std::uint32_t src = 0; src < n; ++src) {
+      std::vector<StagedMessage>& staged = outboxes_[src * n + q];
       staged.clear();
       if (staged.capacity() > 64) staged.shrink_to_fit();
     }
@@ -645,14 +781,26 @@ class Engine {
   /// destination applies its staged messages single-threaded. Aggregate
   /// contributions and root completions recorded during (1) replay in
   /// source-partition order afterwards, reproducing serial summation order.
+  /// Run `f(p)` for every partition index — on the pool when one exists,
+  /// serially otherwise. The staged execution path uses this so a
+  /// parallelism-1 run after a migration stages through the same
+  /// outbox/merge machinery without spinning up threads.
+  template <class F>
+  void for_each_partition(F&& f) {
+    if (pool_)
+      pool_->parallel_for(parts_.size(), std::forward<F>(f));
+    else
+      for (std::size_t i = 0; i < parts_.size(); ++i) f(i);
+  }
+
   void execute_superstep_parallel() {
     const std::size_t n = parts_.size();
     staging_ = true;
-    pool_->parallel_for(n, [this](std::size_t p) {
+    for_each_partition([this](std::size_t p) {
       compute_partition(static_cast<std::uint32_t>(p));
     });
     staging_ = false;
-    pool_->parallel_for(n, [this](std::size_t q) {
+    for_each_partition([this](std::size_t q) {
       merge_destination(static_cast<std::uint32_t>(q));
     });
 
@@ -670,19 +818,56 @@ class Engine {
         acc = {};
       }
     }
-    for (std::uint32_t p = 0; p < n; ++p) {
-      agg_cur_.add_all(agg_log_[p]);
-      agg_log_[p].clear();
-      for (VertexId root : root_log_[p]) mark_root_done(root);
-      root_log_[p].clear();
+    replay_staged_logs();
+  }
+
+  /// Replay the aggregate / root-completion logs in the exact serial order:
+  /// source-partition order while unmigrated (each log already holds its
+  /// partition's contributions in emission order), and a K-way merge by
+  /// emitter rank after a migration (each log is rank-sorted because compute
+  /// walks actives in rank order; ranks never collide across partitions).
+  /// The two streams are replayed independently — an aggregate sum is
+  /// order-sensitive only against other aggregate contributions, and root
+  /// completions only against each other.
+  void replay_staged_logs() {
+    const std::size_t n = parts_.size();
+    if (!migrated_) {
+      for (std::uint32_t p = 0; p < n; ++p) {
+        for (const StagedAgg& a : agg_log_[p]) agg_cur_.add(a.key, a.value);
+        agg_log_[p].clear();
+        for (const StagedRootDone& r : root_log_[p]) mark_root_done(r.root);
+        root_log_[p].clear();
+      }
+      return;
     }
+    const auto rank_merge = [n](auto& logs, auto&& apply) {
+      std::vector<std::size_t> pos(n, 0);
+      for (;;) {
+        std::size_t best = n;
+        std::uint32_t best_rank = 0;
+        for (std::size_t p = 0; p < n; ++p) {
+          if (pos[p] >= logs[p].size()) continue;
+          const std::uint32_t r = logs[p][pos[p]].rank;
+          if (best == n || r < best_rank) {
+            best = p;
+            best_rank = r;
+          }
+        }
+        if (best == n) break;
+        while (pos[best] < logs[best].size() && logs[best][pos[best]].rank == best_rank)
+          apply(logs[best][pos[best]++]);
+      }
+      for (auto& log : logs) log.clear();
+    };
+    rank_merge(agg_log_, [this](const StagedAgg& a) { agg_cur_.add(a.key, a.value); });
+    rank_merge(root_log_, [this](const StagedRootDone& r) { mark_root_done(r.root); });
   }
 
   SuperstepMetrics execute_superstep() {
     trace::Span span("engine.superstep", "superstep", "superstep", superstep_);
     agg_cur_.clear();
 
-    if (threads_ > 1) {
+    if (threads_ > 1 || migrated_) {
       execute_superstep_parallel();
     } else {
       for (std::uint32_t p = 0; p < parts_.size(); ++p) compute_partition(p);
@@ -740,6 +925,17 @@ class Engine {
       for (std::uint32_t p = 0; p < parts_.size(); ++p) {
         const PartitionState& ps = parts_[p];
         vm_spillable[vm_of(p)] += ps.inbox_cur_bytes + ps.inbox_next_bytes + ps.outbuf_bytes;
+      }
+      // Track how much of the swath's peak superstep was spillable message
+      // buffer: the sizers discount it from the footprint when spilling is
+      // priced cheaper than shrinking the swath (spill-aware sizing).
+      if (unspilled_peak >= peak_memory_since_initiation_) {
+        for (std::uint32_t i = 0; i < w; ++i) {
+          if (vm_load[i].memory_peak == unspilled_peak) {
+            peak_spillable_since_initiation_ = vm_spillable[i];
+            break;
+          }
+        }
       }
       for (std::uint32_t i = 0; i < w; ++i) {
         const Bytes spill = governor_.spill_amount(vm_load[i].memory_peak, vm_spillable[i]);
@@ -861,6 +1057,7 @@ class Engine {
     peak_memory_since_initiation_ =
         std::max(peak_memory_since_initiation_, last_unspilled_peak_);
     last_messages_sent_ = sm.messages_sent_total();
+    last_superstep_span_ = sm.span;
     trace_superstep(sm, result.metrics.total_time);
 
     if (restart) {
@@ -978,6 +1175,7 @@ class Engine {
                                                     virtual_now_us_, args);
         }
         trace::add("engine.scale_events", 1);
+        const std::vector<std::uint32_t> old_placement = placement_;
         workers_now_ = decided;
         workers_changed_ = true;
         // New VM set: fall back to the default layout; the placement policy
@@ -986,6 +1184,14 @@ class Engine {
         reset_placement_to_modulo();
         vm_straggler_counts_.assign(workers_now_, 0);
         recompute_baseline_memory();
+        if (cluster_.migration.enabled()) {
+          // With the migration subsystem wired, the scale event's partition
+          // redistribution rides the modeled transfer planes (every byte
+          // charged) instead of being folded into scale_event_cost, and the
+          // planner may additionally rebalance vertices onto the new layout.
+          charge_partition_redistribution(old_placement, result);
+          if (cluster_.migration.on_scaling) plan_and_migrate(result, "scale");
+        }
       }
     }
 
@@ -1029,6 +1235,13 @@ class Engine {
         recompute_baseline_memory();
       }
     }
+
+    // 5. Periodic activity-aware vertex rebalancing (the live-migration
+    // subsystem's steady-state trigger; scaling events trigger it above).
+    if (cluster_.migration.enabled() && cluster_.migration.period > 0 &&
+        (superstep_ + 1) % cluster_.migration.period == 0) {
+      plan_and_migrate(result, "periodic");
+    }
   }
 
   void maybe_initiate_swath(bool at_startup, JobResult<Program>& result) {
@@ -1071,6 +1284,16 @@ class Engine {
     ss.baseline_memory = baseline_memory_;
     ss.memory_target = opts_.swath.memory_target;
     ss.roots_remaining = static_cast<std::uint32_t>(pending_roots_.size() - next_root_);
+    // Spill-aware sizing: when the governor can spill message buffers and
+    // the modeled round-trip is cheap next to a superstep, the sizers may
+    // discount the spillable fraction of the peak instead of shrinking the
+    // swath to fit it all in RAM.
+    ss.peak_spillable_last_swath = peak_spillable_since_initiation_;
+    ss.spill_relief_available =
+        governor_.enabled() && opts_.governor.spill_enabled &&
+        peak_spillable_since_initiation_ > 0 &&
+        cost_.spill_transfer_time(peak_spillable_since_initiation_, cluster_.vm) <
+            kSpillCheapFraction * last_superstep_span_;
     std::uint32_t size = opts_.swath.sizer->next_size(ss);
     if (governor_.enabled()) {
       // Rung 1b: clamp the sizer's proposal to the governed headroom (and to
@@ -1124,6 +1347,7 @@ class Engine {
     trace::add("engine.swaths", 1);
     supersteps_since_initiation_ = 0;
     peak_memory_since_initiation_ = 0;
+    peak_spillable_since_initiation_ = 0;
     opts_.swath.initiation->on_initiated();
   }
 
@@ -1146,6 +1370,12 @@ class Engine {
     std::uint64_t supersteps_since_initiation;
     Bytes peak_memory_since_initiation;
     std::uint64_t last_messages_sent;
+    /// Vertex location tables at snapshot time — only captured when
+    /// migration is possible this run (empty otherwise): a restore must
+    /// rewind any moves applied after the checkpoint.
+    std::vector<PartitionId> part_of;
+    std::vector<std::uint32_t> local_of;
+    bool migrated = false;
   };
 
   /// Modeled size of one worker's checkpoint: algorithm state + buffered
@@ -1173,12 +1403,18 @@ class Engine {
     if (out.success) result.metrics.faults_masked += out.faults;
     result.metrics.retries_attempted += out.attempts - 1;
     result.metrics.retry_latency += out.extra_latency;
-    result.metrics.blob_corruptions += out.corruptions;
+    if (kind == cloud::FaultKind::kQueueOp)
+      result.metrics.queue_corruptions += out.corruptions;
+    else
+      result.metrics.blob_corruptions += out.corruptions;
     if (trace::counters_on()) {
       trace::Tracer& t = trace::Tracer::instance();
       if (out.faults > 0) t.counter("engine.faults.injected").add(out.faults);
       if (out.attempts > 1) t.counter("engine.retries").add(out.attempts - 1);
-      if (out.corruptions > 0) t.counter("engine.blob.corruptions").add(out.corruptions);
+      if (out.corruptions > 0)
+        t.counter(kind == cloud::FaultKind::kQueueOp ? "engine.queue.corruptions"
+                                                     : "engine.blob.corruptions")
+            .add(out.corruptions);
     }
     return out;
   }
@@ -1219,6 +1455,8 @@ class Engine {
       guarded_control_op(cloud::FaultKind::kQueueOp, w, result);
       const auto token = step.get();
       PREGEL_DCHECK(token.has_value());
+      PREGEL_CHECK_MSG(cloud::verify_queue_message(*token),
+                       "step-queue message failed CRC32C verification");
       guarded_control_op(cloud::FaultKind::kQueueOp, w, result);
       step.remove(token->id);
     }
@@ -1236,6 +1474,8 @@ class Engine {
       guarded_control_op(cloud::FaultKind::kQueueOp, w, result);
       const auto msg = barrier.get();
       PREGEL_CHECK_MSG(msg.has_value(), "barrier queue underflow: missing worker check-in");
+      PREGEL_CHECK_MSG(cloud::verify_queue_message(*msg),
+                       "barrier message failed CRC32C verification");
       const auto active = cloud::parse_prefixed_count(msg->body, "active:");
       PREGEL_CHECK_MSG(active.has_value(), "malformed barrier message: '" + msg->body + "'");
       reported_active += *active;
@@ -1261,6 +1501,11 @@ class Engine {
     s.supersteps_since_initiation = supersteps_since_initiation_;
     s.peak_memory_since_initiation = peak_memory_since_initiation_;
     s.last_messages_sent = last_messages_sent_;
+    if (migration_possible_) {
+      s.part_of = part_of_;
+      s.local_of = local_of_;
+      s.migrated = migrated_;
+    }
     checkpoint_ = std::move(s);
   }
 
@@ -1360,6 +1605,16 @@ class Engine {
     peak_memory_since_initiation_ = s.peak_memory_since_initiation;
     last_messages_sent_ = s.last_messages_sent;
     superstep_ = s.superstep;
+    if (!s.part_of.empty()) {
+      // Rewind any vertex moves applied after the checkpoint: the location
+      // tables must match the restored partition state exactly.
+      part_of_ = s.part_of;
+      local_of_ = s.local_of;
+      migrated_ = s.migrated;
+      parts_dirty_ = parts_dirty_ || s.migrated;
+      recompute_baseline_memory();
+    }
+    peak_spillable_since_initiation_ = 0;
   }
 
   void recover_from_checkpoint(JobResult<Program>& result) {
@@ -1472,12 +1727,38 @@ class Engine {
     obs.active_roots = outstanding_count();
     obs.parkable_roots = parkable_root_count();
     obs.restart_breach = breach;
+    // Scale-out rung inputs: the governor only prefers growing the cluster
+    // over a shed rewind when migration is wired, a spare VM slot exists,
+    // and the modeled transfer is strictly cheaper than the rewind.
+    obs.can_scale_out = migration_possible_ && workers_now_ < cluster_.num_partitions;
+    if (obs.can_scale_out && opts_.governor.scale_out_enabled) {
+      const double bw_Bps =
+          cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
+      Bytes biggest = 0;
+      for (std::uint32_t i = 0; i < workers_now_; ++i)
+        biggest = std::max(biggest, checkpoint_bytes(i));
+      const std::uint64_t replayed =
+          checkpoint_ ? superstep_ + 1 - checkpoint_->superstep : 0;
+      obs.shed_cost_estimate = static_cast<double>(biggest) / bw_Bps +
+                               cost_.params().queue_op_latency +
+                               static_cast<double>(replayed) * last_superstep_span_;
+      Bytes moved = 0;
+      const std::uint32_t grown = workers_now_ + 1;
+      for (std::uint32_t p = 0; p < parts_.size(); ++p)
+        if (placement_[p] != p % grown) moved += partition_resident_bytes(parts_[p]);
+      obs.scale_out_cost_estimate = cluster_.scale_event_cost +
+                                    static_cast<double>(moved) / bw_Bps +
+                                    cost_.params().queue_op_latency;
+    }
     switch (governor_.observe(obs)) {
       case MemGovernor::Action::kNone:
         return GovernorVerdict::kProceed;
       case MemGovernor::Action::kShed:
         shed_newest_roots(result);
         return GovernorVerdict::kRewound;
+      case MemGovernor::Action::kScaleOut:
+        governor_scale_out(result);
+        return GovernorVerdict::kProceed;
       case MemGovernor::Action::kEscalate:
         governed_oom_restore(result);
         return GovernorVerdict::kRewound;
@@ -1588,6 +1869,298 @@ class Engine {
     reinitiate_after_restore(result);
   }
 
+  // ---- live vertex migration (docs/ELASTICITY.md) --------------------------
+
+  /// Max-over-mean imbalance of next-superstep active vertices across the
+  /// current VM set — the quantity activity-aware rebalancing minimizes and
+  /// `rebalance_gain` reports the reduction of.
+  double active_next_imbalance() const {
+    if (workers_now_ <= 1) return 0.0;
+    std::vector<std::uint64_t> counts(workers_now_, 0);
+    std::uint64_t total = 0;
+    for (std::uint32_t p = 0; p < parts_.size(); ++p) {
+      counts[vm_of(p)] += parts_[p].active_next.size();
+      total += parts_[p].active_next.size();
+    }
+    if (total == 0) return 0.0;
+    const double mean = static_cast<double>(total) / workers_now_;
+    std::uint64_t mx = 0;
+    for (const std::uint64_t c : counts) mx = std::max(mx, c);
+    return static_cast<double>(mx) / mean;
+  }
+
+  /// Consult the installed planner with the coming superstep's activity and
+  /// apply whatever plan it returns. Runs at barriers only (periodic
+  /// trigger, scaling events, governor scale-out); `why` labels the trace.
+  void plan_and_migrate(JobResult<Program>& result, const char* why) {
+    if (!cluster_.migration.enabled()) return;
+    RebalanceSignals sig;
+    sig.graph = graph_;
+    sig.part_of = &part_of_;
+    sig.placement = &placement_;
+    sig.workers = workers_now_;
+    sig.superstep = superstep_;
+    sig.active.resize(parts_.size());
+    for (std::uint32_t p = 0; p < parts_.size(); ++p) {
+      const PartitionState& ps = parts_[p];
+      auto& out = sig.active[p];
+      out.reserve(ps.active_next.size());
+      for (const std::uint32_t l : ps.active_next) out.push_back(ps.vertices[l]);
+      std::sort(out.begin(), out.end());
+    }
+    const MigrationPlan plan = cluster_.migration.planner->plan(sig);
+    if (plan.empty()) return;
+    apply_migration_plan(plan, result, why);
+  }
+
+  /// Execute a migration plan: price every move, run the transfers through
+  /// the modeled queue/blob planes, and — if no leg exhausted its retry
+  /// budget — rebuild the affected partitions around the new membership.
+  /// Atomic abort: a failed transfer leaves every vertex where it was and
+  /// charges only the wasted retry latency. Results stay bit-identical
+  /// either way (see docs/ELASTICITY.md for the rank-order argument).
+  bool apply_migration_plan(const MigrationPlan& plan, JobResult<Program>& result,
+                            const char* why) {
+    trace::Span span("engine.migration", "migration", "superstep", superstep_);
+    struct Pending {
+      VertexId v;
+      PartitionId from, to;
+      Bytes bytes;
+    };
+    std::vector<Pending> moves;
+    moves.reserve(plan.moves.size());
+    for (const VertexMove& mv : plan.moves) {
+      PREGEL_CHECK_MSG(mv.vertex < graph_->num_vertices(),
+                       "migration plan names an unknown vertex");
+      PREGEL_CHECK_MSG(part_of_[mv.vertex] == mv.from,
+                       "migration plan is stale: vertex no longer in 'from'");
+      PREGEL_CHECK_MSG(mv.to < parts_.size() && mv.to != mv.from,
+                       "migration plan targets an invalid partition");
+      const PartitionState& ps = parts_[mv.from];
+      const std::uint32_t l = local_of_[mv.vertex];
+      // What physically moves: the vertex object + adjacency (the managed-
+      // runtime footprint build_partitions models), its value, its exact
+      // modeled algorithm state, and any buffered inbox messages.
+      Bytes b = 64 + static_cast<Bytes>(graph_->out_degree(mv.vertex)) * 8 + sizeof(V);
+      if (!ps.state_bytes_v.empty())
+        b += static_cast<Bytes>(std::max<std::int64_t>(ps.state_bytes_v[l], 0));
+      for (const M& m : ps.inbox_cur[l]) b += cost_.buffered_bytes(payload_bytes(m));
+      for (const M& m : ps.inbox_next[l]) b += cost_.buffered_bytes(payload_bytes(m));
+      moves.push_back({mv.vertex, mv.from, mv.to, b});
+    }
+
+    // Cross-VM transfer manifest, summed per (donor, receiver) VM pair;
+    // moves between partitions co-located on one VM are free.
+    std::vector<cloud::MigrationTransfer> transfers;
+    for (const Pending& m : moves) {
+      const std::uint32_t fv = vm_of(m.from), tv = vm_of(m.to);
+      if (fv == tv) continue;
+      auto it = std::find_if(transfers.begin(), transfers.end(), [&](const auto& t) {
+        return t.from_vm == fv && t.to_vm == tv;
+      });
+      if (it == transfers.end())
+        transfers.push_back({fv, tv, m.bytes, 1});
+      else {
+        it->bytes += m.bytes;
+        ++it->vertices;
+      }
+    }
+
+    cloud::MigrationExecutor exec(
+        cost_, cluster_.vm, queues_,
+        [this, &result](cloud::FaultKind k) { return control_op(k, result); });
+    const cloud::MigrationOutcome out =
+        exec.execute(std::span<const cloud::MigrationTransfer>(transfers), superstep_);
+    // Migration stalls the barrier it runs at; charged immediately (not via
+    // pending_placement_cost_) so per-superstep spans — the imbalance bench's
+    // signal — stay clean of one-off transfer costs.
+    if (out.stall > 0.0) {
+      result.metrics.total_time += out.stall;
+      result.metrics.migration_time += out.stall;
+      meter_.charge(cluster_.vm, workers_now_, out.stall);
+    }
+    if (out.aborted) return false;
+
+    const double imbalance_before = active_next_imbalance();
+    rebuild_partitions_for_moves(moves);
+    const double imbalance_after = active_next_imbalance();
+
+    migrated_ = true;
+    parts_dirty_ = true;
+    recompute_baseline_memory();
+    ++result.metrics.migrations;
+    result.metrics.migrated_vertices += plan.moves.size();
+    result.metrics.migrated_bytes += out.bytes_moved;
+    result.metrics.rebalance_gain += imbalance_before - imbalance_after;
+    if (trace::spans_on()) {
+      const std::string args = "{\"superstep\":" + std::to_string(superstep_) +
+                               ",\"why\":\"" + why + "\"" +
+                               ",\"vertices\":" + std::to_string(plan.moves.size()) +
+                               ",\"bytes\":" + std::to_string(out.bytes_moved) + "}";
+      trace::Tracer::instance().instant("migration.apply", "migration", args);
+      trace::Tracer::instance().virtual_instant("migration.apply", "migration",
+                                                virtual_now_us_, args);
+    }
+    return true;
+  }
+
+  /// Rebuild every partition a move touches around its new membership. Each
+  /// vertex carries its value, inboxes (and combiner source tags), modeled
+  /// state bytes, pending activation, and scheduled wakes; partition vertex
+  /// lists stay ascending by global id and part_of_/local_of_ are updated.
+  template <class PendingVec>
+  void rebuild_partitions_for_moves(const PendingVec& moves) {
+    std::unordered_map<VertexId, PartitionId> dest;
+    std::vector<PartitionId> affected;
+    for (const auto& m : moves) {
+      dest[m.v] = m.to;
+      affected.push_back(m.from);
+      affected.push_back(m.to);
+    }
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+
+    std::unordered_map<PartitionId, PartitionState> old;
+    for (const PartitionId p : affected) old[p] = std::move(parts_[p]);
+
+    // New membership per affected partition (ascending by global id).
+    for (const PartitionId p : affected) {
+      std::vector<VertexId> nv;
+      nv.reserve(old[p].vertices.size());
+      for (const VertexId v : old[p].vertices) {
+        const auto it = dest.find(v);
+        if (it == dest.end() || it->second == p) nv.push_back(v);
+      }
+      for (const auto& m : moves)
+        if (m.to == p) nv.push_back(m.v);
+      std::sort(nv.begin(), nv.end());
+
+      PartitionState ns;
+      const std::size_t pn = nv.size();
+      ns.vertices = std::move(nv);
+      ns.values.resize(pn);
+      ns.inbox_cur.resize(pn);
+      ns.inbox_next.resize(pn);
+      ns.inbox_cur_src.resize(pn);
+      ns.inbox_next_src.resize(pn);
+      ns.in_active_next.assign(pn, false);
+      ns.state_bytes_v.assign(pn, 0);
+      ns.graph_bytes = partition_graph_bytes(ns.vertices);
+      parts_[p] = std::move(ns);
+    }
+
+    // Pull every vertex's state from wherever it lived before. part_of_ and
+    // local_of_ still hold the OLD locations until the loop below finishes.
+    for (const PartitionId p : affected) {
+      PartitionState& ns = parts_[p];
+      for (std::uint32_t nl = 0; nl < ns.vertices.size(); ++nl) {
+        const VertexId v = ns.vertices[nl];
+        PartitionState& os = old.at(part_of_[v]);
+        const std::uint32_t ol = local_of_[v];
+        ns.values[nl] = std::move(os.values[ol]);
+        ns.inbox_cur[nl] = std::move(os.inbox_cur[ol]);
+        ns.inbox_next[nl] = std::move(os.inbox_next[ol]);
+        ns.inbox_cur_src[nl] = std::move(os.inbox_cur_src[ol]);
+        ns.inbox_next_src[nl] = std::move(os.inbox_next_src[ol]);
+        if (!os.state_bytes_v.empty()) ns.state_bytes_v[nl] = os.state_bytes_v[ol];
+        ns.state_bytes += ns.state_bytes_v[nl];
+        for (const M& m : ns.inbox_cur[nl])
+          ns.inbox_cur_bytes += cost_.buffered_bytes(payload_bytes(m));
+        for (const M& m : ns.inbox_next[nl])
+          ns.inbox_next_bytes += cost_.buffered_bytes(payload_bytes(m));
+        if (os.in_active_next[ol]) {
+          ns.in_active_next[nl] = true;
+          ns.active_next.push_back(nl);
+        }
+      }
+    }
+
+    // Re-home scheduled wakes (locals are remapped; list order within a wake
+    // step is irrelevant — prepare_superstep sorts the merged actives).
+    for (const PartitionId p : affected) {
+      for (const auto& [at, locals] : old.at(p).wakes) {
+        for (const std::uint32_t ol : locals) {
+          const VertexId v = old.at(p).vertices[ol];
+          const PartitionId np = dest.contains(v) ? dest.at(v) : p;
+          PartitionState& ns = parts_[np];
+          const auto it = std::lower_bound(ns.vertices.begin(), ns.vertices.end(), v);
+          ns.wakes[at].push_back(
+              static_cast<std::uint32_t>(it - ns.vertices.begin()));
+        }
+      }
+    }
+
+    // Finally flip the location tables to the new layout.
+    for (const PartitionId p : affected) {
+      const PartitionState& ns = parts_[p];
+      for (std::uint32_t nl = 0; nl < ns.vertices.size(); ++nl) {
+        part_of_[ns.vertices[nl]] = p;
+        local_of_[ns.vertices[nl]] = nl;
+      }
+    }
+  }
+
+  /// Physically redistribute partitions after the VM set changed: every
+  /// partition whose placement moved rides the modeled transfer planes from
+  /// its old VM to its new one. Proceeds even if a leg aborts — the
+  /// placement tables already changed, so the cluster must converge; the
+  /// wasted retry latency is still charged.
+  void charge_partition_redistribution(const std::vector<std::uint32_t>& old_placement,
+                                       JobResult<Program>& result) {
+    std::vector<cloud::MigrationTransfer> transfers;
+    std::uint64_t vertices = 0;
+    for (std::uint32_t p = 0; p < parts_.size(); ++p) {
+      if (p >= old_placement.size() || old_placement[p] == placement_[p]) continue;
+      transfers.push_back({old_placement[p], placement_[p],
+                           partition_resident_bytes(parts_[p]),
+                           static_cast<std::uint64_t>(parts_[p].vertices.size())});
+      vertices += parts_[p].vertices.size();
+    }
+    if (transfers.empty()) return;
+    cloud::MigrationExecutor exec(
+        cost_, cluster_.vm, queues_,
+        [this, &result](cloud::FaultKind k) { return control_op(k, result); });
+    const cloud::MigrationOutcome out =
+        exec.execute(std::span<const cloud::MigrationTransfer>(transfers), superstep_);
+    if (out.stall > 0.0) {
+      result.metrics.total_time += out.stall;
+      result.metrics.migration_time += out.stall;
+      meter_.charge(cluster_.vm, workers_now_, out.stall);
+    }
+    if (!out.aborted) {
+      ++result.metrics.migrations;
+      result.metrics.migrated_vertices += vertices;
+      result.metrics.migrated_bytes += out.bytes_moved;
+    }
+  }
+
+  /// Governor scale-out rung: grow the cluster by one VM and spread the
+  /// partitions over it — pressure relief without a checkpoint rewind.
+  /// Chosen by the governor only when the modeled transfer is strictly
+  /// cheaper than the shed it replaces.
+  void governor_scale_out(JobResult<Program>& result) {
+    trace::Span span("engine.governor.scale_out", "governor", "superstep", superstep_);
+    const std::vector<std::uint32_t> old_placement = placement_;
+    workers_now_ += 1;
+    workers_changed_ = true;  // next superstep's span absorbs scale_event_cost
+    reset_placement_to_modulo();
+    vm_straggler_counts_.assign(workers_now_, 0);
+    recompute_baseline_memory();
+    charge_partition_redistribution(old_placement, result);
+    if (cluster_.migration.enabled() && cluster_.migration.on_scaling)
+      plan_and_migrate(result, "governor-scale-out");
+    governor_.on_scale_out();
+    ++result.metrics.governor_scale_outs;
+    trace::add("engine.governor.scale_outs", 1);
+    if (trace::spans_on()) {
+      const std::string args = "{\"superstep\":" + std::to_string(superstep_) +
+                               ",\"workers\":" + std::to_string(workers_now_) + "}";
+      trace::Tracer::instance().instant("governor.scale_out", "governor", args);
+      trace::Tracer::instance().virtual_instant("governor.scale_out", "governor",
+                                                virtual_now_us_, args);
+    }
+  }
+
   /// Manager-injected seeds carry this sentinel in the combiner source
   /// array: no worker VM id ever equals it (the sender-side combining model
   /// already keys sources by uint8_t VM id), so worker messages never merge
@@ -1624,12 +2197,14 @@ class Engine {
       // Parallel compute phase: capture the emission in this source
       // partition's outbox row; the deterministic merge delivers it after
       // the compute barrier. No shared state is touched here.
+      const PartitionState& src = parts_[from_partition];
       outboxes_[from_partition * parts_.size() + tp].push_back(
-          StagedMessage{tl, std::move(message)});
+          StagedMessage{tl, src.computing_rank, src.computing_src, std::move(message)});
       return;
     }
     PartitionState& src = parts_[from_partition];
-    deliver(from_partition, tp, tl, std::move(message), src.load, src.outbuf_bytes);
+    deliver(from_partition, tp, tl, std::move(message), src.load, src.outbuf_bytes,
+            static_cast<std::uint8_t>(vm_of(from_partition)));
   }
 
   /// Deliver one emitted message into partition `tp`'s next inbox: combiner
@@ -1637,9 +2212,12 @@ class Engine {
   /// the parallel merge (merge_destination) share this verbatim so their
   /// per-message effects are identical; source-side counters go through the
   /// `src_load`/`src_outbuf` out-params because the merge cannot write the
-  /// source partition directly.
+  /// source partition directly. `combine_src` is the sender-side combining
+  /// domain: the VM the sender's *home* partition is placed on, captured at
+  /// emission time so a migrated sender keeps combining into the same bucket
+  /// it would have unmigrated (bit-identity of combined message streams).
   void deliver(std::uint32_t from_partition, std::uint32_t tp, std::uint32_t tl, M&& message,
-               cloud::WorkerLoad& src_load, Bytes& src_outbuf) {
+               cloud::WorkerLoad& src_load, Bytes& src_outbuf, std::uint8_t combine_src) {
     PartitionState& dst = parts_[tp];
     const Bytes payload = payload_bytes(message);
     const bool remote =
@@ -1652,7 +2230,7 @@ class Engine {
     if constexpr (has_combiner()) {
       if (opts_combine_) {
         const std::uint64_t key = Program::combine_key(message);
-        const auto src_vm = static_cast<std::uint8_t>(vm_of(from_partition));
+        const std::uint8_t src_vm = combine_src;
         auto& box = dst.inbox_next[tl];
         auto& srcs = dst.inbox_next_src[tl];
         PREGEL_DCHECK(box.size() == srcs.size());
@@ -1696,17 +2274,20 @@ class Engine {
     parts_[partition].wakes[at].push_back(local);
   }
 
-  void charge_state(std::uint32_t partition, std::int64_t delta) {
-    parts_[partition].state_bytes += delta;
+  void charge_state(std::uint32_t partition, std::uint32_t local, std::int64_t delta) {
+    PartitionState& ps = parts_[partition];
+    ps.state_bytes += delta;
+    if (!ps.state_bytes_v.empty()) ps.state_bytes_v[local] += delta;
   }
 
   /// Vertex-context aggregate contribution. During parallel compute the
-  /// contribution is logged per source partition and replayed in partition
-  /// order at the barrier (exact serial summation order); serially it sums
-  /// immediately.
+  /// contribution is logged per source partition (tagged with the emitting
+  /// vertex's rank) and replayed at the barrier in the exact serial
+  /// summation order — partition order unmigrated, rank-merge order after a
+  /// migration; serially it sums immediately.
   void aggregate_from(std::uint32_t partition, std::uint64_t key, double value) {
     if (staging_)
-      agg_log_[partition].emplace_back(key, value);
+      agg_log_[partition].push_back({parts_[partition].computing_rank, key, value});
     else
       agg_cur_.add(key, value);
   }
@@ -1715,7 +2296,7 @@ class Engine {
   /// compute threads never touch the shared root bookkeeping.
   void root_done_from(std::uint32_t partition, VertexId root) {
     if (staging_)
-      root_log_[partition].push_back(root);
+      root_log_[partition].push_back({parts_[partition].computing_rank, root});
     else
       mark_root_done(root);
   }
@@ -1792,6 +2373,25 @@ class Engine {
   std::vector<PartitionId> part_of_;
   std::vector<std::uint32_t> local_of_;
 
+  // -- live vertex migration (docs/ELASTICITY.md) ---------------------------
+  /// The run's initial vertex->partition assignment; a prior run's
+  /// migrations are undone from this before the next run starts.
+  std::vector<PartitionId> initial_assignment_;
+  /// Home partition per vertex (build-time assignment) — immutable per run
+  /// even as part_of_ changes, so combiner domains stay stable.
+  std::vector<PartitionId> orig_part_;
+  /// Immutable global serial rank per vertex (partition-major, ascending
+  /// within partition) — the key the post-migration merges order by.
+  std::vector<std::uint32_t> rank_of_;
+  /// This run could migrate (planner installed or governor scale-out armed):
+  /// keep per-vertex state bytes and always stage emissions.
+  bool migration_possible_ = false;
+  /// At least one migration has been applied this run: prepare/merge/replay
+  /// switch to rank ordering.
+  bool migrated_ = false;
+  /// parts_ no longer match initial_assignment_; rebuild on next run.
+  bool parts_dirty_ = false;
+
   JobOptions opts_;
   bool opts_combine_ = false;
   std::uint64_t superstep_ = 0;
@@ -1829,6 +2429,11 @@ class Engine {
   bool governor_breach_ = false;
   Bytes last_unspilled_peak_ = 0;
   Bytes last_post_spill_peak_ = 0;
+  /// Spillable bytes (message buffers) on the peak VM at the swath's peak
+  /// superstep — feeds the sizers' spill-relief discount.
+  Bytes peak_spillable_since_initiation_ = 0;
+  /// Span of the most recent superstep; prices shed-vs-scale-out replay.
+  Seconds last_superstep_span_ = 0.0;
 
   cloud::FaultInjector faults_;
   Seconds pending_retry_latency_ = 0.0;
@@ -1859,8 +2464,8 @@ class Engine {
   bool staging_ = false;
   std::vector<std::vector<StagedMessage>> outboxes_;  ///< [src * P + dst]
   std::vector<SendScratch> send_scratch_;             ///< [dst * P + src]
-  std::vector<std::vector<std::pair<std::uint64_t, double>>> agg_log_;  ///< per src partition
-  std::vector<std::vector<VertexId>> root_log_;                         ///< per src partition
+  std::vector<std::vector<StagedAgg>> agg_log_;       ///< per src partition
+  std::vector<std::vector<StagedRootDone>> root_log_; ///< per src partition
 };
 
 }  // namespace pregel

@@ -8,6 +8,19 @@
 
 namespace pregel {
 
+namespace {
+
+/// Peak footprint the sizers should regulate against: when the governor
+/// offers spill relief, the spillable message buffers leave the resident
+/// peak (they would ride to blob storage instead of shrinking the swath).
+Bytes effective_peak(const SwathSizeSignals& s) {
+  if (!s.spill_relief_available) return s.peak_memory_last_swath;
+  return s.peak_memory_last_swath -
+         std::min(s.peak_spillable_last_swath, s.peak_memory_last_swath);
+}
+
+}  // namespace
+
 StaticSwathSizer::StaticSwathSizer(std::uint32_t size) : size_(size) {
   PREGEL_CHECK_MSG(size >= 1, "StaticSwathSizer: size must be >= 1");
 }
@@ -23,9 +36,10 @@ std::uint32_t SamplingSwathSizer::next_size(const SwathSizeSignals& s) {
     // Record the observation from the completed swath (only sampling swaths
     // feed the estimate; later swaths confirm but don't shrink it).
     if (s.swath_index <= sample_count_) {
+      const Bytes peak = effective_peak(s);
       const double incremental =
-          s.peak_memory_last_swath > s.baseline_memory
-              ? static_cast<double>(s.peak_memory_last_swath - s.baseline_memory)
+          peak > s.baseline_memory
+              ? static_cast<double>(peak - s.baseline_memory)
               : 0.0;
       max_per_root_bytes_ =
           std::max(max_per_root_bytes_, incremental / s.last_swath_size);
@@ -75,8 +89,9 @@ std::uint32_t AdaptiveSwathSizer::next_size(const SwathSizeSignals& s) {
   const double budget = s.memory_target > s.baseline_memory
                             ? static_cast<double>(s.memory_target - s.baseline_memory)
                             : 0.0;
-  const double used = s.peak_memory_last_swath > s.baseline_memory
-                          ? static_cast<double>(s.peak_memory_last_swath - s.baseline_memory)
+  const Bytes peak = effective_peak(s);
+  const double used = peak > s.baseline_memory
+                          ? static_cast<double>(peak - s.baseline_memory)
                           : 0.0;
   if (used > 0.0)
     last_per_root_bytes_ = used / static_cast<double>(s.last_swath_size);

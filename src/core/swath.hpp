@@ -29,6 +29,13 @@ struct SwathSizeSignals {
   Bytes baseline_memory = 0;            ///< graph + resident state, no traffic
   Bytes memory_target = 0;              ///< per-worker budget (paper: 6 GB of 7)
   std::uint32_t roots_remaining = 0;
+  /// Spill-aware sizing: how much of the peak was spillable message buffer,
+  /// and whether the engine's governor offers to spill it (spill enabled and
+  /// the modeled blob round-trip priced cheap next to a superstep span).
+  /// When offered, the sizers measure footprints net of the spillable bytes
+  /// instead of shrinking the swath to keep everything resident.
+  Bytes peak_spillable_last_swath = 0;
+  bool spill_relief_available = false;
 };
 
 class SwathSizer {

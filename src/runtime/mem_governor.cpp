@@ -30,6 +30,7 @@ void MemGovernor::reset(const MemGovernorConfig& cfg, Bytes target) {
   last_baseline_ = 0;
   per_root_bytes_ = 0.0;
   sheds_ = 0;
+  scale_outs_ = 0;
   escalations_ = 0;
   swath_cap_ = std::numeric_limits<std::uint32_t>::max();
 }
@@ -51,9 +52,17 @@ MemGovernor::Action MemGovernor::observe(const Observation& obs) {
     if (escalations_ < cfg_.max_escalations) return Action::kEscalate;
     return Action::kGiveUp;
   }
-  // Hard-watermark breach the spill path could not relieve: shed if possible,
-  // otherwise tolerate — the budget is a policy target, not physical RAM.
-  if (obs.post_spill_peak > hard_bytes_ && can_shed) return Action::kShed;
+  // Hard-watermark breach the spill path could not relieve: grow the cluster
+  // when migration is wired and strictly cheaper than the shed rewind,
+  // otherwise shed if possible, otherwise tolerate — the budget is a policy
+  // target, not physical RAM.
+  if (obs.post_spill_peak > hard_bytes_) {
+    const bool can_grow = cfg_.scale_out_enabled && obs.can_scale_out &&
+                          scale_outs_ < cfg_.max_scale_outs &&
+                          obs.scale_out_cost_estimate < obs.shed_cost_estimate;
+    if (can_grow) return Action::kScaleOut;
+    if (can_shed) return Action::kShed;
+  }
   return Action::kNone;
 }
 

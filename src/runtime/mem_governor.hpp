@@ -62,6 +62,13 @@ struct MemGovernorConfig {
   std::uint32_t max_sheds = 32;
   std::uint32_t max_escalations = 8;
 
+  /// Alternative hard-watermark rung: instead of shedding (a checkpoint
+  /// rewind), scale the cluster out and migrate pressure off the hot VM —
+  /// taken only when the engine reports the scale-out is possible and the
+  /// cost model prices it below the shed rewind. Off by default.
+  bool scale_out_enabled = false;
+  std::uint32_t max_scale_outs = 4;
+
   /// Throws std::invalid_argument on nonsensical settings.
   void validate() const;
 };
@@ -74,6 +81,7 @@ class MemGovernor {
   enum class Action {
     kNone,      ///< under control — no barrier-time intervention
     kShed,      ///< rewind to checkpoint, parking the newest in-flight roots
+    kScaleOut,  ///< add a worker and migrate pressure off the hot VM (no rewind)
     kEscalate,  ///< governed-OOM: restore from checkpoint, halve swath cap
     kGiveUp,    ///< ladder exhausted — fail the job with a clear reason
   };
@@ -86,6 +94,14 @@ class MemGovernor {
     std::uint64_t active_roots = 0;     ///< roots currently in flight
     std::uint32_t parkable_roots = 0;   ///< roots a shed could park
     bool restart_breach = false;        ///< fabric restart threshold tripped
+    /// True when the engine could add a worker and migrate partitions to it
+    /// (migration wired, spare partitions to spread).
+    bool can_scale_out = false;
+    /// Modeled cost of a shed rewind (checkpoint download + replay) vs. the
+    /// cost of scaling out (VM spin-up + partition transfer). The governor
+    /// only prefers kScaleOut when the latter is strictly cheaper.
+    Seconds shed_cost_estimate = 0.0;
+    Seconds scale_out_cost_estimate = 0.0;
   };
 
   MemGovernor() = default;
@@ -127,9 +143,11 @@ class MemGovernor {
 
   /// Bookkeeping hooks the engine calls after acting on observe().
   void on_shed() noexcept { ++sheds_; }
+  void on_scale_out() noexcept { ++scale_outs_; }
   void on_escalated(std::uint32_t offending_swath_size) noexcept;
 
   std::uint32_t sheds() const noexcept { return sheds_; }
+  std::uint32_t scale_outs() const noexcept { return scale_outs_; }
   std::uint32_t escalations() const noexcept { return escalations_; }
 
   /// Swath-size ceiling imposed by governed-OOM escalations (halved per
@@ -152,6 +170,7 @@ class MemGovernor {
   /// robust to a stale sizer baseline after recovery.
   double per_root_bytes_ = 0.0;
   std::uint32_t sheds_ = 0;
+  std::uint32_t scale_outs_ = 0;
   std::uint32_t escalations_ = 0;
   std::uint32_t swath_cap_ = std::numeric_limits<std::uint32_t>::max();
 };

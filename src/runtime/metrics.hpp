@@ -103,6 +103,22 @@ struct JobMetrics {
   /// escalated to a retriable failure (and counted in faults_injected too).
   std::uint64_t blob_corruptions = 0;
 
+  /// Queue operations that delivered a message failing CRC32C verification
+  /// (data-plane analog of blob_corruptions; also in faults_injected).
+  std::uint64_t queue_corruptions = 0;
+
+  // Vertex migration / rebalancing (see docs/ELASTICITY.md).
+  std::uint32_t migrations = 0;            ///< migration events executed
+  std::uint64_t migrated_vertices = 0;     ///< vertices moved across all events
+  Bytes migrated_bytes = 0;                ///< state+adjacency+inbox bytes moved
+  Seconds migration_time = 0.0;            ///< transfer stalls; in total_time
+  /// Sum over migration events of (per-VM active-vertex imbalance before −
+  /// after), where imbalance = max/mean. Positive = plans helped.
+  double rebalance_gain = 0.0;
+  /// Governor hard-watermark episodes resolved by scaling out + migrating
+  /// instead of shedding (no rewind).
+  std::uint32_t governor_scale_outs = 0;
+
   // Memory-pressure governor (degradation ladder; see docs/FAULTS.md).
   std::uint32_t governor_vetoes = 0;       ///< swath initiations skipped (soft watermark)
   std::uint32_t governor_swath_clamps = 0; ///< sizer proposals cut to headroom

@@ -56,7 +56,7 @@ void write_fault_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
   w.header({"recovery_mode", "checkpoints", "checkpoint_failures", "failures",
             "replayed_supersteps", "recovery_s", "confined_replay_s", "faults_injected",
             "faults_masked", "retries_attempted", "retry_latency_s",
-            "straggler_reexecutions", "blob_corruptions"});
+            "straggler_reexecutions", "blob_corruptions", "queue_corruptions"});
   w.field(metrics.recovery_mode)
       .field(static_cast<std::uint64_t>(metrics.checkpoints_written))
       .field(static_cast<std::uint64_t>(metrics.checkpoint_failures))
@@ -70,13 +70,14 @@ void write_fault_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
       .field(metrics.retry_latency)
       .field(static_cast<std::uint64_t>(metrics.straggler_reexecutions))
       .field(metrics.blob_corruptions)
+      .field(metrics.queue_corruptions)
       .end_row();
 }
 
 void write_governor_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
   CsvWriter w(out);
   w.header({"vetoes", "swath_clamps", "sheds", "roots_parked", "spills", "spill_bytes",
-            "spill_time_s", "shed_time_s", "governed_oom_episodes"});
+            "spill_time_s", "shed_time_s", "governed_oom_episodes", "scale_outs"});
   w.field(static_cast<std::uint64_t>(metrics.governor_vetoes))
       .field(static_cast<std::uint64_t>(metrics.governor_swath_clamps))
       .field(static_cast<std::uint64_t>(metrics.governor_sheds))
@@ -86,6 +87,19 @@ void write_governor_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
       .field(metrics.governor_spill_time)
       .field(metrics.governor_shed_time)
       .field(static_cast<std::uint64_t>(metrics.governed_oom_episodes))
+      .field(static_cast<std::uint64_t>(metrics.governor_scale_outs))
+      .end_row();
+}
+
+void write_migration_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
+  CsvWriter w(out);
+  w.header({"migrations", "migrated_vertices", "migrated_bytes", "migration_time_s",
+            "rebalance_gain"});
+  w.field(static_cast<std::uint64_t>(metrics.migrations))
+      .field(metrics.migrated_vertices)
+      .field(metrics.migrated_bytes)
+      .field(metrics.migration_time)
+      .field(metrics.rebalance_gain)
       .end_row();
 }
 
@@ -116,7 +130,14 @@ void write_job_summary(const JobMetrics& metrics, std::ostream& out) {
       << " governor_roots_parked=" << metrics.governor_roots_parked
       << " governor_spills=" << metrics.governor_spills
       << " governor_spill_bytes=" << metrics.governor_spill_bytes
-      << " governed_oom_episodes=" << metrics.governed_oom_episodes << "\n";
+      << " governed_oom_episodes=" << metrics.governed_oom_episodes
+      << " queue_corruptions=" << metrics.queue_corruptions
+      << " migrations=" << metrics.migrations
+      << " migrated_vertices=" << metrics.migrated_vertices
+      << " migrated_bytes=" << metrics.migrated_bytes
+      << " migration_time_s=" << metrics.migration_time
+      << " rebalance_gain=" << metrics.rebalance_gain
+      << " governor_scale_outs=" << metrics.governor_scale_outs << "\n";
 }
 
 }  // namespace pregel

@@ -22,13 +22,18 @@ void write_superstep_metrics_csv(const JobMetrics& metrics, std::ostream& out);
 /// One-row fault-tolerance rollup CSV:
 /// recovery_mode,checkpoints,checkpoint_failures,failures,replayed_supersteps,
 /// recovery_s,confined_replay_s,faults_injected,faults_masked,
-/// retries_attempted,retry_latency_s,straggler_reexecutions,blob_corruptions
+/// retries_attempted,retry_latency_s,straggler_reexecutions,blob_corruptions,
+/// queue_corruptions
 void write_fault_metrics_csv(const JobMetrics& metrics, std::ostream& out);
 
 /// One-row memory-governor rollup CSV:
 /// vetoes,swath_clamps,sheds,roots_parked,spills,spill_bytes,spill_time_s,
-/// shed_time_s,governed_oom_episodes
+/// shed_time_s,governed_oom_episodes,scale_outs
 void write_governor_metrics_csv(const JobMetrics& metrics, std::ostream& out);
+
+/// One-row vertex-migration rollup CSV:
+/// migrations,migrated_vertices,migrated_bytes,migration_time_s,rebalance_gain
+void write_migration_metrics_csv(const JobMetrics& metrics, std::ostream& out);
 
 /// One-line key=value job summary (human- and grep-friendly).
 void write_job_summary(const JobMetrics& metrics, std::ostream& out);

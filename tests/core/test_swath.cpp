@@ -131,6 +131,57 @@ TEST(AdaptiveSwathSizer, ValidatesArguments) {
   EXPECT_THROW(AdaptiveSwathSizer(4, 0.5, 0.5), std::logic_error);
 }
 
+TEST(AdaptiveSwathSizer, SpillReliefKeepsSwathWide) {
+  // Same pressure as ShrinksWhenOverTarget, but the governor offers to spill
+  // the message buffers: the sizer regulates against the peak net of the
+  // spillable bytes instead of halving the swath.
+  AdaptiveSwathSizer s(8, /*smoothing=*/1.0);
+  SwathSizeSignals sig;
+  sig.swath_index = 1;
+  sig.last_swath_size = 8;
+  sig.baseline_memory = 1_GiB;
+  sig.memory_target = 6_GiB;
+  sig.peak_memory_last_swath = 11_GiB;
+  sig.peak_spillable_last_swath = 5_GiB;  // effective peak 6 -> used 5 = budget
+  sig.spill_relief_available = true;
+  EXPECT_EQ(s.next_size(sig), 8u);  // 8 * 5/5: hold size, spill instead
+}
+
+TEST(AdaptiveSwathSizer, SpillableBytesIgnoredWithoutRelief) {
+  // Spillable bytes were observed but spilling is priced too dear (or the
+  // governor is off): the sizer must still clamp on the full resident peak.
+  AdaptiveSwathSizer s(8, /*smoothing=*/1.0);
+  SwathSizeSignals sig;
+  sig.swath_index = 1;
+  sig.last_swath_size = 8;
+  sig.baseline_memory = 1_GiB;
+  sig.memory_target = 6_GiB;
+  sig.peak_memory_last_swath = 11_GiB;
+  sig.peak_spillable_last_swath = 5_GiB;
+  sig.spill_relief_available = false;
+  EXPECT_EQ(s.next_size(sig), 4u);  // identical to ShrinksWhenOverTarget
+}
+
+TEST(SamplingSwathSizer, SpillReliefRaisesExtrapolation) {
+  auto measure = [](bool relief) {
+    SamplingSwathSizer s(/*sample_size=*/4, /*sample_count=*/1);
+    SwathSizeSignals sig;
+    sig.baseline_memory = 1_GiB;
+    sig.memory_target = 9_GiB;
+    sig.swath_index = 0;
+    s.next_size(sig);  // first sampling swath requested
+    sig.swath_index = 1;
+    sig.last_swath_size = 4;
+    sig.peak_memory_last_swath = 9_GiB;  // 2 GiB/root resident...
+    sig.peak_spillable_last_swath = 4_GiB;  // ...half of it message buffer
+    sig.spill_relief_available = relief;
+    return s.next_size(sig);
+  };
+  // Net of spill: 1 GiB/root -> 8 roots fit. Fully resident: 2 GiB/root -> 4.
+  EXPECT_EQ(measure(true), 8u);
+  EXPECT_EQ(measure(false), 4u);
+}
+
 TEST(SequentialInitiation, OnlyWhenDrained) {
   SequentialInitiation p;
   InitiationSignals sig;

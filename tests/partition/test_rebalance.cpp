@@ -1,0 +1,185 @@
+// Migration planners are pure functions of their signals; these tests pin
+// down the decision logic in isolation from the engine: imbalance math,
+// donor/receiver selection, move budgets, balance guards, and determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/rebalance.hpp"
+
+namespace pregel {
+namespace {
+
+/// A hand-built signal set: `actives[p]` lists each partition's active
+/// vertices, placement is p mod workers over `parts` partitions.
+struct Fixture {
+  Graph graph;
+  std::vector<PartitionId> part_of;
+  std::vector<std::uint32_t> placement;
+  std::vector<std::vector<VertexId>> active;
+
+  Fixture(Graph g, PartitionId parts, std::uint32_t workers,
+          std::vector<std::vector<VertexId>> actives)
+      : graph(std::move(g)), active(std::move(actives)) {
+    part_of.assign(graph.num_vertices(), 0);
+    for (PartitionId p = 0; p < parts; ++p)
+      for (const VertexId v : active[p]) part_of[v] = p;
+    placement.resize(parts);
+    for (PartitionId p = 0; p < parts; ++p) placement[p] = p % workers;
+  }
+
+  RebalanceSignals signals(std::uint32_t workers) const {
+    RebalanceSignals s;
+    s.graph = &graph;
+    s.part_of = &part_of;
+    s.placement = &placement;
+    s.workers = workers;
+    s.active = active;
+    return s;
+  }
+};
+
+TEST(ActiveImbalance, BalancedIsOneEmptyIsZero) {
+  Fixture f(grid_graph(4, 4), /*parts=*/4, /*workers=*/2,
+            {{0, 1}, {2, 3}, {4, 5}, {6, 7}});
+  EXPECT_DOUBLE_EQ(active_imbalance(f.signals(2)), 1.0);
+
+  Fixture empty(grid_graph(4, 4), 4, 2, {{}, {}, {}, {}});
+  EXPECT_DOUBLE_EQ(active_imbalance(empty.signals(2)), 0.0);
+}
+
+TEST(ActiveImbalance, SkewedLoadReportsMaxOverMean) {
+  // VM0 (parts 0,2): 6 actives. VM1 (parts 1,3): 2. mean = 4, max = 6.
+  Fixture f(grid_graph(4, 4), 4, 2, {{0, 1, 2, 3}, {8}, {4, 5}, {9}});
+  EXPECT_DOUBLE_EQ(active_imbalance(f.signals(2)), 1.5);
+}
+
+TEST(NoMigrationPlanner, NeverMoves) {
+  Fixture f(grid_graph(4, 4), 4, 2, {{0, 1, 2, 3}, {}, {4, 5}, {}});
+  NoMigrationPlanner p;
+  EXPECT_TRUE(p.plan(f.signals(2)).empty());
+  EXPECT_EQ(p.name(), "none");
+}
+
+TEST(ActivityGreedyPlanner, ShiftsLoadFromBusiestToIdlestVm) {
+  // VM0 holds all 8 actives, VM1 none.
+  Fixture f(grid_graph(4, 4), 4, 2, {{0, 1, 2, 3, 4, 5}, {}, {6, 7}, {}});
+  ActivityGreedyPlanner planner(/*tolerance=*/0.05);
+  const MigrationPlan plan = planner.plan(f.signals(2));
+  ASSERT_FALSE(plan.empty());
+  for (const VertexMove& m : plan.moves) {
+    EXPECT_EQ(f.placement[m.from], 0u) << "donor must be the busy VM";
+    EXPECT_EQ(f.placement[m.to], 1u) << "receiver must be the idle VM";
+    EXPECT_EQ(f.part_of[m.vertex], m.from) << "move must name the vertex's home";
+    // Planned movers must be active vertices — migrating idle state moves
+    // bytes without moving any load.
+    const auto& act = f.active[m.from];
+    EXPECT_TRUE(std::find(act.begin(), act.end(), m.vertex) != act.end());
+  }
+  // Post-plan balance: apply the moves and recheck.
+  Fixture after = f;
+  for (const VertexMove& m : plan.moves) {
+    auto& src = after.active[m.from];
+    src.erase(std::find(src.begin(), src.end(), m.vertex));
+    after.active[m.to].push_back(m.vertex);
+    after.part_of[m.vertex] = m.to;
+  }
+  EXPECT_LT(active_imbalance(after.signals(2)), active_imbalance(f.signals(2)));
+}
+
+TEST(ActivityGreedyPlanner, BalancedInputProducesNoMoves) {
+  Fixture f(grid_graph(4, 4), 4, 2, {{0, 1}, {2, 3}, {4, 5}, {6, 7}});
+  ActivityGreedyPlanner planner(/*tolerance=*/0.2);
+  EXPECT_TRUE(planner.plan(f.signals(2)).empty());
+}
+
+TEST(ActivityGreedyPlanner, RespectsMoveBudget) {
+  std::vector<VertexId> many;
+  for (VertexId v = 0; v < 12; ++v) many.push_back(v);
+  Fixture f(grid_graph(4, 4), 4, 2, {many, {}, {}, {}});
+  ActivityGreedyPlanner planner(/*tolerance=*/0.0, /*max_moves=*/3);
+  const MigrationPlan plan = planner.plan(f.signals(2));
+  EXPECT_LE(plan.moves.size(), 3u);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(ActivityGreedyPlanner, SingleWorkerOrNoActivityIsANoOp) {
+  Fixture f(grid_graph(4, 4), 4, 1, {{0, 1, 2}, {}, {}, {}});
+  ActivityGreedyPlanner planner;
+  EXPECT_TRUE(planner.plan(f.signals(1)).empty());
+
+  Fixture idle(grid_graph(4, 4), 4, 2, {{}, {}, {}, {}});
+  EXPECT_TRUE(planner.plan(idle.signals(2)).empty());
+}
+
+TEST(ActivityGreedyPlanner, DeterministicAcrossCalls) {
+  Fixture f(barabasi_albert(64, 3, 11), 4, 2, {{}, {}, {}, {}});
+  for (VertexId v = 0; v < 40; ++v) f.active[0].push_back(v);
+  ActivityGreedyPlanner planner(/*tolerance=*/0.1);
+  const MigrationPlan a = planner.plan(f.signals(2));
+  const MigrationPlan b = planner.plan(f.signals(2));
+  ASSERT_EQ(a.moves.size(), b.moves.size());
+  for (std::size_t i = 0; i < a.moves.size(); ++i) EXPECT_EQ(a.moves[i], b.moves[i]);
+}
+
+TEST(EdgeCutRefinePlanner, PullsVertexTowardItsNeighbors) {
+  // Path 0-1-2-3-4-5: put vertex 2 alone in partition 1 while its neighbors
+  // 1 and 3 live in partition 0 — the gain step must pull it home.
+  Graph g = path_graph(6);
+  std::vector<PartitionId> part_of = {0, 0, 1, 0, 0, 1};
+  std::vector<std::uint32_t> placement = {0, 0};  // both partitions on VM0
+  RebalanceSignals s;
+  s.graph = &g;
+  s.part_of = &part_of;
+  s.placement = &placement;
+  s.workers = 2;
+  s.active = {{}, {2}};
+
+  EdgeCutRefinePlanner planner;
+  const MigrationPlan plan = planner.plan(s);
+  ASSERT_EQ(plan.moves.size(), 1u);
+  EXPECT_EQ(plan.moves[0].vertex, 2u);
+  EXPECT_EQ(plan.moves[0].from, 1u);
+  EXPECT_EQ(plan.moves[0].to, 0u);
+}
+
+TEST(EdgeCutRefinePlanner, BalanceGuardBlocksCrossVmPileup) {
+  // Vertex 2's neighbors sit on the other VM, but that VM already carries
+  // the whole active load: the cap must veto the cross-VM move.
+  Graph g = path_graph(6);
+  std::vector<PartitionId> part_of = {0, 0, 1, 0, 0, 1};
+  std::vector<std::uint32_t> placement = {0, 1};  // partition 0 on VM0, 1 on VM1
+  RebalanceSignals s;
+  s.graph = &g;
+  s.part_of = &part_of;
+  s.placement = &placement;
+  s.workers = 2;
+  s.active = {{0, 1, 3, 4}, {2}};  // VM0 busy already
+
+  EdgeCutRefinePlanner planner(/*max_moves=*/512, /*balance_tolerance=*/0.0);
+  const MigrationPlan plan = planner.plan(s);
+  for (const VertexMove& m : plan.moves) EXPECT_NE(m.vertex, 2u);
+}
+
+TEST(EdgeCutRefinePlanner, HonorsMoveBudget) {
+  const Graph g = barabasi_albert(200, 3, 17);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  std::vector<std::uint32_t> placement = {0, 1, 0, 1};
+  RebalanceSignals s;
+  s.graph = &g;
+  s.part_of = &parts.assignment();
+  s.placement = &placement;
+  s.workers = 2;
+  s.active.resize(4);
+  for (VertexId v = 0; v < 200; ++v)
+    s.active[parts.assignment()[v]].push_back(v);
+
+  EdgeCutRefinePlanner planner(/*max_moves=*/5);
+  EXPECT_LE(planner.plan(s).moves.size(), 5u);
+}
+
+}  // namespace
+}  // namespace pregel

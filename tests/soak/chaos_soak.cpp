@@ -24,16 +24,19 @@
 #include <string>
 #include <vector>
 
+#include "algos/bc.hpp"
 #include "algos/pagerank.hpp"
 #include "algos/sssp.hpp"
 #include "graph/generators.hpp"
 #include "partition/partitioner.hpp"
+#include "partition/rebalance.hpp"
 #include "runtime/trace.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using namespace pregel;
+using algos::BcProgram;
 using algos::PageRankProgram;
 using algos::SsspProgram;
 
@@ -76,6 +79,9 @@ struct ChaosDraw {
   ClusterConfig cluster;
   double squeeze = 0.0;  ///< where between floor and peak the budget lands
   bool spill_enabled = true;
+  /// Governor may take the scale-out rung instead of a shed rewind (needs a
+  /// spare VM slot; migration makes the grown layout physical).
+  bool scale_out_enabled = false;
   std::string describe;
 };
 
@@ -94,6 +100,9 @@ ChaosDraw draw_chaos(SplitMix64& rng, std::uint32_t partitions) {
   // Blob reads happen on recovery/shed paths only, so the corruption rate
   // is drawn high enough that those few reads still exercise verification.
   d.cluster.faults.blob_corruption_rate = uniform_real(rng, 0.0, 0.3);
+  // Queue ops run every superstep (step/barrier control traffic), so the
+  // corruption rate stays low to keep retry storms bounded.
+  d.cluster.faults.queue_corruption_rate = uniform_real(rng, 0.0, 0.08);
   d.cluster.faults.vm_preemption_rate = uniform_real(rng, 0.0, 0.006);
   d.cluster.faults.straggler_rate = uniform_real(rng, 0.0, 0.12);
   d.cluster.faults.straggler_slowdown = uniform_real(rng, 2.0, 6.0);
@@ -102,7 +111,17 @@ ChaosDraw draw_chaos(SplitMix64& rng, std::uint32_t partitions) {
   d.cluster.faults.preemption_seed = rng();
   d.cluster.faults.straggler_seed = rng();
   d.cluster.faults.corruption_seed = rng();
+  d.cluster.faults.queue_corruption_seed = rng();
   d.cluster.straggler_timeout_factor = (rng() & 1) ? uniform_real(rng, 2.0, 4.0) : 0.0;
+
+  // Live migration rides along on half the scenarios: periodic activity
+  // replans must stay invisible in every compared value.
+  if (rng() & 1) {
+    d.cluster.migration.planner =
+        std::make_shared<ActivityGreedyPlanner>(uniform_real(rng, 0.05, 0.3));
+    d.cluster.migration.period = uniform_int(rng, 1, 3);
+  }
+  d.scale_out_enabled = (rng() & 1) != 0;
 
   const std::uint64_t scheduled = uniform_int(rng, 0, 2);
   for (std::uint64_t i = 0; i < scheduled; ++i)
@@ -116,7 +135,11 @@ ChaosDraw draw_chaos(SplitMix64& rng, std::uint32_t partitions) {
                " ckpt=" + std::to_string(d.cluster.checkpoint_interval) +
                " recovery=" + to_string(d.cluster.recovery_mode) +
                " squeeze=" + std::to_string(d.squeeze) +
-               (d.spill_enabled ? " spill=on" : " spill=off");
+               (d.spill_enabled ? " spill=on" : " spill=off") +
+               (d.cluster.migration.enabled()
+                    ? " migrate=p" + std::to_string(d.cluster.migration.period)
+                    : " migrate=off") +
+               (d.scale_out_enabled ? " scale-out=on" : "");
   return d;
 }
 
@@ -129,10 +152,11 @@ Bytes squeezed_target(const MemoryEnvelope& e, double squeeze) {
   return std::max(mid, e.floor + e.floor / 4 + 4096);
 }
 
-MemGovernorConfig soak_governor(bool spill_enabled) {
+MemGovernorConfig soak_governor(bool spill_enabled, bool scale_out_enabled) {
   MemGovernorConfig cfg;
   cfg.enabled = true;
   cfg.spill_enabled = spill_enabled;
+  cfg.scale_out_enabled = scale_out_enabled;
   return cfg;
 }
 
@@ -157,9 +181,12 @@ std::string chaos_stats(const JobMetrics& m) {
   return "supersteps=" + std::to_string(m.total_supersteps()) +
          " failures=" + std::to_string(m.worker_failures) +
          " faults=" + std::to_string(m.faults_injected) +
-         " corruptions=" + std::to_string(m.blob_corruptions) +
+         " corruptions=" + std::to_string(m.blob_corruptions) + "+" +
+         std::to_string(m.queue_corruptions) + "q" +
          " sheds=" + std::to_string(m.governor_sheds) +
          " spills=" + std::to_string(m.governor_spills) +
+         " scale_outs=" + std::to_string(m.governor_scale_outs) +
+         " migrations=" + std::to_string(m.migrations) +
          " oom_episodes=" + std::to_string(m.governed_oom_episodes);
 }
 
@@ -212,7 +239,7 @@ SeedOutcome run_sssp_scenario(SplitMix64& rng, bool smoke, std::string& desc) {
   chaos_opts.swath =
       SwathPolicy::make(std::make_shared<StaticSwathSizer>(swath_size),
                         std::make_shared<StaticNInitiation>(1), target);
-  chaos_opts.governor = soak_governor(chaos.spill_enabled);
+  chaos_opts.governor = soak_governor(chaos.spill_enabled, chaos.scale_out_enabled);
   const auto r = chaos_engine.run(chaos_opts);
   if (r.failed) return {false, "chaos run failed: " + r.failure_reason, ""};
 
@@ -257,7 +284,7 @@ SeedOutcome run_pagerank_scenario(SplitMix64& rng, bool smoke, std::string& desc
   JobOptions chaos_job = opts;
   chaos_job.swath = SwathPolicy::make(std::make_shared<StaticSwathSizer>(1),
                                       std::make_shared<SequentialInitiation>(), target);
-  chaos_job.governor = soak_governor(chaos.spill_enabled);
+  chaos_job.governor = soak_governor(chaos.spill_enabled, chaos.scale_out_enabled);
   Engine<PageRankProgram> chaos_engine(g, {iterations, 0.85}, chaos.cluster, parts);
   const auto r = chaos_engine.run(chaos_job);
   if (r.failed) return {false, "chaos run failed: " + r.failure_reason, ""};
@@ -275,11 +302,80 @@ SeedOutcome run_pagerank_scenario(SplitMix64& rng, bool smoke, std::string& desc
   return {true, "", chaos_stats(r.metrics)};
 }
 
+/// Swathed BC under chaos — the migration stress case: per-root state rides
+/// along on every vertex move, double aggregates and root completions replay
+/// by rank, and Kahan-compensated scores must still land bit-identical.
+///
+/// BC's score accumulation order depends on the swath schedule, so the
+/// baseline is SCHEDULE-MATCHED: same swath policy, fault-free, generous
+/// memory, and no governor on either side (a shed rewind would park roots
+/// and legitimately reorder the accumulation — that bitwise-breaking rung is
+/// exercised by the SSSP scenario, whose min-lattice fixpoint is schedule-
+/// independent). Faults, recovery replays, and migrations stay in.
+SeedOutcome run_bc_scenario(SplitMix64& rng, bool smoke, std::string& desc) {
+  std::string kind;
+  const Graph g = make_graph(rng, smoke, kind);
+  const std::uint32_t partitions = 4;
+  const auto parts = HashPartitioner{}.partition(g, partitions);
+
+  const std::uint64_t n_roots = smoke ? 6 : 12;
+  std::set<VertexId> root_set;
+  while (root_set.size() < n_roots)
+    root_set.insert(static_cast<VertexId>(rng() % g.num_vertices()));
+  const std::vector<VertexId> roots(root_set.begin(), root_set.end());
+
+  ChaosDraw chaos = draw_chaos(rng, partitions);
+  desc = "workload=bc graph=" + kind + " roots=" + std::to_string(roots.size()) +
+         " " + chaos.describe;
+
+  const auto swath_size =
+      static_cast<std::uint32_t>(uniform_int(rng, 2, roots.size()));
+  const auto initiate_every = uniform_int(rng, 2, 4);
+  const SwathPolicy swath =
+      SwathPolicy::make(std::make_shared<StaticSwathSizer>(swath_size),
+                        std::make_shared<StaticNInitiation>(initiate_every), 0);
+
+  ClusterConfig calm;
+  calm.num_partitions = partitions;
+  calm.initial_workers = chaos.cluster.initial_workers;
+  calm.vm.ram = 64_GiB;
+  Engine<BcProgram> baseline_engine(g, {}, calm, parts);
+  JobOptions opts;
+  opts.roots = roots;
+  opts.swath = swath;
+  const auto baseline = baseline_engine.run(opts);
+  if (baseline.failed) return {false, "baseline failed: " + baseline.failure_reason, ""};
+  if (baseline.roots_completed != roots.size())
+    return {false, "baseline left roots incomplete", ""};
+  const MemoryEnvelope env = envelope_of(baseline.metrics);
+
+  chaos.cluster.vm.ram = std::max(env.peak + env.peak / 4, 2 * env.floor + 8192);
+  Engine<BcProgram> chaos_engine(g, {}, chaos.cluster, parts);
+  const auto r = chaos_engine.run(opts);
+  if (r.failed) return {false, "chaos run failed: " + r.failure_reason, ""};
+  if (r.roots_completed != roots.size())
+    return {false, "chaos run left roots incomplete", ""};
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (std::memcmp(&r.values[v].bc_score, &baseline.values[v].bc_score,
+                    sizeof(double)) != 0)
+      return {false,
+              "bc_score mismatch at vertex " + std::to_string(v) + ": " +
+                  std::to_string(r.values[v].bc_score) + " != " +
+                  std::to_string(baseline.values[v].bc_score),
+              ""};
+  }
+  return {true, "", chaos_stats(r.metrics)};
+}
+
 SeedOutcome run_seed(std::uint64_t seed, bool smoke, std::string& desc) {
   SplitMix64 rng(mix64(seed ^ 0x50414B5F534F414BULL));
   try {
-    if (rng() & 1) return run_sssp_scenario(rng, smoke, desc);
-    return run_pagerank_scenario(rng, smoke, desc);
+    switch (rng() % 3) {
+      case 0: return run_sssp_scenario(rng, smoke, desc);
+      case 1: return run_pagerank_scenario(rng, smoke, desc);
+      default: return run_bc_scenario(rng, smoke, desc);
+    }
   } catch (const std::exception& e) {
     return {false, std::string("exception: ") + e.what(), ""};
   }
