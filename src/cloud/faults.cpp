@@ -28,6 +28,9 @@ void FaultPlan::validate() const {
   check_rate(blob_corruption_rate, "blob_corruption_rate");
   check_rate(queue_corruption_rate, "queue_corruption_rate");
   check_rate(vm_preemption_rate, "vm_preemption_rate");
+  check_rate(manager_preemption_rate, "manager_preemption_rate");
+  check_rate(zone_outage_rate, "zone_outage_rate");
+  check_rate(queue_duplicate_rate, "queue_duplicate_rate");
   check_rate(straggler_rate, "straggler_rate");
   if (straggler_slowdown < 1.0)
     throw std::logic_error("FaultPlan: straggler_slowdown must be >= 1");
@@ -128,8 +131,13 @@ RetryOutcome FaultInjector::attempt(FaultKind kind, const RetryPolicy& retry,
     const double span = std::max(0.0, 3.0 * sleep - retry.base_backoff);
     sleep = std::min(retry.max_backoff,
                      retry.base_backoff + next_uniform(kind) * span);
+    // Deadline check happens *before* the sleep is charged: a client never
+    // starts a backoff longer than its remaining budget, so the accumulated
+    // extra latency can exceed op_deadline by at most one failed attempt —
+    // not by a whole max_backoff sleep. (The jitter draw above is consumed
+    // either way, keeping the stream position independent of the deadline.)
+    if (out.extra_latency + sleep > retry.op_deadline) break;  // deadline blown
     out.extra_latency += sleep;
-    if (out.extra_latency > retry.op_deadline) break;  // deadline blown
   }
   out.success = false;
   return out;
@@ -142,6 +150,30 @@ bool FaultInjector::vm_preempted(std::uint32_t vm, std::uint64_t superstep,
                                   (static_cast<std::uint64_t>(vm) << 32) ^
                                   (epoch * 0x9E3779B9ULL));
   return u01(key) < plan_.vm_preemption_rate;
+}
+
+bool FaultInjector::manager_preempted(std::uint64_t superstep,
+                                      std::uint64_t epoch) const noexcept {
+  if (plan_.manager_preemption_rate <= 0.0) return false;
+  const std::uint64_t key = mix64(plan_.manager_seed ^ (superstep * 0x1000193ULL) ^
+                                  (epoch * 0x9E3779B9ULL));
+  return u01(key) < plan_.manager_preemption_rate;
+}
+
+bool FaultInjector::zone_outage(std::uint32_t zone, std::uint64_t superstep,
+                                std::uint64_t epoch) const noexcept {
+  if (plan_.zone_outage_rate <= 0.0) return false;
+  const std::uint64_t key = mix64(plan_.zone_seed ^ (superstep * 0x1000193ULL) ^
+                                  (static_cast<std::uint64_t>(zone) << 32) ^
+                                  (epoch * 0x9E3779B9ULL));
+  return u01(key) < plan_.zone_outage_rate;
+}
+
+bool FaultInjector::next_duplicate() noexcept {
+  if (plan_.queue_duplicate_rate <= 0.0) return false;
+  const std::uint64_t bits =
+      mix64(plan_.queue_duplicate_seed ^ (0x9E3779B97F4A7C15ULL * ++duplicate_draws_));
+  return u01(bits) < plan_.queue_duplicate_rate;
 }
 
 double FaultInjector::straggler_factor(std::uint32_t vm,

@@ -54,6 +54,23 @@ struct FaultPlan {
   /// (or loses the job without one).
   double vm_preemption_rate = 0.0;
 
+  /// Probability (per superstep, per manager epoch) that the job-manager
+  /// role itself is preempted mid-superstep. A standby detects the lost
+  /// lease, reloads the manifest blob, bumps the fencing epoch and resumes;
+  /// the detection + takeover latency is charged to the cost model.
+  double manager_preemption_rate = 0.0;
+
+  /// Probability (per availability zone, per superstep) that an entire zone
+  /// goes dark at once, preempting every VM placed in it. Only meaningful
+  /// when the cluster is configured with more than one zone.
+  double zone_outage_rate = 0.0;
+
+  /// Probability that a barrier check-in's remove() is lost (visibility
+  /// timeout expires while the manager holds the message), so the queue
+  /// redelivers it and the barrier loop must dedupe. Drawn from its own
+  /// stream once per successfully tallied check-in.
+  double queue_duplicate_rate = 0.0;
+
   /// Probability that a VM straggles in a given superstep, and the
   /// multiplicative slowdown applied to its compute/network time when it
   /// does (multi-tenant noisy-neighbor episodes, distinct from the
@@ -67,6 +84,9 @@ struct FaultPlan {
   std::uint64_t straggler_seed = 0xFA04;
   std::uint64_t corruption_seed = 0xFA05;
   std::uint64_t queue_corruption_seed = 0xFA06;
+  std::uint64_t manager_seed = 0xFA07;
+  std::uint64_t zone_seed = 0xFA08;
+  std::uint64_t queue_duplicate_seed = 0xFA09;
 
   /// True when any retriable (queue/blob/corruption) rate is nonzero.
   bool any_transient() const noexcept {
@@ -125,6 +145,22 @@ class FaultInjector {
   bool vm_preempted(std::uint32_t vm, std::uint64_t superstep,
                     std::uint64_t epoch) const noexcept;
 
+  /// Manager-preemption draw for `superstep` under fencing `epoch`. Keyed by
+  /// the epoch so the standby that just took over does not immediately
+  /// redraw the same death at the same superstep.
+  bool manager_preempted(std::uint64_t superstep, std::uint64_t epoch) const noexcept;
+
+  /// Correlated-failure draw: does availability `zone` go dark at
+  /// `superstep` in recovery `epoch`?
+  bool zone_outage(std::uint32_t zone, std::uint64_t superstep,
+                   std::uint64_t epoch) const noexcept;
+
+  /// Duplicate-delivery draw for one tallied barrier check-in: true when the
+  /// remove() is lost and the message will be redelivered. Consumes the
+  /// dedicated duplicate stream counter; a zero rate draws nothing.
+  bool next_duplicate() noexcept;
+  std::uint64_t duplicate_draws() const noexcept { return duplicate_draws_; }
+
   /// Straggler slowdown factor (>= 1) for `vm` at `superstep`; exactly 1
   /// when the VM is not straggling.
   double straggler_factor(std::uint32_t vm, std::uint64_t superstep) const noexcept;
@@ -142,6 +178,7 @@ class FaultInjector {
   std::uint64_t blob_write_draws_ = 0;
   std::uint64_t blob_corrupt_draws_ = 0;
   std::uint64_t queue_corrupt_draws_ = 0;
+  std::uint64_t duplicate_draws_ = 0;
 };
 
 }  // namespace pregel::cloud

@@ -1,0 +1,198 @@
+#include "cloud/manager.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pregel::cloud {
+
+namespace {
+
+/// Parse one fully-decimal field; advances `body` past the field and the
+/// separator. Returns nullopt on empty/garbage/overflow.
+std::optional<std::uint64_t> take_decimal(std::string_view& body, bool last) {
+  const std::size_t sep = body.find(':');
+  const std::string_view field = last ? body : body.substr(0, sep);
+  if (last && sep != std::string_view::npos) return std::nullopt;  // extra fields
+  if (!last && sep == std::string_view::npos) return std::nullopt;  // truncated
+  if (field.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || ptr != field.data() + field.size()) return std::nullopt;
+  body = last ? std::string_view{} : body.substr(sep + 1);
+  return value;
+}
+
+bool strip_prefix(std::string_view& body, std::string_view prefix) {
+  if (body.size() <= prefix.size() || body.substr(0, prefix.size()) != prefix) return false;
+  body.remove_prefix(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+std::string make_step_token(std::uint64_t superstep, std::uint64_t epoch) {
+  return "superstep:" + std::to_string(superstep) + ":" + std::to_string(epoch);
+}
+
+std::string make_checkin(std::uint32_t worker, std::uint64_t epoch, std::uint64_t active) {
+  return "active:" + std::to_string(worker) + ":" + std::to_string(epoch) + ":" +
+         std::to_string(active);
+}
+
+std::optional<StepToken> parse_step_token(std::string_view body) {
+  if (!strip_prefix(body, "superstep:")) return std::nullopt;
+  const auto superstep = take_decimal(body, false);
+  if (!superstep) return std::nullopt;
+  const auto epoch = take_decimal(body, true);
+  if (!epoch) return std::nullopt;
+  return StepToken{*superstep, *epoch};
+}
+
+std::optional<BarrierCheckin> parse_checkin(std::string_view body) {
+  if (!strip_prefix(body, "active:")) return std::nullopt;
+  const auto worker = take_decimal(body, false);
+  if (!worker || *worker > 0xFFFFFFFFULL) return std::nullopt;
+  const auto epoch = take_decimal(body, false);
+  if (!epoch) return std::nullopt;
+  const auto active = take_decimal(body, true);
+  if (!active) return std::nullopt;
+  return BarrierCheckin{static_cast<std::uint32_t>(*worker), *epoch, *active};
+}
+
+BarrierDrainStats drain_barrier(AzureQueue& barrier, std::uint32_t expected_workers,
+                                std::uint64_t epoch,
+                                const std::function<void(std::uint32_t)>& per_op,
+                                const std::function<bool()>& duplicate_draw) {
+  BarrierDrainStats s;
+  std::vector<char> checked(expected_workers, 0);
+  // Every iteration permanently consumes a message or ends the drain, and a
+  // redelivery happens at most once per tallied check-in, so the loop is
+  // bounded; the cap is a belt-and-braces guard against a misbehaving queue.
+  const std::size_t cap = 4 * static_cast<std::size_t>(expected_workers) + 16;
+  const auto charge = [&](std::uint32_t vm) {
+    if (per_op) per_op(vm);
+  };
+  for (std::size_t iter = 0; iter < cap; ++iter) {
+    // Drain past the expected count until the queue is visibly empty:
+    // leftover redeliveries must not leak into the next superstep's barrier.
+    if (s.checked_in >= expected_workers && barrier.visible_count() == 0) break;
+    const std::uint32_t read_vm =
+        expected_workers == 0 ? 0 : std::min(s.checked_in, expected_workers - 1);
+    charge(read_vm);
+    const auto msg = barrier.get();
+    if (!msg) break;  // nothing left: anyone untallied is missing
+    const auto c = verify_queue_message(*msg) ? parse_checkin(msg->body) : std::nullopt;
+    if (!c || c->worker >= expected_workers) {
+      ++s.malformed;  // CRC failure, garbage body, or out-of-range sender
+      charge(read_vm);
+      barrier.remove(msg->id);
+      continue;
+    }
+    if (c->epoch != epoch) {
+      ++s.fenced;  // zombie sender from a previous fencing epoch
+      charge(c->worker);
+      barrier.remove(msg->id);
+      continue;
+    }
+    if (checked[c->worker]) {
+      ++s.duplicates;  // redelivered copy of an already-tallied check-in
+      charge(c->worker);
+      barrier.remove(msg->id);
+      continue;
+    }
+    checked[c->worker] = 1;
+    ++s.checked_in;
+    s.active_total += c->active;
+    charge(c->worker);
+    if (duplicate_draw && duplicate_draw()) {
+      // The remove() was issued (and paid for) but lost: the visibility
+      // timeout expires and the queue redelivers the message, which the
+      // dedup above will classify as a duplicate.
+      barrier.release(msg->id);
+    } else {
+      barrier.remove(msg->id);
+    }
+  }
+  for (std::uint32_t w = 0; w < expected_workers; ++w)
+    if (!checked[w]) s.missing.push_back(w);
+  return s;
+}
+
+std::string ManagerManifest::serialize() const {
+  std::string body = "pregel-manifest-v1 superstep=" + std::to_string(superstep) +
+                     " epoch=" + std::to_string(epoch) +
+                     " locv=" + std::to_string(location_version) +
+                     " aggs=" + std::to_string(aggregators.size()) + "\n";
+  for (const auto& [key, value] : aggregators) {
+    // Doubles go through their bit pattern so the standby's master-compute
+    // resumes from exactly the aggregates the primary saw.
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%llu %016llx\n",
+                  static_cast<unsigned long long>(key),
+                  static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(value)));
+    body += buf;
+  }
+  return body + "crc=" + std::to_string(queue_body_checksum(body)) + "\n";
+}
+
+std::optional<ManagerManifest> ManagerManifest::deserialize(std::string_view blob) {
+  const std::size_t crc_at = blob.rfind("crc=");
+  if (crc_at == std::string_view::npos || crc_at == 0) return std::nullopt;
+  std::string_view crc_line = blob.substr(crc_at + 4);
+  if (!crc_line.empty() && crc_line.back() == '\n') crc_line.remove_suffix(1);
+  std::uint64_t stored = 0;
+  {
+    const auto [ptr, ec] =
+        std::from_chars(crc_line.data(), crc_line.data() + crc_line.size(), stored);
+    if (ec != std::errc() || ptr != crc_line.data() + crc_line.size()) return std::nullopt;
+  }
+  const std::string_view body = blob.substr(0, crc_at);
+  if (stored != queue_body_checksum(body)) return std::nullopt;
+
+  ManagerManifest m;
+  std::size_t aggs = 0;
+  {
+    unsigned long long s = 0, e = 0, l = 0, a = 0;
+    const std::string header(body.substr(0, body.find('\n')));
+    if (std::sscanf(header.c_str(),
+                    "pregel-manifest-v1 superstep=%llu epoch=%llu locv=%llu aggs=%llu",
+                    &s, &e, &l, &a) != 4)
+      return std::nullopt;
+    m.superstep = s;
+    m.epoch = e;
+    m.location_version = l;
+    aggs = a;
+  }
+  std::size_t pos = body.find('\n');
+  if (pos == std::string_view::npos) return std::nullopt;
+  ++pos;
+  for (std::size_t i = 0; i < aggs; ++i) {
+    const std::size_t eol = body.find('\n', pos);
+    if (eol == std::string_view::npos) return std::nullopt;
+    const std::string line(body.substr(pos, eol - pos));
+    unsigned long long key = 0, bits = 0;
+    if (std::sscanf(line.c_str(), "%llu %llx", &key, &bits) != 2) return std::nullopt;
+    m.aggregators.emplace_back(key, std::bit_cast<double>(static_cast<std::uint64_t>(bits)));
+    pos = eol + 1;
+  }
+  return m;
+}
+
+ManagerManifest JobManager::failover() {
+  if (blob_.empty())
+    throw std::runtime_error("JobManager: failover with no persisted manifest");
+  const auto m = ManagerManifest::deserialize(blob_);
+  if (!m)
+    throw std::runtime_error("JobManager: manifest failed CRC32C verification");
+  // Fence past every epoch the dead primary could have used, even if the
+  // standby's local notion of the epoch lagged the manifest's.
+  epoch_ = std::max(epoch_, m->epoch) + 1;
+  ++failovers_;
+  state_ = ManagerState::kPrimary;
+  return *m;
+}
+
+}  // namespace pregel::cloud

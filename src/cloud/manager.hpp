@@ -1,0 +1,162 @@
+// Job-manager control protocol: identified barrier check-ins, fencing
+// epochs, and manager failover.
+//
+// The paper's job manager (a Small-VM role, §III) drives supersteps by
+// posting tokens to a "step" queue and collecting worker check-ins from a
+// "barrier" queue. Azure queues are at-least-once: a consumer that holds a
+// message past its visibility timeout sees it redelivered, and a crashed
+// consumer's un-removed messages reappear for whoever reads next. A barrier
+// protocol that trusts exactly-once, anonymous, in-order delivery is
+// therefore wrong on the real substrate, and the manager itself — one more
+// preemptible VM — is a single point of failure the paper never hardens.
+//
+// This module makes the protocol honest:
+//
+//  * Step tokens and barrier check-ins carry sender identity and a fencing
+//    epoch — "superstep:<n>:<epoch>" and "active:<worker>:<epoch>:<count>" —
+//    so the barrier drain can dedupe redelivered copies per (worker, epoch),
+//    fence stale-epoch messages from zombie senders, and convert a missing
+//    check-in into a modeled detection timeout instead of an assertion.
+//  * A JobManager state machine persists a CRC32C-verified manifest
+//    (superstep, fencing epoch, vertex-location table version, aggregator
+//    state) at each barrier; when the manager VM is preempted, a standby
+//    reloads the manifest, bumps the epoch, and resumes the job.
+//
+// Everything here is deterministic and engine-agnostic: the engine supplies
+// cost attribution and fault draws through callables, so the protocol logic
+// is unit-testable against a bare AzureQueue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cloud/queue.hpp"
+
+namespace pregel::cloud {
+
+// ---------------------------------------------------------------------------
+// Identified, epoch-fenced control messages.
+
+struct StepToken {
+  std::uint64_t superstep = 0;
+  std::uint64_t epoch = 0;
+  friend bool operator==(const StepToken&, const StepToken&) = default;
+};
+
+struct BarrierCheckin {
+  std::uint32_t worker = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t active = 0;
+  friend bool operator==(const BarrierCheckin&, const BarrierCheckin&) = default;
+};
+
+/// "superstep:<n>:<epoch>" — what the manager posts to the step queue.
+std::string make_step_token(std::uint64_t superstep, std::uint64_t epoch);
+
+/// "active:<worker>:<epoch>:<count>" — a worker's barrier check-in.
+std::string make_checkin(std::uint32_t worker, std::uint64_t epoch, std::uint64_t active);
+
+/// Strict parses: exact prefix, exactly the right number of ':'-separated
+/// fully-decimal fields, no trailing garbage. Malformed bodies are rejected,
+/// never read as zero.
+std::optional<StepToken> parse_step_token(std::string_view body);
+std::optional<BarrierCheckin> parse_checkin(std::string_view body);
+
+// ---------------------------------------------------------------------------
+// Idempotent barrier drain.
+
+struct BarrierDrainStats {
+  std::uint64_t active_total = 0;   ///< sum of counts over first-time check-ins
+  std::uint32_t checked_in = 0;     ///< distinct workers tallied
+  std::uint64_t duplicates = 0;     ///< redelivered copies deduped per (worker, epoch)
+  std::uint64_t fenced = 0;         ///< stale/foreign-epoch messages discarded
+  std::uint64_t malformed = 0;      ///< CRC-failed or unparseable bodies discarded
+  std::vector<std::uint32_t> missing;  ///< workers that never checked in
+};
+
+/// Drain one superstep's barrier. Reads until every expected worker has been
+/// tallied once and the queue is empty (so no message can leak into the next
+/// superstep's barrier), deduping per (worker, epoch) and fencing messages
+/// whose epoch differs from `epoch`. An empty queue with workers still
+/// missing ends the drain: the caller models a detection timeout for
+/// `missing` instead of asserting.
+///
+/// `per_op(vm)` is invoked once per queue operation issued (get / remove /
+/// lost-remove), with the worker VM the operation's cost is attributed to —
+/// the engine wires it to its guarded control-op path. `duplicate_draw()` is
+/// consulted once per first-time tally; returning true models the remove()
+/// being lost to a visibility-timeout expiry, so the message redelivers and
+/// must be deduped. Either callable may be empty.
+BarrierDrainStats drain_barrier(AzureQueue& barrier, std::uint32_t expected_workers,
+                                std::uint64_t epoch,
+                                const std::function<void(std::uint32_t)>& per_op = {},
+                                const std::function<bool()>& duplicate_draw = {});
+
+// ---------------------------------------------------------------------------
+// Manager manifest and failover state machine.
+
+/// Everything a standby needs to resume the job: the last completed
+/// superstep, the fencing epoch it completed under, the version of the
+/// vertex-location table (so a stale standby cannot route messages with an
+/// outdated placement), and the aggregator state the next master-compute
+/// depends on.
+struct ManagerManifest {
+  std::uint64_t superstep = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t location_version = 0;
+  /// Aggregator/global state, sorted by key; doubles round-trip bit-exactly.
+  std::vector<std::pair<std::uint64_t, double>> aggregators;
+
+  /// Text blob with a trailing CRC32C line; deserialize() verifies it.
+  std::string serialize() const;
+  /// Returns nullopt on truncation, field corruption, or CRC mismatch.
+  static std::optional<ManagerManifest> deserialize(std::string_view blob);
+
+  friend bool operator==(const ManagerManifest&, const ManagerManifest&) = default;
+};
+
+enum class ManagerState {
+  kPrimary,   ///< a live manager owns the job
+  kFailed,    ///< the primary was preempted; nobody owns the job yet
+};
+
+/// The job-manager replica pair: a primary that persists the manifest at
+/// each barrier, and an implicit standby that can take over after the
+/// primary's lease lapses. The engine drives the transitions and charges the
+/// detection/takeover latency; this class owns the durable state.
+class JobManager {
+ public:
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  ManagerState state() const noexcept { return state_; }
+  std::uint64_t failovers() const noexcept { return failovers_; }
+  bool has_manifest() const noexcept { return !blob_.empty(); }
+  const std::string& manifest_blob() const noexcept { return blob_; }
+
+  /// Primary persists the manifest (serialized + CRC-stamped) at a barrier.
+  void persist(const ManagerManifest& m) { blob_ = m.serialize(); }
+
+  /// The fault stream preempted the primary mid-superstep.
+  void preempt() noexcept { state_ = ManagerState::kFailed; }
+
+  /// Standby takeover: reload and CRC-verify the manifest, bump the fencing
+  /// epoch past anything the dead primary ever used, resume as primary.
+  /// Throws std::runtime_error when there is no manifest or it fails
+  /// verification — a job whose durable state is gone cannot be resumed.
+  ManagerManifest failover();
+
+  /// Tests / zombie-fencing: corrupt the durable blob in place.
+  void corrupt_manifest_for_test(std::string blob) { blob_ = std::move(blob); }
+
+ private:
+  std::string blob_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t failovers_ = 0;
+  ManagerState state_ = ManagerState::kPrimary;
+};
+
+}  // namespace pregel::cloud

@@ -34,6 +34,12 @@ struct PlacementSignals {
   /// straggler timeout is disabled). A repeatedly slow VM is a bad home for
   /// heavy partitions even if its historical load looks light.
   std::vector<std::uint32_t> vm_stragglers;
+  /// Availability zones in the cluster (1 = correlated failure domains not
+  /// modeled) and each VM's zone label. Zone-aware policies keep a
+  /// partition's replicas and neighbors spread so one zone outage cannot
+  /// take out a disproportionate slice of the graph.
+  std::uint32_t zones = 1;
+  std::vector<std::uint32_t> vm_zone;
 };
 
 class PlacementPolicy {
@@ -62,6 +68,28 @@ class GreedyRebalancePlacement final : public PlacementPolicy {
 
   std::vector<std::uint32_t> place(const PlacementSignals& signals) override;
   std::string name() const override { return "greedy-rebalance"; }
+
+  std::uint32_t rebalances() const noexcept { return rebalances_; }
+
+ private:
+  double trigger_;
+  double alpha_;
+  std::vector<Ewma> smoothed_;
+  std::uint32_t rebalances_ = 0;
+};
+
+/// Zone-aware load rebalancer: the same EWMA + LPT machinery as
+/// GreedyRebalancePlacement, but the bin choice spreads load across
+/// availability zones first and VMs second, so a single zone outage loses a
+/// near-minimal share of partitions (and, through the engine's replica
+/// targeting, never a checkpoint together with every VM that could restore
+/// it). With one zone it degenerates to plain greedy rebalancing.
+class ZoneSpreadPlacement final : public PlacementPolicy {
+ public:
+  explicit ZoneSpreadPlacement(double trigger = 1.25, double ewma_alpha = 0.5);
+
+  std::vector<std::uint32_t> place(const PlacementSignals& signals) override;
+  std::string name() const override { return "zone-spread"; }
 
   std::uint32_t rebalances() const noexcept { return rebalances_; }
 

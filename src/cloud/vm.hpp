@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/units.hpp"
 
@@ -35,6 +36,26 @@ VmSpec azure_small_2012();
 /// Same VM with RAM scaled by `factor` (for scaled-down dataset analogs:
 /// same compute/network regime, proportionally smaller memory envelope).
 VmSpec with_scaled_ram(VmSpec vm, double factor);
+
+/// Availability-zone labeling for a worker fleet. Azure's fault/upgrade
+/// domains stripe role instances round-robin across domains, so the label of
+/// worker `vm` is simply `vm % zones`. One zone (the default) means
+/// correlated failure domains are not modeled and every zone draw is a no-op.
+struct ZoneMap {
+  std::uint32_t zones = 1;
+
+  std::uint32_t zone_of(std::uint32_t vm) const noexcept {
+    return zones <= 1 ? 0 : vm % zones;
+  }
+  /// All VMs in [0, fleet) whose label is `zone`.
+  std::vector<std::uint32_t> vms_in_zone(std::uint32_t zone, std::uint32_t fleet) const {
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t vm = 0; vm < fleet; ++vm)
+      if (zone_of(vm) == zone) out.push_back(vm);
+    return out;
+  }
+  friend bool operator==(const ZoneMap&, const ZoneMap&) = default;
+};
 
 /// Accumulates VM-seconds per role and converts to dollars at each VM's
 /// hourly price (pro-rata per second, the paper's Figure 16 convention).

@@ -64,6 +64,9 @@ class Globals {
   bool contains(std::uint64_t key) const { return values_.contains(key); }
   void erase(std::uint64_t key) { values_.erase(key); }
   std::size_t size() const noexcept { return values_.size(); }
+  /// Full key -> value view (manager-manifest serialization needs to persist
+  /// the aggregator state a standby's master-compute resumes from).
+  const std::unordered_map<std::uint64_t, double>& items() const noexcept { return values_; }
 
  private:
   std::unordered_map<std::uint64_t, double> values_;

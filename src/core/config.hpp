@@ -87,6 +87,24 @@ struct ClusterConfig {
   /// each superstep so healthy partitions can re-deliver instead of replay.
   RecoveryMode recovery_mode = RecoveryMode::kFullRollback;
 
+  // -- Control plane and correlated failure domains -------------------------
+  /// Availability zones the worker fleet is striped across (VM v lives in
+  /// zone v mod availability_zones). With more than one zone the seeded
+  /// zone-outage fault class can preempt a whole domain at once, and the
+  /// engine spreads checkpoint replicas across zones. 1 = no zone modeling.
+  std::uint32_t availability_zones = 1;
+  /// With multiple zones, write each worker's checkpoint to a second blob in
+  /// another zone (extra upload time + one extra blob-write fault draw per
+  /// worker). Without replicas a zone outage loses the checkpoints homed in
+  /// that zone and the job cannot recover from it.
+  bool replicate_checkpoints_across_zones = true;
+  /// Manager-failover latency model: how long until the standby notices the
+  /// primary's lease lapsed, plus how long the takeover itself (manifest
+  /// download, epoch bump, re-arming the step queue) takes. Both are charged
+  /// to the barrier at which the failover happens.
+  Seconds manager_lease_timeout = 10.0;
+  Seconds manager_takeover_time = 5.0;
+
   // -- Transient faults (the clouds the paper actually ran on) --------------
   /// Seeded injection of queue/blob transients, spot preemptions, and
   /// straggler episodes. All-zero rates (the default) inject nothing and the

@@ -57,6 +57,7 @@
 
 #include "cloud/cost_model.hpp"
 #include "cloud/faults.hpp"
+#include "cloud/manager.hpp"
 #include "cloud/migration.hpp"
 #include "cloud/network.hpp"
 #include "cloud/queue.hpp"
@@ -259,24 +260,34 @@ class Engine {
       if (restarted) break;
 
       // Worker failure (fault-injection model): a worker missing the barrier
-      // — VM death, spot preemption, or a control op past its retry budget —
-      // is detected by the job manager. With a checkpoint we roll back
-      // (confined to the lost partitions when so configured) and replay;
-      // without one the job is lost (Pregel without fault tolerance).
-      std::optional<std::uint32_t> dead = control_failed_vm_;
-      control_failed_vm_.reset();
-      if (!dead) dead = failure_strikes();
-      if (dead) {
-        ++result.metrics.worker_failures;
+      // — VM death, spot preemption, a control op past its retry budget, or
+      // a whole availability zone going dark — is detected by the job
+      // manager. With a checkpoint we roll back (confined to the lost
+      // partitions when so configured) and replay; without one the job is
+      // lost (Pregel without fault tolerance).
+      const FailureEvent event = collect_failures(result);
+      if (!event.dead.empty()) {
+        result.metrics.worker_failures += static_cast<std::uint32_t>(event.dead.size());
         if (!checkpoint_.has_value()) {
           result.failed = true;
-          result.failure_reason = "worker VM " + std::to_string(*dead) +
-                                  " failed at superstep " + std::to_string(superstep_) +
+          result.failure_reason = failure_description(event) + " at superstep " +
+                                  std::to_string(superstep_) +
                                   " with no checkpoint to recover from";
           break;
         }
+        if (event.zone && cluster_.availability_zones > 1 &&
+            !cluster_.replicate_checkpoints_across_zones) {
+          // The lost zone took the checkpoint blobs homed in it down with
+          // the VMs that wrote them: without cross-zone replicas there is
+          // nothing left to restore from.
+          result.failed = true;
+          result.failure_reason = failure_description(event) + " at superstep " +
+                                  std::to_string(superstep_) +
+                                  " lost its checkpoints: no cross-zone replicas configured";
+          break;
+        }
         if (cluster_.recovery_mode == RecoveryMode::kConfined && !confined_replay_active())
-          recover_confined(result, *dead);
+          recover_confined(result, event.dead);
         else
           recover_from_checkpoint(result);
         continue;  // re-execute from the restored superstep
@@ -293,7 +304,8 @@ class Engine {
       maybe_checkpoint(result);
       if (halt_requested_) break;
       ++superstep_;
-      if (replay_lost_vm_ && superstep_ > confined_replay_until_) replay_lost_vm_.reset();
+      if (!replay_lost_vms_.empty() && superstep_ > confined_replay_until_)
+        replay_lost_vms_.clear();
     }
 
     collect(result);
@@ -550,8 +562,14 @@ class Engine {
     faults_ = cloud::FaultInjector(cluster_.faults);
     pending_retry_latency_ = 0.0;
     control_failed_vm_.reset();
-    replay_lost_vm_.reset();
+    replay_lost_vms_.clear();
     confined_replay_until_ = 0;
+    manager_ = cloud::JobManager{};
+    location_version_ = 0;
+    zones_ = cloud::ZoneMap{std::max<std::uint32_t>(cluster_.availability_zones, 1)};
+    // The manifest a standby would resume from if the primary died before
+    // the first barrier: superstep 0, epoch 0, pristine aggregates.
+    manager_.persist(current_manifest());
     log_outboxes_ = cluster_.recovery_mode == RecoveryMode::kConfined &&
                     cluster_.checkpoint_interval > 0;
     outbox_log_cur_.clear();
@@ -596,6 +614,7 @@ class Engine {
   void reset_placement_to_modulo() {
     placement_.resize(parts_.size());
     for (std::uint32_t p = 0; p < placement_.size(); ++p) placement_[p] = p % workers_now_;
+    ++location_version_;
   }
 
   /// Per-worker resident floor (the graph bytes of the partitions each VM
@@ -970,12 +989,12 @@ class Engine {
       factors[i] = jitter;
       raw_compute[i] = cost_.compute_time(L, cluster_.vm);
       raw_network[i] = cost_.network_time(L, cluster_.vm, w - 1);
-      if (replaying && i != *replay_lost_vm_) {
+      if (replaying && !replay_lost(i)) {
         // Confined replay: healthy workers keep their state and only
         // re-deliver the logged outbox bytes addressed to lost partitions;
         // the load counters above still describe the logical superstep.
         cloud::WorkerLoad redeliver;
-        redeliver.bytes_sent_remote = redelivery_bytes(i, *replay_lost_vm_);
+        redeliver.bytes_sent_remote = redelivery_bytes(i);
         wm.compute_time = 0.0;
         wm.network_time = cost_.network_time(redeliver, cluster_.vm, 1) * jitter;
       } else {
@@ -1202,6 +1221,11 @@ class Engine {
       sig.workers = workers_now_;
       sig.placement = placement_;
       sig.vm_stragglers = vm_straggler_counts_;
+      sig.zones = zones_.zones;
+      if (zones_.zones > 1) {
+        sig.vm_zone.resize(workers_now_);
+        for (std::uint32_t v = 0; v < workers_now_; ++v) sig.vm_zone[v] = zones_.zone_of(v);
+      }
       sig.partition_load.reserve(parts_.size());
       sig.partition_bytes.reserve(parts_.size());
       for (const auto& ps : parts_) {
@@ -1232,6 +1256,7 @@ class Engine {
         pending_placement_cost_ = static_cast<double>(worst) / bw_Bps +
                                   cost_.params().queue_op_latency;
         placement_ = std::move(next);
+        ++location_version_;
         recompute_baseline_memory();
       }
     }
@@ -1444,12 +1469,31 @@ class Engine {
 
   // ---- control plane (simulated Azure queues) -------------------------------
 
+  /// The manifest a standby manager resumes from: last completed superstep,
+  /// fencing epoch, location-table version, aggregator state (sorted so the
+  /// serialization is canonical).
+  cloud::ManagerManifest current_manifest() const {
+    cloud::ManagerManifest m;
+    m.superstep = superstep_;
+    m.epoch = manager_.epoch();
+    m.location_version = location_version_;
+    m.aggregators.assign(globals_.items().begin(), globals_.items().end());
+    std::sort(m.aggregators.begin(), m.aggregators.end());
+    return m;
+  }
+
   void control_superstep_begin(JobResult<Program>& result) {
     trace::Span span("engine.control.step-queue", "cloud", "superstep", superstep_);
+    // Persist the manifest before posting tokens: it captures exactly the
+    // state this superstep runs under (post-master-compute aggregates, the
+    // current location-table version, the current epoch), so a standby that
+    // takes over at this superstep's barrier resumes bit-identically.
+    manager_.persist(current_manifest());
     auto& step = queues_.queue("step");
+    const std::uint64_t epoch = manager_.epoch();
     for (std::uint32_t w = 0; w < workers_now_; ++w) {
       guarded_control_op(cloud::FaultKind::kQueueOp, w, result);
-      step.put("superstep:" + std::to_string(superstep_));
+      step.put(cloud::make_step_token(superstep_, epoch));
     }
     for (std::uint32_t w = 0; w < workers_now_; ++w) {
       guarded_control_op(cloud::FaultKind::kQueueOp, w, result);
@@ -1457,32 +1501,91 @@ class Engine {
       PREGEL_DCHECK(token.has_value());
       PREGEL_CHECK_MSG(cloud::verify_queue_message(*token),
                        "step-queue message failed CRC32C verification");
+      // The worker learns the fencing epoch from the token and echoes it in
+      // its barrier check-in; a token from a dead manager's epoch would be
+      // refused here.
+      const auto parsed = cloud::parse_step_token(token->body);
+      PREGEL_CHECK_MSG(parsed.has_value(), "malformed step token: '" + token->body + "'");
+      PREGEL_DCHECK(parsed->superstep == superstep_ && parsed->epoch == epoch);
       guarded_control_op(cloud::FaultKind::kQueueOp, w, result);
       step.remove(token->id);
     }
   }
 
+  /// The manager was preempted mid-superstep: the standby waits out the
+  /// lease, downloads and CRC-verifies the manifest (a blob read under the
+  /// retry policy), restores its state from it, and bumps the fencing epoch
+  /// for every subsequent superstep. The whole cluster sits at the barrier
+  /// for the duration, so the latency folds into barrier overhead via
+  /// pending_retry_latency_.
+  void manager_failover(JobResult<Program>& result) {
+    trace::Span span("engine.manager.failover", "recovery", "superstep", superstep_);
+    manager_.preempt();
+    const auto read = control_op(cloud::FaultKind::kBlobRead, result);
+    Seconds t = cluster_.manager_lease_timeout + cluster_.manager_takeover_time +
+                read.extra_latency;
+    if (!read.success) t += cluster_.retry.op_deadline;
+    const cloud::ManagerManifest manifest = manager_.failover();
+    PREGEL_CHECK_MSG(manifest.superstep == superstep_,
+                     "manager manifest superstep failed to round-trip");
+    PREGEL_DCHECK(manifest.location_version == location_version_);
+    // Resume the aggregator state from the manifest — by construction equal
+    // to what the primary held, so results stay bit-identical; going through
+    // the blob exercises the serialization for real.
+    Globals restored;
+    for (const auto& [key, value] : manifest.aggregators) restored.set(key, value);
+    globals_ = restored;
+    pending_retry_latency_ += t;
+    ++result.metrics.manager_failovers;
+    result.metrics.manager_failover_time += t;
+    trace::add("engine.manager.failovers", 1);
+  }
+
   void control_superstep_end(const SuperstepMetrics& sm, JobResult<Program>& result) {
     trace::Span span("engine.control.barrier-queue", "cloud", "superstep", superstep_);
     auto& barrier = queues_.queue("barrier");
+    // Check-ins carry sender identity and the fencing epoch the worker
+    // learned from its step token; the drain below is idempotent against
+    // redelivery and fences anything from an older epoch.
+    const std::uint64_t barrier_epoch = manager_.epoch();
     for (std::uint32_t w = 0; w < sm.workers.size(); ++w) {
       guarded_control_op(cloud::FaultKind::kQueueOp, w, result);
-      barrier.put("active:" + std::to_string(sm.workers[w].vertices_computed));
+      barrier.put(cloud::make_checkin(w, barrier_epoch, sm.workers[w].vertices_computed));
     }
-    std::uint64_t reported_active = 0;
-    for (std::uint32_t w = 0; w < workers_now_; ++w) {
-      guarded_control_op(cloud::FaultKind::kQueueOp, w, result);
-      const auto msg = barrier.get();
-      PREGEL_CHECK_MSG(msg.has_value(), "barrier queue underflow: missing worker check-in");
-      PREGEL_CHECK_MSG(cloud::verify_queue_message(*msg),
-                       "barrier message failed CRC32C verification");
-      const auto active = cloud::parse_prefixed_count(msg->body, "active:");
-      PREGEL_CHECK_MSG(active.has_value(), "malformed barrier message: '" + msg->body + "'");
-      reported_active += *active;
-      guarded_control_op(cloud::FaultKind::kQueueOp, w, result);
-      barrier.remove(msg->id);
+
+    // The primary removes a check-in only after recording it, so a primary
+    // preempted mid-drain leaves every message visible (or redelivered) for
+    // the standby, which drains this barrier under the epoch the workers
+    // used and fences only from the next superstep on.
+    if (faults_.manager_preempted(superstep_, barrier_epoch)) manager_failover(result);
+
+    const auto stats = cloud::drain_barrier(
+        barrier, workers_now_, barrier_epoch,
+        [&](std::uint32_t vm) { guarded_control_op(cloud::FaultKind::kQueueOp, vm, result); },
+        [&]() { return faults_.next_duplicate(); });
+    result.metrics.barrier_duplicates += stats.duplicates;
+    result.metrics.barrier_fenced += stats.fenced;
+    // Ops beyond the W-message happy path (redelivered, fenced, malformed)
+    // are extra serialized poll rounds the fixed barrier-time formula does
+    // not cover; each costs its base queue latency at the barrier.
+    const std::uint64_t extra_reads = stats.duplicates + stats.fenced + stats.malformed;
+    if (extra_reads > 0)
+      pending_retry_latency_ +=
+          static_cast<double>(extra_reads) * cost_.params().queue_op_latency;
+    if (trace::counters_on() && stats.duplicates > 0)
+      trace::add("engine.barrier.duplicates", stats.duplicates);
+    if (!stats.missing.empty()) {
+      // A worker that never checked in: indistinguishable from a slow one
+      // until the detection timeout lapses. Charge the wait and let the
+      // failure path at the barrier handle the (first) dead worker — the
+      // old behavior here was an assertion failure.
+      ++result.metrics.barrier_detection_timeouts;
+      pending_retry_latency_ += cluster_.failure_detection_time;
+      if (!control_failed_vm_) control_failed_vm_ = stats.missing.front();
+    } else {
+      PREGEL_DCHECK(stats.active_total == sm.active_vertices);
     }
-    PREGEL_DCHECK(reported_active == sm.active_vertices);
+
     result.metrics.control_queue_ops = queues_.total_ops();
   }
 
@@ -1537,6 +1640,28 @@ class Engine {
       t += static_cast<double>(biggest) / bw_Bps + cost_.params().queue_op_latency;
       ++result.metrics.checkpoints_written;
       trace::add("engine.checkpoints", 1);
+      if (cluster_.availability_zones > 1 && cluster_.replicate_checkpoints_across_zones) {
+        // Cross-zone replica: each worker writes a second copy to a blob
+        // homed in another zone, so a whole-zone outage cannot take a
+        // checkpoint down with every VM that could restore it. The replica
+        // upload is serialized after the primary ack, so the barrier pays
+        // one more transfer of the biggest checkpoint (plus its retries).
+        Seconds replica_extra = 0.0;
+        bool replicated = true;
+        for (std::uint32_t w = 0; w < workers_now_; ++w) {
+          const auto rep = control_op(cloud::FaultKind::kBlobWrite, result);
+          replica_extra = std::max(replica_extra, rep.extra_latency);
+          replicated = replicated && rep.success;
+        }
+        t += replica_extra;
+        if (replicated) {
+          t += static_cast<double>(biggest) / bw_Bps;
+          result.metrics.checkpoint_replicas_written += workers_now_;
+          trace::add("engine.checkpoint.replicas", workers_now_);
+        } else {
+          ++result.metrics.checkpoint_failures;  // replica round abandoned
+        }
+      }
     } else {
       ++result.metrics.checkpoint_failures;
     }
@@ -1545,6 +1670,48 @@ class Engine {
       result.metrics.total_time += t;
       meter_.charge(cluster_.vm, workers_now_, t);
     }
+  }
+
+  /// One barrier's worth of worker deaths: the lost VMs (sorted, unique)
+  /// and, when they fell together, the availability zone that took them.
+  struct FailureEvent {
+    std::vector<std::uint32_t> dead;
+    std::optional<std::uint32_t> zone;
+  };
+
+  std::string failure_description(const FailureEvent& event) const {
+    if (event.zone)
+      return "availability zone " + std::to_string(*event.zone) + " outage (" +
+             std::to_string(event.dead.size()) + " worker VMs)";
+    return "worker VM " + std::to_string(event.dead.front()) + " failed";
+  }
+
+  /// All VMs lost at this barrier: a control op past its retry budget, the
+  /// single-VM failure classes, then correlated zone outages (every VM in
+  /// the drawn zone at once).
+  FailureEvent collect_failures(JobResult<Program>& result) {
+    FailureEvent event;
+    if (control_failed_vm_) {
+      event.dead.push_back(*control_failed_vm_);
+      control_failed_vm_.reset();
+    }
+    if (event.dead.empty()) {
+      if (const auto vm = failure_strikes()) event.dead.push_back(*vm);
+    }
+    if (cluster_.availability_zones > 1 && faults_.plan().zone_outage_rate > 0.0) {
+      for (std::uint32_t z = 0; z < zones_.zones; ++z) {
+        if (!faults_.zone_outage(z, superstep_, failure_epoch_)) continue;
+        event.zone = z;
+        ++result.metrics.zone_outages;
+        trace::add("engine.zone.outages", 1);
+        for (std::uint32_t vm : zones_.vms_in_zone(z, workers_now_))
+          event.dead.push_back(vm);
+        break;  // one domain per barrier is correlation enough
+      }
+    }
+    std::sort(event.dead.begin(), event.dead.end());
+    event.dead.erase(std::unique(event.dead.begin(), event.dead.end()), event.dead.end());
+    return event;
   }
 
   /// Worker death check at the barrier: explicitly scheduled failures,
@@ -1572,18 +1739,24 @@ class Engine {
     return std::nullopt;
   }
 
-  bool confined_replay_active() const noexcept { return replay_lost_vm_.has_value(); }
+  bool confined_replay_active() const noexcept { return !replay_lost_vms_.empty(); }
 
-  /// Remote bytes partitions on `vm` sent to partitions on `lost_vm` this
+  /// Is `vm` one of the VMs a confined replay is recomputing?
+  bool replay_lost(std::uint32_t vm) const noexcept {
+    return std::find(replay_lost_vms_.begin(), replay_lost_vms_.end(), vm) !=
+           replay_lost_vms_.end();
+  }
+
+  /// Remote bytes partitions on `vm` sent to partitions on any lost VM this
   /// superstep (the logged outbox a healthy worker re-delivers in replay).
-  Bytes redelivery_bytes(std::uint32_t vm, std::uint32_t lost_vm) const {
+  Bytes redelivery_bytes(std::uint32_t vm) const {
     if (outbox_log_cur_.empty()) return 0;
     const std::size_t n = parts_.size();
     Bytes total = 0;
     for (std::size_t p = 0; p < n; ++p) {
       if (placement_[p] != vm) continue;
       for (std::size_t q = 0; q < n; ++q)
-        if (placement_[q] == lost_vm) total += outbox_log_cur_[p * n + q];
+        if (replay_lost(placement_[q])) total += outbox_log_cur_[p * n + q];
     }
     return total;
   }
@@ -1612,6 +1785,7 @@ class Engine {
       local_of_ = s.local_of;
       migrated_ = s.migrated;
       parts_dirty_ = parts_dirty_ || s.migrated;
+      ++location_version_;  // the location tables just changed under everyone
       recompute_baseline_memory();
     }
     peak_spillable_since_initiation_ = 0;
@@ -1626,7 +1800,7 @@ class Engine {
     // A failure during an active confined replay falls back to the full
     // Pregel rollback: every partition reloads, so the replay-in-progress
     // bookkeeping is void.
-    replay_lost_vm_.reset();
+    replay_lost_vms_.clear();
 
     // Detection (missed heartbeats), replacement VM, checkpoint download by
     // every worker (they all roll back, per the Pregel recovery model); the
@@ -1649,14 +1823,15 @@ class Engine {
     reinitiate_after_restore(result);
   }
 
-  /// Confined recovery: only `dead_vm`'s partitions reload the checkpoint
-  /// and recompute. State restoration rewinds everything (the simulator
-  /// re-derives healthy partitions' identical state while replaying), but
-  /// replay supersteps are costed confined: healthy workers only re-deliver
-  /// logged outbox bytes, and only the replacement VM downloads checkpoint
-  /// data.
-  void recover_confined(JobResult<Program>& result, std::uint32_t dead_vm) {
-    trace::Span span("engine.recover.confined", "recovery", "vm", dead_vm);
+  /// Confined recovery: only the dead VMs' partitions reload the checkpoint
+  /// and recompute (one VM for a lone failure; a whole domain after a zone
+  /// outage). State restoration rewinds everything (the simulator re-derives
+  /// healthy partitions' identical state while replaying), but replay
+  /// supersteps are costed confined: healthy workers only re-deliver logged
+  /// outbox bytes, and only the replacement VMs download checkpoint data —
+  /// in parallel, so the largest lost checkpoint bounds the stall.
+  void recover_confined(JobResult<Program>& result, const std::vector<std::uint32_t>& dead) {
+    trace::Span span("engine.recover.confined", "recovery", "vms", dead.size());
     trace::add("engine.recoveries", 1);
     const Snapshot& s = *checkpoint_;
     result.metrics.replayed_supersteps += superstep_ + 1 - s.superstep;
@@ -1664,16 +1839,18 @@ class Engine {
 
     const auto read = control_op(cloud::FaultKind::kBlobRead, result);
     const double bw_Bps = cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
+    Bytes biggest_lost = 0;
+    for (const std::uint32_t vm : dead)
+      biggest_lost = std::max(biggest_lost, checkpoint_bytes(vm));
     Seconds t = cluster_.failure_detection_time + cluster_.vm_reacquisition_time +
-                static_cast<double>(checkpoint_bytes(dead_vm)) / bw_Bps +
-                read.extra_latency;
+                static_cast<double>(biggest_lost) / bw_Bps + read.extra_latency;
     if (!read.success) t += cluster_.retry.op_deadline;
     result.metrics.recovery_time += t;
     result.metrics.total_time += t;
     meter_.charge(cluster_.vm, workers_now_, t);
 
     confined_replay_until_ = superstep_;
-    replay_lost_vm_ = dead_vm;
+    replay_lost_vms_ = dead;
     restore_snapshot_state();
     reinitiate_after_restore(result);
   }
@@ -1838,7 +2015,7 @@ class Engine {
     const Snapshot& s = *checkpoint_;
     result.metrics.replayed_supersteps += superstep_ + 1 - s.superstep;
     ++failure_epoch_;
-    replay_lost_vm_.reset();
+    replay_lost_vms_.clear();
     const std::uint32_t offending = last_swath_size_;
 
     Bytes biggest = 0;
@@ -1987,6 +2164,7 @@ class Engine {
 
     migrated_ = true;
     parts_dirty_ = true;
+    ++location_version_;
     recompute_baseline_memory();
     ++result.metrics.migrations;
     result.metrics.migrated_vertices += plan.moves.size();
@@ -2439,10 +2617,20 @@ class Engine {
   Seconds pending_retry_latency_ = 0.0;
   /// First worker whose control op exhausted the retry budget this superstep.
   std::optional<std::uint32_t> control_failed_vm_;
-  /// Confined replay in progress: the VM whose partitions are recomputing,
-  /// and the superstep at which replay catches up to the failure point.
-  std::optional<std::uint32_t> replay_lost_vm_;
+  /// Confined replay in progress: the VMs whose partitions are recomputing
+  /// (one for a lone failure, a whole domain after a zone outage), and the
+  /// superstep at which replay catches up to the failure point.
+  std::vector<std::uint32_t> replay_lost_vms_;
   std::uint64_t confined_replay_until_ = 0;
+  /// Job-manager replica pair: fencing epoch, CRC-verified manifest,
+  /// failover state machine (see src/cloud/manager.hpp).
+  cloud::JobManager manager_;
+  /// Version of the partition/vertex location tables, bumped on every
+  /// placement change or migration; persisted in the manager manifest so a
+  /// standby can tell whether its routing state is stale.
+  std::uint64_t location_version_ = 0;
+  /// Availability-zone labeling of the worker fleet (1 zone = off).
+  cloud::ZoneMap zones_;
   bool log_outboxes_ = false;
   /// Remote outbox bytes this superstep, indexed [src_partition][dst_partition].
   std::vector<Bytes> outbox_log_cur_;

@@ -107,6 +107,25 @@ struct JobMetrics {
   /// (data-plane analog of blob_corruptions; also in faults_injected).
   std::uint64_t queue_corruptions = 0;
 
+  // Control-plane failures (job-manager failover, at-least-once barrier
+  // protocol, correlated failure domains — see docs/FAULTS.md).
+  /// Manager preemptions survived by a standby takeover, and the lease
+  /// detection + takeover + manifest reload latency charged for them (folded
+  /// into barrier overhead and total_time).
+  std::uint32_t manager_failovers = 0;
+  Seconds manager_failover_time = 0.0;
+  /// Redelivered barrier check-ins deduped per (worker, superstep, epoch).
+  std::uint64_t barrier_duplicates = 0;
+  /// Stale-epoch barrier messages fenced off (zombie senders).
+  std::uint64_t barrier_fenced = 0;
+  /// Barriers where a worker never checked in and the manager charged a
+  /// detection timeout instead of asserting.
+  std::uint32_t barrier_detection_timeouts = 0;
+  /// Whole availability zones preempted at once by the zone-outage stream.
+  std::uint32_t zone_outages = 0;
+  /// Cross-zone checkpoint replica uploads that completed.
+  std::uint32_t checkpoint_replicas_written = 0;
+
   // Vertex migration / rebalancing (see docs/ELASTICITY.md).
   std::uint32_t migrations = 0;            ///< migration events executed
   std::uint64_t migrated_vertices = 0;     ///< vertices moved across all events

@@ -56,7 +56,10 @@ void write_fault_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
   w.header({"recovery_mode", "checkpoints", "checkpoint_failures", "failures",
             "replayed_supersteps", "recovery_s", "confined_replay_s", "faults_injected",
             "faults_masked", "retries_attempted", "retry_latency_s",
-            "straggler_reexecutions", "blob_corruptions", "queue_corruptions"});
+            "straggler_reexecutions", "blob_corruptions", "queue_corruptions",
+            "manager_failovers", "manager_failover_s", "barrier_duplicates",
+            "barrier_fenced", "barrier_detection_timeouts", "zone_outages",
+            "checkpoint_replicas"});
   w.field(metrics.recovery_mode)
       .field(static_cast<std::uint64_t>(metrics.checkpoints_written))
       .field(static_cast<std::uint64_t>(metrics.checkpoint_failures))
@@ -71,6 +74,13 @@ void write_fault_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
       .field(static_cast<std::uint64_t>(metrics.straggler_reexecutions))
       .field(metrics.blob_corruptions)
       .field(metrics.queue_corruptions)
+      .field(static_cast<std::uint64_t>(metrics.manager_failovers))
+      .field(metrics.manager_failover_time)
+      .field(metrics.barrier_duplicates)
+      .field(metrics.barrier_fenced)
+      .field(static_cast<std::uint64_t>(metrics.barrier_detection_timeouts))
+      .field(static_cast<std::uint64_t>(metrics.zone_outages))
+      .field(static_cast<std::uint64_t>(metrics.checkpoint_replicas_written))
       .end_row();
 }
 
@@ -132,6 +142,13 @@ void write_job_summary(const JobMetrics& metrics, std::ostream& out) {
       << " governor_spill_bytes=" << metrics.governor_spill_bytes
       << " governed_oom_episodes=" << metrics.governed_oom_episodes
       << " queue_corruptions=" << metrics.queue_corruptions
+      << " manager_failovers=" << metrics.manager_failovers
+      << " manager_failover_time_s=" << metrics.manager_failover_time
+      << " barrier_duplicates=" << metrics.barrier_duplicates
+      << " barrier_fenced=" << metrics.barrier_fenced
+      << " barrier_detection_timeouts=" << metrics.barrier_detection_timeouts
+      << " zone_outages=" << metrics.zone_outages
+      << " checkpoint_replicas=" << metrics.checkpoint_replicas_written
       << " migrations=" << metrics.migrations
       << " migrated_vertices=" << metrics.migrated_vertices
       << " migrated_bytes=" << metrics.migrated_bytes

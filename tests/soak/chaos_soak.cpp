@@ -131,6 +131,23 @@ ChaosDraw draw_chaos(SplitMix64& rng, std::uint32_t partitions) {
 
   d.squeeze = uniform_real(rng, 0.45, 0.9);
   d.spill_enabled = (rng() & 1) != 0;
+
+  // Control plane: a fallible job manager and at-least-once barrier
+  // redelivery on every scenario; correlated zone outages on multi-zone
+  // draws (kept rare — a whole domain dies at once, and an outage landing
+  // before the first checkpoint legitimately loses the job, same as an
+  // early preemption). Drawn after everything above so the legacy part of
+  // a seed's scenario is unchanged.
+  d.cluster.faults.manager_preemption_rate = uniform_real(rng, 0.0, 0.03);
+  d.cluster.faults.queue_duplicate_rate = uniform_real(rng, 0.0, 0.1);
+  d.cluster.faults.manager_seed = rng();
+  d.cluster.faults.queue_duplicate_seed = rng();
+  d.cluster.availability_zones = static_cast<std::uint32_t>(uniform_int(rng, 1, 3));
+  if (d.cluster.availability_zones > 1) {
+    d.cluster.faults.zone_outage_rate = uniform_real(rng, 0.0, 0.004);
+    d.cluster.faults.zone_seed = rng();
+  }
+
   d.describe = "workers=" + std::to_string(d.cluster.initial_workers) +
                " ckpt=" + std::to_string(d.cluster.checkpoint_interval) +
                " recovery=" + to_string(d.cluster.recovery_mode) +
@@ -139,7 +156,8 @@ ChaosDraw draw_chaos(SplitMix64& rng, std::uint32_t partitions) {
                (d.cluster.migration.enabled()
                     ? " migrate=p" + std::to_string(d.cluster.migration.period)
                     : " migrate=off") +
-               (d.scale_out_enabled ? " scale-out=on" : "");
+               (d.scale_out_enabled ? " scale-out=on" : "") +
+               " zones=" + std::to_string(d.cluster.availability_zones);
   return d;
 }
 
@@ -187,7 +205,10 @@ std::string chaos_stats(const JobMetrics& m) {
          " spills=" + std::to_string(m.governor_spills) +
          " scale_outs=" + std::to_string(m.governor_scale_outs) +
          " migrations=" + std::to_string(m.migrations) +
-         " oom_episodes=" + std::to_string(m.governed_oom_episodes);
+         " oom_episodes=" + std::to_string(m.governed_oom_episodes) +
+         " failovers=" + std::to_string(m.manager_failovers) +
+         " dup=" + std::to_string(m.barrier_duplicates) +
+         " zone_outages=" + std::to_string(m.zone_outages);
 }
 
 /// Multi-source SSSP under chaos. Roots are staggered in per-superstep
