@@ -81,6 +81,53 @@ void BM_EngineParallelSupersteps(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineParallelSupersteps)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// Skewed-frontier traversal: ~90% of vertices (and hence of every dense
+// frontier) sit in one partition, so lane counts > 1 only pay off if dry
+// lanes steal bag chunks from the loaded one. Arg = parallelism; the Arg(8)
+// row over the Arg(1) row is the work-stealing speedup on a multi-core host.
+// On a single-core runner the two rows mostly measure staging overhead —
+// still gated, so that overhead can't silently grow.
+void BM_EngineSkewedFrontier(benchmark::State& state) {
+  constexpr VertexId kN = 60000;
+  constexpr PartitionId kParts = 16;
+  static const Graph g = barabasi_albert(kN, 4, 23);
+  static const Partitioning parts = [] {
+    std::vector<PartitionId> assign(kN, 0);
+    const VertexId tail = kN - kN / 10;
+    for (VertexId v = tail; v < kN; ++v)
+      assign[v] = static_cast<PartitionId>(1 + (v - tail) % (kParts - 1));
+    return Partitioning(std::move(assign), kParts);
+  }();
+  ClusterConfig c;
+  c.num_partitions = kParts;
+  c.initial_workers = 8;
+  JobOptions o;
+  o.roots = {0};
+  o.frontier_grain = 64;
+  o.parallelism = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t messages = 0;
+  std::uint64_t steals = 0;
+  for (auto _ : state) {
+    Engine<SsspProgram> e(g, {}, c, parts);
+    const auto r = e.run(o);
+    messages += r.metrics.total_messages();
+    steals += r.metrics.work_steals;
+    benchmark::DoNotOptimize(r.values.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+  state.counters["msgs/s"] = benchmark::Counter(static_cast<double>(messages),
+                                                benchmark::Counter::kIsRate);
+  state.counters["steals"] = benchmark::Counter(static_cast<double>(steals));
+}
+// UseRealTime: with >1 lane the main thread parks on the pool's barrier, so
+// the default CPU-time denominator would inflate msgs/s by whatever fraction
+// of the work the workers absorbed — wall clock is the honest denominator.
+BENCHMARK(BM_EngineSkewedFrontier)
+    ->Arg(1)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_EngineTraversal(benchmark::State& state) {
   const Graph& g = bench_graph();
   const auto parts = HashPartitioner{}.partition(g, 8);

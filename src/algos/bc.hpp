@@ -39,6 +39,9 @@ namespace pregel::algos {
 
 struct BcProgram {
   static constexpr std::uint32_t kRootDone = 2;
+  /// The forward sweep is broadcast-heavy; the backward sweep's pointwise
+  /// sends interleave with broadcasts through the (rank, seq) merge.
+  static constexpr bool kDirectionOptimized = true;
 
   enum class Kind : std::uint8_t { kForward, kBackward };
 

@@ -13,6 +13,9 @@
 namespace pregel::algos {
 
 struct ComponentsProgram {
+  /// Label floods are pure broadcasts; dense supersteps may run in pull mode.
+  static constexpr bool kDirectionOptimized = true;
+
   struct VertexValue {
     VertexId label = kInvalidVertex;
   };

@@ -14,6 +14,9 @@ namespace pregel::algos {
 
 struct SsspProgram {
   static constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+  /// Frontier broadcasts dominate; let the engine run dense supersteps in
+  /// pull mode (results are bit-identical either way).
+  static constexpr bool kDirectionOptimized = true;
 
   struct VertexValue {
     std::uint32_t distance = kUnreached;

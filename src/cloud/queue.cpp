@@ -1,7 +1,7 @@
 #include "cloud/queue.hpp"
 
-#include <charconv>
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <stdexcept>
 
@@ -26,9 +26,24 @@ std::optional<std::uint64_t> parse_prefixed_count(std::string_view body,
   if (body.size() <= prefix.size() || body.substr(0, prefix.size()) != prefix)
     return std::nullopt;
   const std::string_view digits = body.substr(prefix.size());
+  // Canonical decimal only — exactly what std::to_string emits. Hand-rolled
+  // instead of from_chars because the underlying conversion is laxer than
+  // the protocol: it accepts redundant leading zeros ("active:007"), which
+  // would let two distinct bodies decode to the same count and defeat the
+  // barrier's dedupe-by-body invariants. Rejected here: empty digits, any
+  // non-[0-9] byte (signs, whitespace, embedded NUL, UTF-8 digits), a
+  // leading zero on a multi-digit string, and anything past uint64_t's
+  // range (checked per digit, so a 100-digit flood can't wrap).
+  if (digits.empty()) return std::nullopt;
+  if (digits.size() > 1 && digits.front() == '0') return std::nullopt;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t value = 0;
-  const auto [ptr, ec] = std::from_chars(digits.data(), digits.data() + digits.size(), value);
-  if (ec != std::errc{} || ptr != digits.data() + digits.size()) return std::nullopt;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+    if (value > (kMax - d) / 10) return std::nullopt;  // would overflow
+    value = value * 10 + d;
+  }
   return value;
 }
 

@@ -122,6 +122,24 @@ struct ClusterConfig {
   double straggler_timeout_factor = 0.0;
 };
 
+/// Push/pull direction policy for direction-optimizing traversal programs
+/// (those declaring `kDirectionOptimized`, e.g. SSSP/BC/Components). The
+/// switch heuristic is Beamer-style but evaluated on *modeled* frontier
+/// density only, so the choice — and every metric downstream of it — is
+/// identical at any parallelism setting.
+struct DirectionOptions {
+  enum class Mode {
+    kAuto,    ///< heuristic: pull when the frontier is dense, push otherwise
+    kOff,     ///< always push (the classic per-edge outbox walk)
+    kAlways,  ///< always pull once any vertex broadcasts (testing/benching)
+  };
+  Mode mode = Mode::kAuto;
+  /// Enter pull when frontier out-arcs > total arcs / alpha.
+  double alpha = 15.0;
+  /// Return to push when frontier vertices < total vertices / beta.
+  double beta = 24.0;
+};
+
 /// Per-run options.
 struct JobOptions {
   /// PageRank-style: every vertex active in superstep 0 (roots must be empty).
@@ -151,6 +169,13 @@ struct JobOptions {
   /// emissions into per-partition outboxes and a deterministic merge applies
   /// them in serial order.
   std::uint32_t parallelism = 0;
+  /// Active vertices per frontier-bag leaf chunk — the unit of work the
+  /// lanes steal from each other. Another pure wall-clock knob: chunk
+  /// boundaries never change results, only load balance granularity.
+  /// 0 = the bag's built-in default (256).
+  std::uint32_t frontier_grain = 0;
+  /// Direction optimization for programs that opt in; ignored by others.
+  DirectionOptions direction;
 };
 
 /// Thrown when the cloud fabric restarts an unresponsive (memory-thrashed)

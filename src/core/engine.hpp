@@ -10,14 +10,29 @@
 // scheduling, elastic scaling, halt detection.
 //
 // Partition compute within a superstep runs on a persistent host thread
-// pool (JobOptions::parallelism). Threads never touch shared engine state:
-// each stages its emissions into per-(source x destination) partition
-// outboxes, and a deterministic merge — parallel across destination
-// partitions, ordered by (source partition, emission order) within each —
-// applies routing, combining, activation, and cost counters. Results and
-// modeled times are therefore bit-identical at any thread count; only host
-// wall-clock changes. Program::compute must be thread-safe (const/stateless,
-// as the contract below already implies).
+// pool (JobOptions::parallelism). The unit of work is a frontier-bag chunk:
+// each partition's active list is packed into a splittable bag
+// (src/util/bag.hpp) whose grain-sized leaves become chunks that lanes
+// drain — and steal from each other when a skewed frontier leaves some
+// lanes dry. Chunks never touch shared engine state: every side effect
+// (emissions, activations, wakes, aggregate contributions, counters) is
+// staged in per-chunk scratch, and a deterministic merge — parallel across
+// destination partitions, ordered by (sender rank, emission order) within
+// each — applies routing, combining, activation, and cost counters.
+// Results and modeled times are therefore bit-identical at any thread
+// count and any steal schedule; only host wall-clock changes.
+// Program::compute must be thread-safe (const/stateless, as the contract
+// below already implies).
+//
+// Programs that declare `kDirectionOptimized` additionally get Beamer-style
+// direction optimization: when the modeled frontier is dense, a broadcast
+// superstep runs in "pull" mode — send_to_all_neighbors captures one
+// broadcast record per sender instead of materializing a staged message per
+// out-edge, and each destination partition synthesizes its inbox by merging
+// its in-neighbors' broadcasts (rank order) with any pointwise sends. The
+// synthesized stream is the push stream, message for message, so the switch
+// is invisible to results and metrics; the decision itself uses modeled
+// density only and is part of the bit-identity contract.
 //
 // All computation on vertex values is real; only *time* and *memory* are
 // modeled. Virtual time per superstep is
@@ -50,6 +65,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -68,6 +84,8 @@
 #include "partition/rebalance.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/trace.hpp"
+#include "util/bag.hpp"
+#include "util/buffers.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -89,6 +107,11 @@ struct JobResult : JobReport {
   std::vector<typename Program::VertexValue> values;
 };
 
+/// "Not running inside a frontier chunk": context callbacks with this chunk
+/// id apply their effects directly (the serial fast path); any other id
+/// stages them into that chunk's scratch for the deterministic merge.
+inline constexpr std::size_t kNoChunk = static_cast<std::size_t>(-1);
+
 /// Handed to Program::compute for each active vertex.
 template <VertexProgramT Program>
 class VertexContext {
@@ -105,25 +128,25 @@ class VertexContext {
 
   /// Emit a message for delivery at the start of the next superstep.
   void send(VertexId target, MessageValue message) {
-    engine_->route(partition_, target, std::move(message));
+    engine_->route(partition_, target, std::move(message), chunk_);
   }
   void send_to_all_neighbors(const MessageValue& message) {
-    for (VertexId u : out_neighbors()) send(u, message);
+    engine_->broadcast(partition_, vertex_, message, chunk_);
   }
 
   /// Stay active next superstep even without incoming messages
   /// (by default a vertex votes to halt when compute returns).
-  void remain_active() { engine_->activate_local(partition_, local_); }
+  void remain_active() { engine_->activate_from(partition_, local_, chunk_); }
   /// Request activation at an absolute future superstep (used by phase-
   /// structured algorithms such as the BC backward sweep).
   void wake_at(std::uint64_t superstep) {
-    engine_->schedule_wake(partition_, local_, superstep);
+    engine_->schedule_wake(partition_, local_, superstep, chunk_);
   }
 
   /// Contribute to a sum-aggregate readable by the master at this barrier
   /// and by all vertices next superstep.
   void aggregate(std::uint64_t key, double value) {
-    engine_->aggregate_from(partition_, key, value);
+    engine_->aggregate_from(key, value, chunk_);
   }
   /// Read a master-broadcast global (or last superstep's aggregate).
   double global(std::uint64_t key, double fallback = 0.0) const {
@@ -134,22 +157,24 @@ class VertexContext {
   /// Account algorithm state growth/shrink at this vertex (modeled bytes;
   /// feeds the worker memory meter and thus the swath heuristics).
   void charge_state_bytes(std::int64_t delta) {
-    engine_->charge_state(partition_, local_, delta);
+    engine_->charge_state(partition_, local_, delta, chunk_);
   }
 
   /// Declare a traversal root complete (root-scheduled algorithms).
-  void mark_root_done(VertexId root) { engine_->root_done_from(partition_, root); }
+  void mark_root_done(VertexId root) { engine_->root_done_from(root, chunk_); }
 
  private:
   friend class Engine<Program>;
   VertexContext(Engine<Program>* engine, std::uint32_t partition, std::uint32_t local,
-                VertexId vertex)
-      : engine_(engine), partition_(partition), local_(local), vertex_(vertex) {}
+                VertexId vertex, std::size_t chunk)
+      : engine_(engine), partition_(partition), local_(local), vertex_(vertex),
+        chunk_(chunk) {}
 
   Engine<Program>* engine_;
   std::uint32_t partition_;
   std::uint32_t local_;
   VertexId vertex_;
+  std::size_t chunk_;
 };
 
 /// Handed to Program::master_compute at each barrier (GPS-style master task).
@@ -362,23 +387,21 @@ class Engine {
     Bytes graph_bytes = 0;
     Bytes outbuf_bytes = 0;  ///< serialized remote sends buffered this superstep
     cloud::WorkerLoad load;  ///< raw counters, reset each superstep
-    /// Rank and combiner source of the vertex currently in compute(); set
-    /// per vertex during staged execution so route() can tag emissions
-    /// without recomputing either per message.
-    std::uint32_t computing_rank = 0;
-    std::uint8_t computing_src = 0;
   };
 
-  /// One emission captured during parallel compute, pending the
-  /// deterministic merge (destination partition is the outbox row index;
-  /// emission order is the vector order). sender_rank is the sender's
-  /// immutable global serial rank — after a migration the merge keys on it
-  /// to reproduce the unmigrated delivery order exactly; combine_src is the
-  /// sender-side combining domain captured at emission time.
+  /// One emission captured during staged compute, pending the deterministic
+  /// merge (destination partition is the scratch row index; emission order
+  /// is the vector order). sender_rank is the sender's immutable global
+  /// serial rank — after a migration the merge keys on it to reproduce the
+  /// unmigrated delivery order exactly; combine_src is the sender-side
+  /// combining domain captured at emission time; seq numbers the sender's
+  /// emissions within its compute() call so a pull-mode merge can interleave
+  /// broadcast and pointwise emissions exactly as push would.
   struct StagedMessage {
     std::uint32_t target_local;
     std::uint32_t sender_rank;
     std::uint8_t combine_src;
+    std::uint32_t seq;
     M message;
   };
 
@@ -401,6 +424,33 @@ class Engine {
   struct SendScratch {
     cloud::WorkerLoad load;
     Bytes outbuf_bytes = 0;
+  };
+
+  /// One unit of stealable work: a leaf of a partition's frontier bag.
+  struct ChunkRef {
+    std::uint32_t partition;
+    std::uint32_t leaf;  ///< leaf index within frontier_bags_[partition]
+  };
+
+  /// Everything a chunk's compute produces, staged thread-locally and folded
+  /// back in deterministic (partition-major, leaf-order) sequence after the
+  /// compute barrier. Chunks of the same partition never run concurrently
+  /// with that partition's merge, so nothing here needs synchronization.
+  struct ChunkScratch {
+    std::vector<std::vector<StagedMessage>> out;  ///< by destination partition
+    std::vector<StagedAgg> aggs;
+    std::vector<StagedRootDone> roots;
+    std::vector<std::uint32_t> activations;  ///< locals of this chunk's partition
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> wakes;  ///< (at, local)
+    std::vector<VertexId> broadcasters;  ///< senders with pull-mode records
+    cloud::WorkerLoad load;
+    Bytes drained_bytes = 0;
+    std::int64_t state_delta = 0;
+    /// Rank / combiner source / emission counter of the vertex currently in
+    /// compute() — reset per vertex so route() can tag emissions cheaply.
+    std::uint32_t computing_rank = 0;
+    std::uint8_t computing_src = 0;
+    std::uint32_t emit_seq = 0;
   };
 
   /// (Re)build partition state from the run's initial assignment. Also
@@ -439,6 +489,7 @@ class Engine {
     std::uint32_t r = 0;
     for (const auto& ps : parts_)
       for (const VertexId v : ps.vertices) rank_of_[v] = r++;
+    pull_index_built_ = false;  // rank order changed; rebuild lazily
   }
 
   Bytes partition_graph_bytes(const std::vector<VertexId>& vertices) const {
@@ -498,6 +549,9 @@ class Engine {
     last_active_vertices_ = 0;
     workers_now_ = cluster_.initial_workers;
     workers_changed_ = false;
+    // Each run bills from zero: JobMetrics::cost_usd is this job's spend, not
+    // a lifetime total for the engine (reuse would silently double-charge).
+    meter_.reset();
     agg_cur_.clear();
     globals_ = Globals{};
     globals_next_ = Globals{};
@@ -531,33 +585,38 @@ class Engine {
     peak_spillable_since_initiation_ = 0;
     last_superstep_span_ = 0.0;
 
-    // Host-parallelism: resolve the lane count and size the staging buffers.
+    // Host-parallelism: resolve the lane count and the frontier-bag grain.
     // The pool persists across runs when the resolved width is unchanged.
     const std::uint32_t requested =
         opts.parallelism == 0 ? ThreadPool::hardware_threads() : opts.parallelism;
     threads_ = std::min<std::uint32_t>(std::max<std::uint32_t>(requested, 1),
                                        static_cast<std::uint32_t>(parts_.size()));
-    staging_ = false;
-    // Staging buffers serve two callers: the thread pool (any run with
-    // threads_ > 1) and the post-migration rank merge (even serial runs —
-    // once vertices move, delivery order must be reconstructed by rank).
-    if (threads_ > 1 || migration_possible_) {
-      if (threads_ > 1) {
-        if (!pool_ || pool_->size() != threads_) pool_ = std::make_unique<ThreadPool>(threads_);
-      } else {
-        pool_.reset();
-      }
-      outboxes_.assign(parts_.size() * parts_.size(), {});
-      send_scratch_.assign(parts_.size() * parts_.size(), {});
-      agg_log_.assign(parts_.size(), {});
-      root_log_.assign(parts_.size(), {});
+    if (threads_ > 1) {
+      if (!pool_ || pool_->size() != threads_) pool_ = std::make_unique<ThreadPool>(threads_);
     } else {
       pool_.reset();
-      outboxes_.clear();
-      send_scratch_.clear();
-      agg_log_.clear();
-      root_log_.clear();
     }
+    grain_ = opts.frontier_grain == 0 ? Bag::kDefaultGrain : opts.frontier_grain;
+    frontier_bags_.assign(parts_.size(), Bag(grain_));
+    chunks_.clear();
+    chunk_scratch_.clear();
+    part_chunk_range_.assign(parts_.size(), {0, 0});
+    direction_enabled_ =
+        direction_capable() && opts.direction.mode != DirectionOptions::Mode::kOff;
+    pull_mode_ = pull_this_step_ = last_pull_mode_ = false;
+    last_steals_ = {};
+    if (direction_enabled_)
+      broadcast_store_.assign(graph_->num_vertices(), {});
+    else
+      broadcast_store_.clear();
+    // The staged path serves three callers: the thread pool (any run with
+    // threads_ > 1), the post-migration rank merge (even serial runs — once
+    // vertices move, delivery order must be reconstructed by rank), and pull
+    // supersteps (the synthesized stream flows through the same merge).
+    if (threads_ > 1 || migration_possible_ || direction_enabled_)
+      send_scratch_.assign(parts_.size() * parts_.size(), {});
+    else
+      send_scratch_.clear();
 
     faults_ = cloud::FaultInjector(cluster_.faults);
     pending_retry_latency_ = 0.0;
@@ -689,23 +748,14 @@ class Engine {
     return false;
   }
 
-  /// Drain one partition's active vertices through compute(). With staging_
-  /// set, emissions land in this partition's outbox row instead of being
-  /// routed immediately; everything else this touches is partition-local, so
-  /// one thread per partition runs contention-free.
+  /// Drain one partition's active vertices through compute() on the serial
+  /// fast path: emissions route immediately (chunk == kNoChunk), nothing is
+  /// staged.
   void compute_partition(std::uint32_t p) {
     trace::Span span("engine.compute", "superstep", "part", p);
     PartitionState& ps = parts_[p];
     for (std::uint32_t l : ps.active_cur) {
-      VertexContext<Program> ctx(this, p, l, ps.vertices[l]);
-      if (staging_) {
-        // Tag emissions with the sender's immutable rank and its combining
-        // domain. The domain is the VM of the vertex's *original* partition:
-        // identical to vm_of(p) while unmigrated, and invariant under
-        // migration so combiner groupings never change with the plan.
-        ps.computing_rank = rank_of_[ps.vertices[l]];
-        ps.computing_src = static_cast<std::uint8_t>(placement_[orig_part_[ps.vertices[l]]]);
-      }
+      VertexContext<Program> ctx(this, p, l, ps.vertices[l], kNoChunk);
       std::vector<M>& box = ps.inbox_cur[l];
       if constexpr (has_combiner()) {
         // Lockstep invariant: with a combiner active, every buffered message
@@ -720,90 +770,270 @@ class Engine {
         const Bytes b = cost_.buffered_bytes(payload_bytes(m));
         ps.inbox_cur_bytes -= std::min(ps.inbox_cur_bytes, b);
       }
-      box.clear();
       // Release large buffers back to the allocator but keep small-vector
       // capacity cached — reallocating every box every superstep is pure
       // churn for the common small-frontier case.
-      if (box.capacity() > 64) box.shrink_to_fit();
-      if (opts_combine_) {
-        ps.inbox_cur_src[l].clear();
-        if (ps.inbox_cur_src[l].capacity() > 64) ps.inbox_cur_src[l].shrink_to_fit();
-      }
+      shrink_after_drain(box);
+      if (opts_combine_) shrink_after_drain(ps.inbox_cur_src[l]);
     }
   }
 
-  /// Apply every staged message addressed to partition q, scanning source
-  /// partitions in ascending order and each outbox in emission order — the
-  /// exact order serial execution would have delivered them in, so inbox
+  /// Pack each partition's sorted active list into its frontier bag and
+  /// enumerate the bags' leaves as chunks — partition-major, leaf order —
+  /// so "chunk index order" is exactly serial visit order. Scratch slots are
+  /// reused across supersteps (cleared, not reallocated).
+  void build_frontier_chunks() {
+    chunks_.clear();
+    const std::size_t n = parts_.size();
+    for (std::uint32_t p = 0; p < n; ++p) {
+      Bag& bag = frontier_bags_[p];
+      bag.assign(std::span<const std::uint32_t>(parts_[p].active_cur));
+      const std::uint32_t first = static_cast<std::uint32_t>(chunks_.size());
+      for (std::size_t leaf = 0; leaf < bag.num_leaves(); ++leaf)
+        chunks_.push_back(ChunkRef{p, static_cast<std::uint32_t>(leaf)});
+      part_chunk_range_[p] = {first, static_cast<std::uint32_t>(chunks_.size())};
+    }
+    if (chunk_scratch_.size() < chunks_.size()) chunk_scratch_.resize(chunks_.size());
+    for (std::size_t c = 0; c < chunks_.size(); ++c) {
+      ChunkScratch& cs = chunk_scratch_[c];
+      cs.out.resize(n);
+      cs.load = {};
+      cs.drained_bytes = 0;
+      cs.state_delta = 0;
+      cs.emit_seq = 0;
+    }
+  }
+
+  /// Drain one frontier chunk through compute(), staging every side effect
+  /// in the chunk's scratch. Chunks touch only their own scratch, their own
+  /// vertices' inboxes/values (disjoint: a vertex is in exactly one leaf),
+  /// and per-vertex state_bytes_v slots — so any lane may run any chunk.
+  void compute_chunk(std::size_t c) {
+    const ChunkRef ref = chunks_[c];
+    PartitionState& ps = parts_[ref.partition];
+    ChunkScratch& cs = chunk_scratch_[c];
+    for (std::uint32_t l : frontier_bags_[ref.partition].leaf(ref.leaf)) {
+      // Tag emissions with the sender's immutable rank and its combining
+      // domain. The domain is the VM of the vertex's *original* partition:
+      // identical to vm_of(p) while unmigrated, and invariant under
+      // migration so combiner groupings never change with the plan.
+      cs.computing_rank = rank_of_[ps.vertices[l]];
+      cs.computing_src = static_cast<std::uint8_t>(placement_[orig_part_[ps.vertices[l]]]);
+      cs.emit_seq = 0;
+      VertexContext<Program> ctx(this, ref.partition, l, ps.vertices[l], c);
+      std::vector<M>& box = ps.inbox_cur[l];
+      if constexpr (has_combiner()) {
+        if (opts_combine_) PREGEL_DCHECK(ps.inbox_cur_src[l].size() == box.size());
+      }
+      ++cs.load.vertices_computed;
+      cs.load.messages_processed += box.size();
+      program_.compute(ctx, ps.values[l], std::span<const M>(box));
+      for (const M& m : box) cs.drained_bytes += cost_.buffered_bytes(payload_bytes(m));
+      shrink_after_drain(box);
+      if (opts_combine_) shrink_after_drain(ps.inbox_cur_src[l]);
+    }
+  }
+
+  /// Activations and wakes staged by partition q's own chunks, applied by
+  /// q's merge task (single-threaded per destination) in chunk order. Both
+  /// are order-insensitive — activation dedupes through the bitmap and the
+  /// active list is sorted next superstep; wakes are merged through the same
+  /// bitmap when their superstep arrives — but chunk order keeps the raw
+  /// vectors deterministic anyway.
+  void apply_chunk_side_effects(std::uint32_t q) {
+    const auto [first, last] = part_chunk_range_[q];
+    for (std::uint32_t c = first; c < last; ++c) {
+      ChunkScratch& cs = chunk_scratch_[c];
+      for (std::uint32_t l : cs.activations) activate_local(q, l);
+      cs.activations.clear();
+      for (const auto& [at, l] : cs.wakes) parts_[q].wakes[at].push_back(l);
+      cs.wakes.clear();
+    }
+  }
+
+  /// Apply every staged message addressed to partition q (plus q's own
+  /// staged activations/wakes). Unmigrated push: scan source partitions in
+  /// ascending order and each source's chunk rows in leaf + emission order —
+  /// the exact order serial execution would have delivered them in, so inbox
   /// contents (and combiner merges) are bit-identical. Source-side counters
   /// go to this destination's scratch row; they cannot be written to the
   /// source partitions here because another merge thread may own them.
   void merge_destination(std::uint32_t q) {
+    trace::Span span("engine.merge", "superstep", "part", q);
+    apply_chunk_side_effects(q);
+    if (pull_this_step_) {
+      merge_destination_pull(q);
+      return;
+    }
     if (migrated_) {
       merge_destination_ranked(q);
       return;
     }
-    trace::Span span("engine.merge", "superstep", "part", q);
     const std::size_t n = parts_.size();
     for (std::uint32_t src = 0; src < n; ++src) {
-      std::vector<StagedMessage>& staged = outboxes_[src * n + q];
       SendScratch& acc = send_scratch_[q * n + src];
-      for (StagedMessage& s : staged)
-        deliver(src, q, s.target_local, std::move(s.message), acc.load, acc.outbuf_bytes,
-                s.combine_src);
-      staged.clear();
-      if (staged.capacity() > 64) staged.shrink_to_fit();
+      const auto [first, last] = part_chunk_range_[src];
+      for (std::uint32_t c = first; c < last; ++c) {
+        std::vector<StagedMessage>& row = chunk_scratch_[c].out[q];
+        for (StagedMessage& s : row)
+          deliver(src, q, s.target_local, std::move(s.message), acc.load, acc.outbuf_bytes,
+                  s.combine_src);
+        shrink_after_drain(row);
+      }
     }
   }
 
-  /// Post-migration merge for destination q: a K-way merge of the outbox
-  /// rows by sender rank. Each row is rank-sorted (compute walks actives in
-  /// rank order) and a rank never appears in two rows (a vertex lives in
-  /// exactly one partition), so repeatedly draining the full equal-rank run
-  /// from the row with the smallest head rank reproduces the unmigrated
-  /// serial delivery order exactly.
+  /// Post-migration merge for destination q: a K-way merge of the source
+  /// partitions' staged streams by sender rank. Each source's concatenated
+  /// chunk rows are rank-sorted (compute walks actives in rank order and
+  /// chunks follow leaf order) and a rank never appears under two sources
+  /// (a vertex lives in exactly one partition), so repeatedly draining the
+  /// full equal-rank run from the source with the smallest head rank
+  /// reproduces the unmigrated serial delivery order exactly. A run is
+  /// always contiguous within one chunk row because a vertex computes in
+  /// exactly one leaf.
   void merge_destination_ranked(std::uint32_t q) {
-    trace::Span span("engine.merge", "superstep", "part", q);
     const std::size_t n = parts_.size();
-    std::vector<std::size_t> pos(n, 0);
+    struct Cursor {
+      std::uint32_t chunk;
+      std::size_t pos;
+    };
+    std::vector<Cursor> cur(n);
+    for (std::uint32_t src = 0; src < n; ++src) cur[src] = {part_chunk_range_[src].first, 0};
+    const auto head = [&](std::uint32_t src) -> StagedMessage* {
+      Cursor& c = cur[src];
+      while (c.chunk < part_chunk_range_[src].second) {
+        std::vector<StagedMessage>& row = chunk_scratch_[c.chunk].out[q];
+        if (c.pos < row.size()) return &row[c.pos];
+        ++c.chunk;
+        c.pos = 0;
+      }
+      return nullptr;
+    };
     for (;;) {
       std::uint32_t best = static_cast<std::uint32_t>(n);
       std::uint32_t best_rank = 0;
       for (std::uint32_t src = 0; src < n; ++src) {
-        const std::vector<StagedMessage>& staged = outboxes_[src * n + q];
-        if (pos[src] >= staged.size()) continue;
-        const std::uint32_t r = staged[pos[src]].sender_rank;
-        if (best == n || r < best_rank) {
+        const StagedMessage* h = head(src);
+        if (h != nullptr && (best == n || h->sender_rank < best_rank)) {
           best = src;
-          best_rank = r;
+          best_rank = h->sender_rank;
         }
       }
       if (best == n) break;
-      std::vector<StagedMessage>& staged = outboxes_[best * n + q];
+      Cursor& c = cur[best];
+      std::vector<StagedMessage>& row = chunk_scratch_[c.chunk].out[q];
       SendScratch& acc = send_scratch_[q * n + best];
-      while (pos[best] < staged.size() && staged[pos[best]].sender_rank == best_rank) {
-        StagedMessage& s = staged[pos[best]++];
+      while (c.pos < row.size() && row[c.pos].sender_rank == best_rank) {
+        StagedMessage& s = row[c.pos++];
         deliver(best, q, s.target_local, std::move(s.message), acc.load, acc.outbuf_bytes,
                 s.combine_src);
       }
     }
     for (std::uint32_t src = 0; src < n; ++src) {
-      std::vector<StagedMessage>& staged = outboxes_[src * n + q];
-      staged.clear();
-      if (staged.capacity() > 64) staged.shrink_to_fit();
+      const auto [first, last] = part_chunk_range_[src];
+      for (std::uint32_t c = first; c < last; ++c)
+        shrink_after_drain(chunk_scratch_[c].out[q]);
     }
   }
 
-  /// Compute + route for one superstep across the thread pool, bit-identical
-  /// to the serial path. Two barriers: (1) every partition computes with
-  /// emissions staged per (source x destination) outbox, (2) every
-  /// destination applies its staged messages single-threaded. Aggregate
-  /// contributions and root completions recorded during (1) replay in
-  /// source-partition order afterwards, reproducing serial summation order.
+  /// Pull-mode merge for destination q: synthesize the push message stream
+  /// per target from (a) pointwise staged sends and (b) the in-neighbors'
+  /// broadcast records, merged by (sender rank, emission seq). Only the
+  /// per-target relative order is observable downstream (inbox contents,
+  /// combiner scans; all cross-target effects are order-free sums or
+  /// deduped sets), and within one sender the emissions to a given target
+  /// appear in call order under both schemes — so the synthesized stream
+  /// matches push message for message. Parallel edges: a broadcast record
+  /// is delivered once per adjacent duplicate in the in-neighbor list
+  /// (record-major, exactly the per-target order the push loop produces).
+  void merge_destination_pull(std::uint32_t q) {
+    const std::size_t n = parts_.size();
+    struct Pending {
+      std::uint32_t target_local;
+      std::uint32_t rank;
+      std::uint32_t seq;
+      std::uint32_t src_part;
+      std::uint8_t combine_src;
+      M message;
+    };
+    std::vector<Pending> pending;
+    for (std::uint32_t src = 0; src < n; ++src) {
+      const auto [first, last] = part_chunk_range_[src];
+      for (std::uint32_t c = first; c < last; ++c) {
+        std::vector<StagedMessage>& row = chunk_scratch_[c].out[q];
+        for (StagedMessage& s : row)
+          pending.push_back(
+              Pending{s.target_local, s.sender_rank, s.seq, src, s.combine_src,
+                      std::move(s.message)});
+        shrink_after_drain(row);
+      }
+    }
+    // (target, rank, seq) is unique — one sender emits each seq once — so
+    // the sort is a total order and lane scheduling cannot perturb it.
+    std::sort(pending.begin(), pending.end(), [](const Pending& a, const Pending& b) {
+      return std::tie(a.target_local, a.rank, a.seq) <
+             std::tie(b.target_local, b.rank, b.seq);
+    });
+
+    PartitionState& dst = parts_[q];
+    std::size_t pi = 0;
+    for (std::uint32_t u = 0; u < dst.vertices.size(); ++u) {
+      std::size_t pe = pi;
+      while (pe < pending.size() && pending[pe].target_local == u) ++pe;
+      const VertexId gu = dst.vertices[u];
+      std::size_t ei = pull_off_[gu];
+      const std::size_t ie = pull_off_[gu + 1];
+      std::size_t ri = 0;  // record index within the current broadcast group
+      const auto skip_silent = [&] {
+        while (ei < ie && broadcast_store_[pull_src_[ei]].empty()) {
+          const VertexId w = pull_src_[ei];
+          do ++ei;
+          while (ei < ie && pull_src_[ei] == w);
+        }
+      };
+      skip_silent();
+      while (pi < pe || ei < ie) {
+        bool take_pending;
+        if (pi >= pe) {
+          take_pending = false;
+        } else if (ei >= ie) {
+          take_pending = true;
+        } else {
+          const VertexId w = pull_src_[ei];
+          take_pending = std::pair(pending[pi].rank, pending[pi].seq) <
+                         std::pair(rank_of_[w], broadcast_store_[w][ri].first);
+        }
+        if (take_pending) {
+          Pending& s = pending[pi++];
+          SendScratch& acc = send_scratch_[q * n + s.src_part];
+          deliver(s.src_part, q, u, std::move(s.message), acc.load, acc.outbuf_bytes,
+                  s.combine_src);
+        } else {
+          const VertexId w = pull_src_[ei];
+          const auto& recs = broadcast_store_[w];
+          std::size_t k = 1;  // parallel-edge multiplicity (duplicates adjacent)
+          while (ei + k < ie && pull_src_[ei + k] == w) ++k;
+          const std::uint32_t sp = part_of_[w];
+          SendScratch& acc = send_scratch_[q * n + sp];
+          const std::uint8_t csrc = static_cast<std::uint8_t>(placement_[orig_part_[w]]);
+          for (std::size_t j = 0; j < k; ++j)
+            deliver(sp, q, u, M(recs[ri].second), acc.load, acc.outbuf_bytes, csrc);
+          if (++ri >= recs.size()) {
+            ei += k;
+            ri = 0;
+            skip_silent();
+          }
+        }
+      }
+      pi = pe;
+    }
+  }
+
   /// Run `f(p)` for every partition index — on the pool when one exists,
   /// serially otherwise. The staged execution path uses this so a
-  /// parallelism-1 run after a migration stages through the same
-  /// outbox/merge machinery without spinning up threads.
+  /// parallelism-1 run after a migration (or in pull mode) stages through
+  /// the same merge machinery without spinning up threads.
   template <class F>
   void for_each_partition(F&& f) {
     if (pool_)
@@ -812,20 +1042,50 @@ class Engine {
       for (std::size_t i = 0; i < parts_.size(); ++i) f(i);
   }
 
-  void execute_superstep_parallel() {
+  /// Compute + route for one superstep through the staged path,
+  /// bit-identical to the serial path. Two barriers: (1) every frontier
+  /// chunk computes with all side effects staged in its scratch — on the
+  /// pool, lanes start on their home partitions' chunk queues and steal
+  /// from the heaviest remaining queue when they run dry; (2) every
+  /// destination partition applies its staged messages single-threaded in
+  /// deterministic merge order. Chunk-indexed counters then fold back
+  /// serially in chunk (= serial visit) order, and aggregate / root logs
+  /// replay in serial order. Which lane drained which chunk is thereby
+  /// unobservable outside wall clock and the steal counters.
+  void execute_superstep_staged() {
     const std::size_t n = parts_.size();
-    staging_ = true;
-    for_each_partition([this](std::size_t p) {
-      compute_partition(static_cast<std::uint32_t>(p));
-    });
-    staging_ = false;
+    build_frontier_chunks();
+    if (pool_ && chunks_.size() > 1) {
+      std::vector<std::vector<std::size_t>> queues(pool_->size());
+      for (std::size_t c = 0; c < chunks_.size(); ++c)
+        queues[chunks_[c].partition % pool_->size()].push_back(c);
+      last_steals_ = pool_->parallel_steal(std::move(queues),
+                                           [this](std::size_t c) { compute_chunk(c); });
+    } else {
+      for (std::size_t c = 0; c < chunks_.size(); ++c) compute_chunk(c);
+    }
+
+    // Fold chunk-local partition counters back in chunk order: integer sums
+    // plus the clamped inbox drain, matching the serial accounting.
+    for (std::uint32_t p = 0; p < n; ++p) {
+      PartitionState& ps = parts_[p];
+      const auto [first, last] = part_chunk_range_[p];
+      for (std::uint32_t c = first; c < last; ++c) {
+        ChunkScratch& cs = chunk_scratch_[c];
+        ps.load.vertices_computed += cs.load.vertices_computed;
+        ps.load.messages_processed += cs.load.messages_processed;
+        ps.inbox_cur_bytes -= std::min(ps.inbox_cur_bytes, cs.drained_bytes);
+        ps.state_bytes += cs.state_delta;
+      }
+    }
+
     for_each_partition([this](std::size_t q) {
       merge_destination(static_cast<std::uint32_t>(q));
     });
 
     // Fold the per-(destination x source) send counters back into their
     // source partitions (integer sums — order-free), then replay the
-    // deterministic logs in source-partition order.
+    // deterministic logs in serial order.
     for (std::uint32_t p = 0; p < n; ++p) {
       PartitionState& ps = parts_[p];
       for (std::uint32_t q = 0; q < n; ++q) {
@@ -838,56 +1098,163 @@ class Engine {
       }
     }
     replay_staged_logs();
+    if (pull_this_step_) clear_broadcast_records();
+  }
+
+  /// Drop this superstep's pull-mode broadcast records, releasing large
+  /// stores under the same drain-shrink policy as the inboxes.
+  void clear_broadcast_records() {
+    for (std::size_t c = 0; c < chunks_.size(); ++c) {
+      ChunkScratch& cs = chunk_scratch_[c];
+      for (const VertexId v : cs.broadcasters) shrink_after_drain(broadcast_store_[v]);
+      cs.broadcasters.clear();
+    }
+  }
+
+  /// K-way merge of per-chunk logs by emitter rank across source
+  /// partitions; within one partition the concatenated chunk logs are
+  /// already rank-sorted (compute walks actives in rank order, chunks
+  /// follow leaf order), and one vertex's contributions sit contiguously in
+  /// one chunk's log.
+  template <class LogOf, class Apply>
+  void replay_rank_merged(LogOf&& log_of, Apply&& apply) {
+    const std::size_t n = parts_.size();
+    struct Cursor {
+      std::uint32_t chunk;
+      std::size_t pos;
+    };
+    std::vector<Cursor> cur(n);
+    for (std::uint32_t p = 0; p < n; ++p) cur[p] = {part_chunk_range_[p].first, 0};
+    const auto settle = [&](std::uint32_t p) {
+      Cursor& c = cur[p];
+      while (c.chunk < part_chunk_range_[p].second && c.pos >= log_of(c.chunk).size()) {
+        ++c.chunk;
+        c.pos = 0;
+      }
+      return c.chunk < part_chunk_range_[p].second;
+    };
+    for (;;) {
+      std::uint32_t best = static_cast<std::uint32_t>(n);
+      std::uint32_t best_rank = 0;
+      for (std::uint32_t p = 0; p < n; ++p) {
+        if (!settle(p)) continue;
+        const std::uint32_t r = log_of(cur[p].chunk)[cur[p].pos].rank;
+        if (best == n || r < best_rank) {
+          best = p;
+          best_rank = r;
+        }
+      }
+      if (best == n) break;
+      Cursor& c = cur[best];
+      const auto& log = log_of(c.chunk);
+      while (c.pos < log.size() && log[c.pos].rank == best_rank) apply(log[c.pos++]);
+    }
   }
 
   /// Replay the aggregate / root-completion logs in the exact serial order:
-  /// source-partition order while unmigrated (each log already holds its
-  /// partition's contributions in emission order), and a K-way merge by
-  /// emitter rank after a migration (each log is rank-sorted because compute
-  /// walks actives in rank order; ranks never collide across partitions).
-  /// The two streams are replayed independently — an aggregate sum is
-  /// order-sensitive only against other aggregate contributions, and root
-  /// completions only against each other.
+  /// chunk order while unmigrated (chunk order IS serial visit order), and
+  /// a K-way merge by emitter rank after a migration. The two streams are
+  /// replayed independently — an aggregate sum is order-sensitive only
+  /// against other aggregate contributions, and root completions only
+  /// against each other.
   void replay_staged_logs() {
-    const std::size_t n = parts_.size();
     if (!migrated_) {
-      for (std::uint32_t p = 0; p < n; ++p) {
-        for (const StagedAgg& a : agg_log_[p]) agg_cur_.add(a.key, a.value);
-        agg_log_[p].clear();
-        for (const StagedRootDone& r : root_log_[p]) mark_root_done(r.root);
-        root_log_[p].clear();
+      for (std::size_t c = 0; c < chunks_.size(); ++c) {
+        ChunkScratch& cs = chunk_scratch_[c];
+        for (const StagedAgg& a : cs.aggs) agg_cur_.add(a.key, a.value);
+        cs.aggs.clear();
+        for (const StagedRootDone& r : cs.roots) mark_root_done(r.root);
+        cs.roots.clear();
       }
       return;
     }
-    const auto rank_merge = [n](auto& logs, auto&& apply) {
-      std::vector<std::size_t> pos(n, 0);
-      for (;;) {
-        std::size_t best = n;
-        std::uint32_t best_rank = 0;
-        for (std::size_t p = 0; p < n; ++p) {
-          if (pos[p] >= logs[p].size()) continue;
-          const std::uint32_t r = logs[p][pos[p]].rank;
-          if (best == n || r < best_rank) {
-            best = p;
-            best_rank = r;
-          }
-        }
-        if (best == n) break;
-        while (pos[best] < logs[best].size() && logs[best][pos[best]].rank == best_rank)
-          apply(logs[best][pos[best]++]);
-      }
-      for (auto& log : logs) log.clear();
-    };
-    rank_merge(agg_log_, [this](const StagedAgg& a) { agg_cur_.add(a.key, a.value); });
-    rank_merge(root_log_, [this](const StagedRootDone& r) { mark_root_done(r.root); });
+    replay_rank_merged(
+        [this](std::uint32_t c) -> const std::vector<StagedAgg>& {
+          return chunk_scratch_[c].aggs;
+        },
+        [this](const StagedAgg& a) { agg_cur_.add(a.key, a.value); });
+    replay_rank_merged(
+        [this](std::uint32_t c) -> const std::vector<StagedRootDone>& {
+          return chunk_scratch_[c].roots;
+        },
+        [this](const StagedRootDone& r) { mark_root_done(r.root); });
+    for (std::size_t c = 0; c < chunks_.size(); ++c) {
+      chunk_scratch_[c].aggs.clear();
+      chunk_scratch_[c].roots.clear();
+    }
+  }
+
+  /// Whether the program opted into direction optimization
+  /// (`static constexpr bool kDirectionOptimized = true;`).
+  static constexpr bool direction_capable() {
+    if constexpr (requires { Program::kDirectionOptimized; })
+      return static_cast<bool>(Program::kDirectionOptimized);
+    else
+      return false;
+  }
+
+  /// Beamer-style push/pull decision from modeled frontier density only —
+  /// active-vertex counts and out-degrees, never thread counts or host
+  /// clocks — with hysteresis so the engine does not flap around the
+  /// threshold. Part of the bit-identity contract.
+  void decide_direction() {
+    if (opts_.direction.mode == DirectionOptions::Mode::kAlways) {
+      pull_mode_ = pull_this_step_ = true;
+      return;
+    }
+    std::uint64_t frontier_v = 0;
+    std::uint64_t frontier_arcs = 0;
+    for (const PartitionState& ps : parts_) {
+      frontier_v += ps.active_cur.size();
+      for (std::uint32_t l : ps.active_cur)
+        frontier_arcs += graph_->out_degree(ps.vertices[l]);
+    }
+    if (!pull_mode_) {
+      if (static_cast<double>(frontier_arcs) >
+          static_cast<double>(graph_->num_arcs()) / opts_.direction.alpha)
+        pull_mode_ = true;
+    } else {
+      if (static_cast<double>(frontier_v) <
+          static_cast<double>(graph_->num_vertices()) / opts_.direction.beta)
+        pull_mode_ = false;
+    }
+    pull_this_step_ = pull_mode_;
+  }
+
+  /// Global in-edge CSR (pull_off_ / pull_src_) with every target's
+  /// in-neighbor list sorted by sender rank: filling in ascending-rank
+  /// sender order makes each per-target slice rank-sorted for free
+  /// (parallel edges stay adjacent). Built lazily on the first pull
+  /// superstep; invalidated whenever build_partitions re-derives ranks.
+  void build_pull_index() {
+    const VertexId n = graph_->num_vertices();
+    std::vector<VertexId> by_rank(n);
+    for (VertexId v = 0; v < n; ++v) by_rank[rank_of_[v]] = v;
+    pull_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (VertexId v = 0; v < n; ++v)
+      for (VertexId u : graph_->out_neighbors(v)) ++pull_off_[static_cast<std::size_t>(u) + 1];
+    for (std::size_t i = 1; i <= n; ++i) pull_off_[i] += pull_off_[i - 1];
+    pull_src_.resize(graph_->num_arcs());
+    std::vector<std::size_t> fill(pull_off_.begin(), pull_off_.end() - 1);
+    for (std::uint32_t r = 0; r < n; ++r) {
+      const VertexId w = by_rank[r];
+      for (VertexId u : graph_->out_neighbors(w)) pull_src_[fill[u]++] = w;
+    }
+    pull_index_built_ = true;
   }
 
   SuperstepMetrics execute_superstep() {
     trace::Span span("engine.superstep", "superstep", "superstep", superstep_);
     agg_cur_.clear();
+    last_steals_ = {};
+    pull_this_step_ = false;
+    if (direction_enabled_) {
+      decide_direction();
+      if (pull_this_step_ && !pull_index_built_) build_pull_index();
+    }
 
-    if (threads_ > 1 || migrated_) {
-      execute_superstep_parallel();
+    if (threads_ > 1 || migrated_ || pull_this_step_) {
+      execute_superstep_staged();
     } else {
       for (std::uint32_t p = 0; p < parts_.size(); ++p) compute_partition(p);
     }
@@ -901,6 +1268,9 @@ class Engine {
     sm.active_workers = workers_now_;
     sm.active_vertices = active_total;
     sm.active_roots = outstanding_count();
+    sm.pull_mode = pull_this_step_;
+    sm.steals = last_steals_.steals;
+    sm.stolen_chunks = last_steals_.stolen_items;
     return sm;
   }
 
@@ -1077,6 +1447,11 @@ class Engine {
         std::max(peak_memory_since_initiation_, last_unspilled_peak_);
     last_messages_sent_ = sm.messages_sent_total();
     last_superstep_span_ = sm.span;
+    result.metrics.work_steals += sm.steals;
+    result.metrics.stolen_chunks += sm.stolen_chunks;
+    if (sm.pull_mode) ++result.metrics.pull_supersteps;
+    if (sm.pull_mode != last_pull_mode_) ++result.metrics.direction_switches;
+    last_pull_mode_ = sm.pull_mode;
     trace_superstep(sm, result.metrics.total_time);
 
     if (restart) {
@@ -1128,6 +1503,8 @@ class Engine {
       t.counter("engine.messages.remote").add(remote);
       t.counter("engine.bytes.remote").add(bytes);
       t.counter("engine.vertices.computed").add(vertices);
+      if (sm.steals > 0) t.counter("engine.steals").add(sm.steals);
+      if (sm.pull_mode) t.counter("engine.pull.supersteps").add(1);
     }
     if (!t.spans_on()) return;
     const double end_us = total_time_after * 1e6;
@@ -1789,6 +2166,11 @@ class Engine {
       recompute_baseline_memory();
     }
     peak_spillable_since_initiation_ = 0;
+    // The direction hysteresis restarts from push after any rollback so the
+    // replayed supersteps re-derive the same switch sequence the original
+    // execution did (the state at checkpoint time is itself a pure function
+    // of the replayed frontier densities).
+    pull_mode_ = false;
   }
 
   void recover_from_checkpoint(JobResult<Program>& result) {
@@ -2367,22 +2749,40 @@ class Engine {
 
   // ---- context callbacks ---------------------------------------------------
 
-  void route(std::uint32_t from_partition, VertexId target, M message) {
+  void route(std::uint32_t from_partition, VertexId target, M message,
+             std::size_t chunk) {
     PREGEL_DCHECK(target < graph_->num_vertices());
     const std::uint32_t tp = part_of_[target];
     const std::uint32_t tl = local_of_[target];
-    if (staging_) {
-      // Parallel compute phase: capture the emission in this source
-      // partition's outbox row; the deterministic merge delivers it after
+    if (chunk != kNoChunk) {
+      // Staged compute phase: capture the emission in this chunk's scratch
+      // row for the destination; the deterministic merge delivers it after
       // the compute barrier. No shared state is touched here.
-      const PartitionState& src = parts_[from_partition];
-      outboxes_[from_partition * parts_.size() + tp].push_back(
-          StagedMessage{tl, src.computing_rank, src.computing_src, std::move(message)});
+      ChunkScratch& cs = chunk_scratch_[chunk];
+      cs.out[tp].push_back(StagedMessage{tl, cs.computing_rank, cs.computing_src,
+                                         cs.emit_seq++, std::move(message)});
       return;
     }
     PartitionState& src = parts_[from_partition];
     deliver(from_partition, tp, tl, std::move(message), src.load, src.outbuf_bytes,
             static_cast<std::uint8_t>(vm_of(from_partition)));
+  }
+
+  /// send_to_all_neighbors: in pull mode capture one broadcast record
+  /// instead of materializing a staged message per out-edge; the merge
+  /// synthesizes the per-edge stream on the destination side. Otherwise
+  /// expand to per-edge routes exactly as the classic push path.
+  void broadcast(std::uint32_t from_partition, VertexId v, const M& message,
+                 std::size_t chunk) {
+    if (chunk != kNoChunk && pull_this_step_) {
+      ChunkScratch& cs = chunk_scratch_[chunk];
+      auto& recs = broadcast_store_[v];
+      if (recs.empty()) cs.broadcasters.push_back(v);
+      recs.emplace_back(cs.emit_seq++, message);
+      return;
+    }
+    for (VertexId u : graph_->out_neighbors(v))
+      route(from_partition, u, M(message), chunk);
   }
 
   /// Deliver one emitted message into partition `tp`'s next inbox: combiner
@@ -2447,36 +2847,60 @@ class Engine {
     }
   }
 
-  void schedule_wake(std::uint32_t partition, std::uint32_t local, std::uint64_t at) {
-    PREGEL_CHECK_MSG(at > superstep_, "wake_at: superstep must be in the future");
-    parts_[partition].wakes[at].push_back(local);
+  /// remain_active: staged per chunk (the destination partition's merge task
+  /// applies them — activation is set-semantics, so order is irrelevant);
+  /// direct on the serial path.
+  void activate_from(std::uint32_t partition, std::uint32_t local, std::size_t chunk) {
+    if (chunk != kNoChunk)
+      chunk_scratch_[chunk].activations.push_back(local);
+    else
+      activate_local(partition, local);
   }
 
-  void charge_state(std::uint32_t partition, std::uint32_t local, std::int64_t delta) {
+  void schedule_wake(std::uint32_t partition, std::uint32_t local, std::uint64_t at,
+                     std::size_t chunk) {
+    PREGEL_CHECK_MSG(at > superstep_, "wake_at: superstep must be in the future");
+    if (chunk != kNoChunk)
+      chunk_scratch_[chunk].wakes.emplace_back(at, local);
+    else
+      parts_[partition].wakes[at].push_back(local);
+  }
+
+  void charge_state(std::uint32_t partition, std::uint32_t local, std::int64_t delta,
+                    std::size_t chunk) {
     PartitionState& ps = parts_[partition];
-    ps.state_bytes += delta;
+    if (chunk != kNoChunk)
+      chunk_scratch_[chunk].state_delta += delta;
+    else
+      ps.state_bytes += delta;
+    // Per-vertex slots are disjoint across chunks (a vertex computes in
+    // exactly one leaf), so they are written directly either way.
     if (!ps.state_bytes_v.empty()) ps.state_bytes_v[local] += delta;
   }
 
-  /// Vertex-context aggregate contribution. During parallel compute the
-  /// contribution is logged per source partition (tagged with the emitting
+  /// Vertex-context aggregate contribution. During staged compute the
+  /// contribution is logged in the chunk's scratch (tagged with the emitting
   /// vertex's rank) and replayed at the barrier in the exact serial
-  /// summation order — partition order unmigrated, rank-merge order after a
+  /// summation order — chunk order unmigrated, rank-merge order after a
   /// migration; serially it sums immediately.
-  void aggregate_from(std::uint32_t partition, std::uint64_t key, double value) {
-    if (staging_)
-      agg_log_[partition].push_back({parts_[partition].computing_rank, key, value});
-    else
+  void aggregate_from(std::uint64_t key, double value, std::size_t chunk) {
+    if (chunk != kNoChunk) {
+      ChunkScratch& cs = chunk_scratch_[chunk];
+      cs.aggs.push_back({cs.computing_rank, key, value});
+    } else {
       agg_cur_.add(key, value);
+    }
   }
 
-  /// Vertex-context root completion, staged like aggregate_from so parallel
-  /// compute threads never touch the shared root bookkeeping.
-  void root_done_from(std::uint32_t partition, VertexId root) {
-    if (staging_)
-      root_log_[partition].push_back({parts_[partition].computing_rank, root});
-    else
+  /// Vertex-context root completion, staged like aggregate_from so compute
+  /// lanes never touch the shared root bookkeeping.
+  void root_done_from(VertexId root, std::size_t chunk) {
+    if (chunk != kNoChunk) {
+      ChunkScratch& cs = chunk_scratch_[chunk];
+      cs.roots.push_back({cs.computing_rank, root});
+    } else {
       mark_root_done(root);
+    }
   }
 
   /// O(1) amortized root completion: tombstone the entry, drop its index
@@ -2647,13 +3071,29 @@ class Engine {
   // -- host parallelism (wall-clock only; no effect on results or model) ----
   std::unique_ptr<ThreadPool> pool_;
   std::uint32_t threads_ = 1;  ///< resolved execution lanes for this run
-  /// True during the parallel compute phase: route() stages emissions
-  /// instead of delivering, and aggregate/root callbacks log per partition.
-  bool staging_ = false;
-  std::vector<std::vector<StagedMessage>> outboxes_;  ///< [src * P + dst]
+  std::uint32_t grain_ = Bag::kDefaultGrain;  ///< frontier-bag leaf size
+  /// One bag per partition, repacked from active_cur each staged superstep;
+  /// its leaves are the stealable chunks.
+  std::vector<Bag> frontier_bags_;
+  std::vector<ChunkRef> chunks_;  ///< partition-major; index = serial order
+  /// [first, last) chunk indices of each partition's leaves.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> part_chunk_range_;
+  std::vector<ChunkScratch> chunk_scratch_;           ///< by chunk index
   std::vector<SendScratch> send_scratch_;             ///< [dst * P + src]
-  std::vector<std::vector<StagedAgg>> agg_log_;       ///< per src partition
-  std::vector<std::vector<StagedRootDone>> root_log_; ///< per src partition
+  ThreadPool::StealOutcome last_steals_{};            ///< this superstep's steals
+
+  // -- direction optimization (push/pull; see header comment) ---------------
+  bool direction_enabled_ = false;  ///< program capable && mode != kOff
+  bool pull_mode_ = false;          ///< hysteresis state of the heuristic
+  bool pull_this_step_ = false;     ///< decision for the running superstep
+  bool last_pull_mode_ = false;     ///< previous superstep, for switch count
+  /// Pull-mode broadcast capture: per sender, (emission seq, payload) in
+  /// call order. Sized once per run when direction is enabled.
+  std::vector<std::vector<std::pair<std::uint32_t, M>>> broadcast_store_;
+  /// Global in-edge CSR with per-target lists rank-sorted (lazily built).
+  std::vector<std::size_t> pull_off_;
+  std::vector<VertexId> pull_src_;
+  bool pull_index_built_ = false;
 };
 
 }  // namespace pregel

@@ -53,6 +53,17 @@ struct SuperstepMetrics {
   Seconds span = 0.0;
   Seconds barrier_overhead = 0.0;
 
+  /// Whether the direction-optimizing engine ran this superstep in pull
+  /// mode. Decided from modeled frontier density only, so it is part of the
+  /// bit-identity contract (same at any parallelism).
+  bool pull_mode = false;
+  /// Work-stealing activity among host lanes draining the frontier bags.
+  /// These are wall-clock artifacts of the OS scheduler — two runs of the
+  /// same job may steal differently — so they are exempt from the
+  /// bit-identity contract and must never feed modeled times or costs.
+  std::uint64_t steals = 0;
+  std::uint64_t stolen_chunks = 0;
+
   std::uint64_t messages_sent_total() const noexcept;
   std::uint64_t messages_sent_remote() const noexcept;
   Bytes max_worker_memory() const noexcept;
@@ -98,6 +109,14 @@ struct JobMetrics {
   /// Azure-queue operations used by the control plane (step tokens + barrier
   /// check-ins through the simulated queue service).
   std::uint64_t control_queue_ops = 0;
+
+  // Frontier execution (bag work stealing + direction optimization; see
+  // docs/MODEL.md). Steal counts are host-scheduling artifacts excluded from
+  // the bit-identity contract; pull counts are modeled and covered by it.
+  std::uint64_t work_steals = 0;        ///< lane-to-lane chunk transfers
+  std::uint64_t stolen_chunks = 0;      ///< chunks moved across all steals
+  std::uint64_t pull_supersteps = 0;    ///< supersteps executed in pull mode
+  std::uint64_t direction_switches = 0; ///< push<->pull transitions
 
   /// Blob reads that returned a payload failing CRC32C verification; each is
   /// escalated to a retriable failure (and counted in faults_injected too).

@@ -35,7 +35,7 @@ void write_superstep_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
   CsvWriter w(out);
   w.header({"superstep", "workers", "active_vertices", "active_roots", "messages",
             "remote_messages", "span_seconds", "barrier_seconds", "max_worker_memory",
-            "utilization"});
+            "utilization", "pull_mode", "steals", "stolen_chunks"});
   for (const auto& sm : metrics.supersteps) {
     w.field(sm.superstep)
         .field(static_cast<std::uint64_t>(sm.active_workers))
@@ -47,6 +47,9 @@ void write_superstep_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
         .field(sm.barrier_overhead)
         .field(sm.max_worker_memory())
         .field(sm.utilization())
+        .field(static_cast<std::uint64_t>(sm.pull_mode ? 1 : 0))
+        .field(sm.steals)
+        .field(sm.stolen_chunks)
         .end_row();
   }
 }
@@ -154,7 +157,11 @@ void write_job_summary(const JobMetrics& metrics, std::ostream& out) {
       << " migrated_bytes=" << metrics.migrated_bytes
       << " migration_time_s=" << metrics.migration_time
       << " rebalance_gain=" << metrics.rebalance_gain
-      << " governor_scale_outs=" << metrics.governor_scale_outs << "\n";
+      << " governor_scale_outs=" << metrics.governor_scale_outs
+      << " work_steals=" << metrics.work_steals
+      << " stolen_chunks=" << metrics.stolen_chunks
+      << " pull_supersteps=" << metrics.pull_supersteps
+      << " direction_switches=" << metrics.direction_switches << "\n";
 }
 
 }  // namespace pregel

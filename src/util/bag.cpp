@@ -1,0 +1,106 @@
+#include "util/bag.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pregel {
+
+Bag::Bag(std::uint32_t grain) : grain_(std::max(grain, 1u)) {}
+
+std::vector<Bag::Item>& Bag::back_leaf() {
+  if (leaves_used_ == 0 || leaves_[leaves_used_ - 1].size() >= grain_) {
+    if (leaves_used_ == leaves_.size()) leaves_.emplace_back();
+    leaves_[leaves_used_].clear();
+    leaves_[leaves_used_].reserve(grain_);
+    ++leaves_used_;
+  }
+  return leaves_[leaves_used_ - 1];
+}
+
+void Bag::push(Item x) {
+  back_leaf().push_back(x);
+  ++size_;
+}
+
+void Bag::assign(std::span<const Item> items) {
+  clear();
+  std::size_t at = 0;
+  while (at < items.size()) {
+    const std::size_t take = std::min<std::size_t>(grain_, items.size() - at);
+    std::vector<Item>& leaf = back_leaf();
+    leaf.assign(items.begin() + static_cast<std::ptrdiff_t>(at),
+                items.begin() + static_cast<std::ptrdiff_t>(at + take));
+    at += take;
+    size_ += take;
+  }
+}
+
+void Bag::clear() {
+  for (std::size_t i = 0; i < leaves_used_; ++i) leaves_[i].clear();
+  leaves_used_ = 0;
+  size_ = 0;
+}
+
+void Bag::merge(Bag&& other) {
+  PREGEL_CHECK_MSG(other.grain_ == grain_, "Bag::merge: grain mismatch");
+  if (other.size_ == 0) {
+    other.clear();
+    return;
+  }
+  // Splice other's live leaves after ours. A partial back leaf stays partial
+  // mid-sequence — leaves may then be under-full, which costs nothing for
+  // enumeration and keeps the splice O(leaves) pointer moves with no item
+  // copies (the pennant "binary addition" never has to touch payloads).
+  for (std::size_t i = 0; i < other.leaves_used_; ++i) {
+    if (leaves_used_ == leaves_.size())
+      leaves_.push_back(std::move(other.leaves_[i]));
+    else
+      leaves_[leaves_used_] = std::move(other.leaves_[i]);
+    ++leaves_used_;
+  }
+  size_ += other.size_;
+  other.leaves_.clear();
+  other.leaves_used_ = 0;
+  other.size_ = 0;
+}
+
+Bag Bag::split() {
+  Bag out(grain_);
+  if (leaves_used_ <= 1) return out;  // nothing splittable below one leaf
+  const std::size_t take = leaves_used_ / 2;
+  out.leaves_.reserve(take);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < take; ++i) {
+    moved += leaves_[i].size();
+    out.leaves_.push_back(std::move(leaves_[i]));
+  }
+  out.leaves_used_ = take;
+  out.size_ = moved;
+  // Compact the survivors to the front, returning the vacated slots to the
+  // pool tail so later fills reuse their capacity.
+  std::rotate(leaves_.begin(), leaves_.begin() + static_cast<std::ptrdiff_t>(take),
+              leaves_.end());
+  leaves_used_ -= take;
+  size_ -= moved;
+  return out;
+}
+
+std::span<const Bag::Item> Bag::leaf(std::size_t i) const {
+  PREGEL_DCHECK(i < leaves_used_);
+  return std::span<const Item>(leaves_[i]);
+}
+
+std::vector<std::uint32_t> Bag::pennant_ranks() const {
+  // Binary decomposition of the full-leaf count; a trailing partial leaf is
+  // the hopper and belongs to no pennant.
+  std::size_t full = leaves_used_;
+  if (full > 0 && leaves_[full - 1].size() < grain_) --full;
+  std::vector<std::uint32_t> ranks;
+  for (int k = 63; k >= 0; --k)
+    if (full & (std::size_t{1} << k)) ranks.push_back(static_cast<std::uint32_t>(k));
+  return ranks;
+}
+
+}  // namespace pregel

@@ -1,0 +1,78 @@
+// Splittable bag frontier (PBFS-style pennant forest, Leiserson & Schardl).
+//
+// A Bag holds an ordered multiset of 32-bit items in fixed-capacity leaf
+// chunks — the cache-friendly unit a work-stealing scheduler hands out. The
+// pennant forest is kept as the binary decomposition of the leaf sequence:
+// pennant k is a contiguous run of 2^k full leaves, so the forest never
+// reorders items. That ordering guarantee is what the engine's determinism
+// contract leans on: enumerating leaves left to right always replays the
+// exact insertion order, no matter how the bag was merged or split.
+//
+// Complexity: push is amortized O(1) (one leaf append, occasional carry
+// bookkeeping); merge is O(log n) pennant restructuring plus a leaf-pointer
+// splice; split is O(log n), peeling the largest pennants off the front.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pregel {
+
+class Bag {
+ public:
+  using Item = std::uint32_t;
+
+  /// Leaf capacity: the work-stealing grain. 256 items keeps a leaf within
+  /// a few cache lines of frontier indices while giving a skewed partition
+  /// enough chunks to spread across every lane.
+  static constexpr std::uint32_t kDefaultGrain = 256;
+
+  explicit Bag(std::uint32_t grain = kDefaultGrain);
+
+  std::uint32_t grain() const noexcept { return grain_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Append one item after every current item (amortized O(1)).
+  void push(Item x);
+
+  /// Bulk-build from a span, preserving order. Reuses leaf capacity from a
+  /// previous fill — the engine rebuilds its frontier bags every superstep
+  /// and must not reallocate every leaf every time.
+  void assign(std::span<const Item> items);
+
+  /// Remove all items but keep the leaf storage pooled for the next fill.
+  void clear();
+
+  /// Splice `other`'s items after this bag's items. O(log n) pennant
+  /// restructure + a leaf-vector splice; `other` is left empty.
+  void merge(Bag&& other);
+
+  /// Remove roughly the first half of the leaves (the largest pennants) into
+  /// a new bag, preserving order in both halves. The classic PBFS split a
+  /// thief uses to take work; O(log n) leaf-pointer moves.
+  Bag split();
+
+  /// Leaves in deterministic (insertion) order. Every leaf except possibly
+  /// the last holds exactly grain() items.
+  std::size_t num_leaves() const noexcept { return leaves_used_; }
+  std::span<const Item> leaf(std::size_t i) const;
+
+  /// Ranks of the pennants composing this bag, largest first — the binary
+  /// decomposition of the full-leaf count. Exposed for tests and stats.
+  std::vector<std::uint32_t> pennant_ranks() const;
+
+ private:
+  std::vector<Item>& back_leaf();
+
+  std::uint32_t grain_;
+  std::size_t size_ = 0;
+  /// Leaf chunks in item order. `leaves_used_` of them are live; the tail
+  /// beyond that is pooled capacity from earlier fills.
+  std::vector<std::vector<Item>> leaves_;
+  std::size_t leaves_used_ = 0;
+};
+
+}  // namespace pregel

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "cloud/blob.hpp"
 #include "cloud/cost_model.hpp"
 #include "cloud/elasticity.hpp"
@@ -263,6 +267,46 @@ TEST(ParsePrefixedCount, RejectsMalformed) {
   EXPECT_FALSE(parse_prefixed_count("act", "active:").has_value());           // shorter than prefix
   EXPECT_FALSE(
       parse_prefixed_count("active:18446744073709551616", "active:").has_value());  // overflow
+}
+
+// The hot-path bugfix sweep: the old strtoull-style parser accepted
+// non-canonical spellings, so two queue bodies could decode to the same count
+// while comparing unequal as strings. Canonical now means: digits only, no
+// sign, no whitespace, no leading zeros (except "0" itself).
+TEST(ParsePrefixedCount, RejectsNonCanonicalSpellings) {
+  EXPECT_FALSE(parse_prefixed_count("active:01", "active:").has_value());
+  EXPECT_FALSE(parse_prefixed_count("active:007", "active:").has_value());
+  EXPECT_FALSE(parse_prefixed_count("active:00", "active:").has_value());
+  EXPECT_FALSE(parse_prefixed_count("active:+1", "active:").has_value());
+  EXPECT_FALSE(parse_prefixed_count("active: 1", "active:").has_value());
+  EXPECT_FALSE(parse_prefixed_count("active:1 ", "active:").has_value());
+  EXPECT_FALSE(parse_prefixed_count("active:\t9", "active:").has_value());
+  EXPECT_FALSE(parse_prefixed_count("active:0x1f", "active:").has_value());
+  // Digit floods far past 20 digits must fail cleanly, not wrap.
+  EXPECT_FALSE(
+      parse_prefixed_count("active:999999999999999999999999999999", "active:").has_value());
+  // Embedded NUL: the string continues after the terminator byte.
+  EXPECT_FALSE(
+      parse_prefixed_count(std::string("active:1\0""2", 10), "active:").has_value());
+}
+
+// Round-trip property over adversarial magnitudes: every canonical encoding
+// parses back to itself, including both sides of each power-of-ten boundary
+// and the uint64 edge.
+TEST(ParsePrefixedCount, RoundTripsCanonicalEncodings) {
+  std::vector<std::uint64_t> samples{0, 1, 9, 10, 11, 4294967295ull, 4294967296ull,
+                                     18446744073709551614ull, 18446744073709551615ull};
+  for (std::uint64_t p10 = 1; p10 < 10000000000000000000ull; p10 *= 10) {
+    samples.push_back(p10 - 1);
+    samples.push_back(p10);
+    samples.push_back(p10 + 1);
+  }
+  for (const std::uint64_t v : samples) {
+    const std::string body = "superstep:" + std::to_string(v);
+    const auto parsed = parse_prefixed_count(body, "superstep:");
+    ASSERT_TRUE(parsed.has_value()) << body;
+    EXPECT_EQ(*parsed, v) << body;
+  }
 }
 
 TEST(FaultPlan, ValidatesRates) {

@@ -1,0 +1,258 @@
+// The bag-frontier stealing contract: a pathologically skewed partitioning
+// (one partition owns ~90% of the frontier) must produce bit-identical
+// values and modeled metrics at every lane count and under any steal
+// schedule. Steal counters themselves are wall-clock artifacts and are the
+// ONE exemption from the bit-identity contract; everything else — including
+// the direction-optimizer's pull/push decisions — must replay exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "algos/bc.hpp"
+#include "algos/components.hpp"
+#include "algos/sssp.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "partition/partitioner.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pregel {
+namespace {
+
+using algos::BcProgram;
+using algos::ComponentsProgram;
+using algos::SsspProgram;
+
+// ~90% of vertices piled into partition 0; the remainder round-robins over
+// the other partitions. Chunk queues seeded from this are maximally lopsided,
+// so dry lanes must steal to contribute.
+Partitioning skewed_partitioning(VertexId n, PartitionId parts) {
+  std::vector<PartitionId> assign(n, 0);
+  const VertexId tail_start = n - n / 10;
+  for (VertexId v = tail_start; v < n; ++v)
+    assign[v] = static_cast<PartitionId>(1 + (v - tail_start) % (parts - 1));
+  return {std::move(assign), parts};
+}
+
+ClusterConfig eight_partitions_four_vms() {
+  ClusterConfig c;
+  c.num_partitions = 8;
+  c.initial_workers = 4;
+  return c;
+}
+
+std::vector<std::uint32_t> lane_sweep() {
+  std::vector<std::uint32_t> lanes{1, 2, 4};
+  const unsigned hw = ThreadPool::hardware_threads();
+  if (hw > 1 && hw != 2 && hw != 4) lanes.push_back(hw);
+  return lanes;
+}
+
+// Full metric record, bit-for-bit, EXCLUDING steal counters (which depend on
+// the wall-clock race between lanes) but INCLUDING pull-mode decisions (which
+// are modeled and must replay).
+void expect_identical_modeled_metrics(const JobMetrics& a, const JobMetrics& b) {
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.setup_time, b.setup_time);
+  EXPECT_EQ(a.cost_usd, b.cost_usd);
+  EXPECT_EQ(a.pull_supersteps, b.pull_supersteps);
+  EXPECT_EQ(a.direction_switches, b.direction_switches);
+  ASSERT_EQ(a.supersteps.size(), b.supersteps.size());
+  for (std::size_t s = 0; s < a.supersteps.size(); ++s) {
+    const SuperstepMetrics& x = a.supersteps[s];
+    const SuperstepMetrics& y = b.supersteps[s];
+    EXPECT_EQ(x.active_vertices, y.active_vertices) << "superstep " << s;
+    EXPECT_EQ(x.active_roots, y.active_roots) << "superstep " << s;
+    EXPECT_EQ(x.span, y.span) << "superstep " << s;
+    EXPECT_EQ(x.barrier_overhead, y.barrier_overhead) << "superstep " << s;
+    EXPECT_EQ(x.pull_mode, y.pull_mode) << "superstep " << s;
+    ASSERT_EQ(x.workers.size(), y.workers.size()) << "superstep " << s;
+    for (std::size_t w = 0; w < x.workers.size(); ++w) {
+      const WorkerStepMetrics& u = x.workers[w];
+      const WorkerStepMetrics& v = y.workers[w];
+      EXPECT_EQ(u.vertices_computed, v.vertices_computed) << s << "/" << w;
+      EXPECT_EQ(u.messages_processed, v.messages_processed) << s << "/" << w;
+      EXPECT_EQ(u.messages_sent_local, v.messages_sent_local) << s << "/" << w;
+      EXPECT_EQ(u.messages_sent_remote, v.messages_sent_remote) << s << "/" << w;
+      EXPECT_EQ(u.bytes_sent_remote, v.bytes_sent_remote) << s << "/" << w;
+      EXPECT_EQ(u.memory_peak, v.memory_peak) << s << "/" << w;
+      EXPECT_EQ(u.compute_time, v.compute_time) << s << "/" << w;
+      EXPECT_EQ(u.network_time, v.network_time) << s << "/" << w;
+    }
+  }
+}
+
+TEST(WorkStealing, SkewedFrontierSsspBitIdenticalAcrossLanes) {
+  const Graph g = barabasi_albert(800, 3, 71);
+  const ClusterConfig c = eight_partitions_four_vms();
+  const Partitioning parts = skewed_partitioning(g.num_vertices(), c.num_partitions);
+
+  JobOptions o;
+  o.roots = {0};
+  o.frontier_grain = 16;  // many chunks per partition -> rich steal surface
+  o.parallelism = 1;
+  Engine<SsspProgram> serial(g, {}, c, parts);
+  const auto base = serial.run(o);
+  ASSERT_FALSE(base.failed);
+
+  for (std::uint32_t lanes : lane_sweep()) {
+    o.parallelism = lanes;
+    Engine<SsspProgram> e(g, {}, c, parts);
+    const auto r = e.run(o);
+    ASSERT_FALSE(r.failed) << lanes << " lanes";
+    ASSERT_EQ(r.values.size(), base.values.size());
+    for (std::size_t v = 0; v < r.values.size(); ++v)
+      EXPECT_EQ(r.values[v].distance, base.values[v].distance)
+          << "vertex " << v << ", " << lanes << " lanes";
+    expect_identical_modeled_metrics(r.metrics, base.metrics);
+  }
+}
+
+// BC layers every staged side effect (seeds, wakes, aggregates, root
+// completion, backward pointwise sends interleaved with forward broadcasts)
+// on top of the skewed frontier.
+TEST(WorkStealing, SkewedFrontierBcBitIdenticalAcrossLanes) {
+  const Graph g = barabasi_albert(400, 3, 73);
+  const ClusterConfig c = eight_partitions_four_vms();
+  const Partitioning parts = skewed_partitioning(g.num_vertices(), c.num_partitions);
+
+  std::vector<VertexId> roots;
+  for (VertexId r = 0; r < 16; ++r) roots.push_back(r * 11 % 400);
+
+  JobOptions o;
+  o.roots = roots;
+  o.swath = SwathPolicy::make(std::make_shared<StaticSwathSizer>(4),
+                              std::make_shared<StaticNInitiation>(2), 0);
+  o.frontier_grain = 16;
+  o.parallelism = 1;
+  Engine<BcProgram> serial(g, {}, c, parts);
+  const auto base = serial.run(o);
+  ASSERT_FALSE(base.failed);
+  EXPECT_EQ(base.roots_completed, roots.size());
+
+  for (std::uint32_t lanes : lane_sweep()) {
+    o.parallelism = lanes;
+    Engine<BcProgram> e(g, {}, c, parts);
+    const auto r = e.run(o);
+    EXPECT_EQ(r.roots_completed, base.roots_completed);
+    for (std::size_t v = 0; v < r.values.size(); ++v)
+      EXPECT_EQ(r.values[v].bc_score, base.values[v].bc_score)
+          << "vertex " << v << ", " << lanes << " lanes";
+    expect_identical_modeled_metrics(r.metrics, base.metrics);
+  }
+}
+
+// Under heavy skew a dry lane steals whenever its queue empties while work
+// remains — that needs no true parallelism, only that the lane gets scheduled
+// before the loaded lane drains hundreds of chunks. A single run can still
+// lose every race on a busy single-core builder, so retry a few times;
+// determinism makes repeat runs free.
+TEST(WorkStealing, SkewRecordsStealsAtParallelism) {
+  const Graph g = barabasi_albert(1500, 4, 79);
+  const ClusterConfig c = eight_partitions_four_vms();
+  const Partitioning parts = skewed_partitioning(g.num_vertices(), c.num_partitions);
+
+  JobOptions o;
+  o.start_all_vertices = true;
+  o.frontier_grain = 8;
+  o.parallelism = 4;
+
+  std::uint64_t steals = 0;
+  for (int attempt = 0; attempt < 8 && steals == 0; ++attempt) {
+    Engine<ComponentsProgram> e(g, {}, c, parts);
+    const auto r = e.run(o);
+    ASSERT_FALSE(r.failed);
+    steals = r.metrics.work_steals;
+    // stolen_chunks moves with steals: both zero or both positive.
+    EXPECT_EQ(r.metrics.work_steals == 0, r.metrics.stolen_chunks == 0);
+  }
+  EXPECT_GE(steals, 1u) << "no steal recorded in 8 skewed runs";
+}
+
+// Direction optimization is a traversal-order optimization, not a semantic
+// one: forced-pull, forced-push, and the auto heuristic must agree on values
+// and message counts exactly.
+TEST(DirectionOptimization, ModesAgreeBitIdentically) {
+  const Graph g = barabasi_albert(600, 3, 83);
+  const ClusterConfig c = eight_partitions_four_vms();
+  const Partitioning parts = skewed_partitioning(g.num_vertices(), c.num_partitions);
+
+  JobOptions o;
+  o.roots = {0};
+  o.parallelism = 2;
+  o.direction.mode = DirectionOptions::Mode::kOff;
+  Engine<SsspProgram> push(g, {}, c, parts);
+  const auto base = push.run(o);
+  ASSERT_FALSE(base.failed);
+  EXPECT_EQ(base.metrics.pull_supersteps, 0u);
+
+  for (const auto mode : {DirectionOptions::Mode::kAuto, DirectionOptions::Mode::kAlways}) {
+    o.direction.mode = mode;
+    Engine<SsspProgram> e(g, {}, c, parts);
+    const auto r = e.run(o);
+    ASSERT_FALSE(r.failed);
+    for (std::size_t v = 0; v < r.values.size(); ++v)
+      EXPECT_EQ(r.values[v].distance, base.values[v].distance) << "vertex " << v;
+    EXPECT_EQ(r.metrics.total_messages(), base.metrics.total_messages());
+    EXPECT_EQ(r.metrics.total_time, base.metrics.total_time);
+  }
+
+  // Forced pull actually engages: every superstep with traffic runs pulled.
+  o.direction.mode = DirectionOptions::Mode::kAlways;
+  Engine<SsspProgram> pulled(g, {}, c, parts);
+  const auto rp = pulled.run(o);
+  EXPECT_GT(rp.metrics.pull_supersteps, 0u);
+}
+
+// The auto heuristic's switch sequence is part of the modeled record: it must
+// be identical at every lane count (decide_direction reads only modeled
+// frontier state), and dense label floods should actually trigger it.
+TEST(DirectionOptimization, AutoHeuristicReplaysAcrossLanes) {
+  const Graph g = watts_strogatz(700, 6, 0.15, 89);
+  const ClusterConfig c = eight_partitions_four_vms();
+  const Partitioning parts = skewed_partitioning(g.num_vertices(), c.num_partitions);
+
+  JobOptions o;
+  o.start_all_vertices = true;
+  o.parallelism = 1;
+  Engine<ComponentsProgram> serial(g, {}, c, parts);
+  const auto base = serial.run(o);
+  // A start-all label flood saturates the frontier: the heuristic must pull.
+  EXPECT_GT(base.metrics.pull_supersteps, 0u);
+
+  for (std::uint32_t lanes : lane_sweep()) {
+    o.parallelism = lanes;
+    Engine<ComponentsProgram> e(g, {}, c, parts);
+    const auto r = e.run(o);
+    for (std::size_t v = 0; v < r.values.size(); ++v)
+      EXPECT_EQ(r.values[v].label, base.values[v].label)
+          << "vertex " << v << ", " << lanes << " lanes";
+    expect_identical_modeled_metrics(r.metrics, base.metrics);
+  }
+}
+
+// Inbox-shrink hygiene: re-running the same job on the same engine must not
+// inherit capacity or staging state from the first run — memory_peak and
+// every other modeled metric replay bit-for-bit.
+TEST(WorkStealing, RerunOnSameEngineIsBitIdentical) {
+  const Graph g = barabasi_albert(500, 3, 97);
+  const ClusterConfig c = eight_partitions_four_vms();
+  const Partitioning parts = skewed_partitioning(g.num_vertices(), c.num_partitions);
+
+  JobOptions o;
+  o.roots = {0};
+  o.frontier_grain = 16;
+  o.parallelism = 4;
+  Engine<SsspProgram> e(g, {}, c, parts);
+  const auto first = e.run(o);
+  const auto second = e.run(o);
+  ASSERT_FALSE(first.failed);
+  ASSERT_FALSE(second.failed);
+  for (std::size_t v = 0; v < first.values.size(); ++v)
+    EXPECT_EQ(first.values[v].distance, second.values[v].distance) << "vertex " << v;
+  expect_identical_modeled_metrics(first.metrics, second.metrics);
+}
+
+}  // namespace
+}  // namespace pregel

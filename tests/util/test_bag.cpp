@@ -1,0 +1,129 @@
+// The bag frontier's one load-bearing promise: leaf enumeration replays
+// insertion order exactly, under any sequence of pushes, bulk fills, merges,
+// and splits. The engine's bit-identity contract stands on that.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "util/bag.hpp"
+#include "util/rng.hpp"
+
+namespace pregel {
+namespace {
+
+std::vector<std::uint32_t> enumerate(const Bag& b) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < b.num_leaves(); ++i) {
+    const auto leaf = b.leaf(i);
+    out.insert(out.end(), leaf.begin(), leaf.end());
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> iota(std::uint32_t n, std::uint32_t start = 0) {
+  std::vector<std::uint32_t> v(n);
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+TEST(Bag, PushPreservesOrderAcrossLeafBoundaries) {
+  Bag b(4);
+  const auto items = iota(11);
+  for (std::uint32_t x : items) b.push(x);
+  EXPECT_EQ(b.size(), items.size());
+  EXPECT_EQ(b.num_leaves(), 3u);  // 4 + 4 + 3
+  EXPECT_EQ(enumerate(b), items);
+  // Every leaf but the last is exactly grain-sized.
+  for (std::size_t i = 0; i + 1 < b.num_leaves(); ++i)
+    EXPECT_EQ(b.leaf(i).size(), b.grain());
+}
+
+TEST(Bag, AssignMatchesPushAndReusesLeafStorage) {
+  Bag b(8);
+  b.assign(std::span<const std::uint32_t>(iota(100)));
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(enumerate(b), iota(100));
+
+  // Refill with fewer items: pooled leaves shrink the live window, order
+  // and contents still exact.
+  b.assign(std::span<const std::uint32_t>(iota(17, 500)));
+  EXPECT_EQ(b.size(), 17u);
+  EXPECT_EQ(b.num_leaves(), 3u);
+  EXPECT_EQ(enumerate(b), iota(17, 500));
+
+  b.clear();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.num_leaves(), 0u);
+}
+
+TEST(Bag, MergeConcatenatesInOrder) {
+  Bag a(4), b(4);
+  a.assign(std::span<const std::uint32_t>(iota(10)));
+  b.assign(std::span<const std::uint32_t>(iota(7, 100)));
+  a.merge(std::move(b));
+  auto expect = iota(10);
+  const auto tail = iota(7, 100);
+  expect.insert(expect.end(), tail.begin(), tail.end());
+  EXPECT_EQ(a.size(), 17u);
+  EXPECT_EQ(enumerate(a), expect);
+  EXPECT_TRUE(b.empty());  // NOLINT(bugprone-use-after-move): documented post-state
+}
+
+TEST(Bag, SplitTakesPrefixAndPreservesBothHalves) {
+  Bag a(4);
+  const auto items = iota(25);
+  a.assign(std::span<const std::uint32_t>(items));
+  Bag front = a.split();
+  EXPECT_EQ(front.grain(), a.grain());
+  EXPECT_GT(front.size(), 0u);
+  // Concatenating the halves reproduces the original sequence exactly.
+  auto got = enumerate(front);
+  const auto rest = enumerate(a);
+  got.insert(got.end(), rest.begin(), rest.end());
+  EXPECT_EQ(got, items);
+  // The split peels leading leaves: the front half is a prefix.
+  EXPECT_EQ(enumerate(front),
+            std::vector<std::uint32_t>(items.begin(),
+                                       items.begin() + static_cast<long>(front.size())));
+}
+
+TEST(Bag, PennantRanksAreBinaryDecompositionOfFullLeaves) {
+  Bag b(2);
+  b.assign(std::span<const std::uint32_t>(iota(22)));  // 11 full leaves
+  const auto ranks = b.pennant_ranks();                // 11 = 8 + 2 + 1
+  EXPECT_EQ(ranks, (std::vector<std::uint32_t>{3, 1, 0}));
+}
+
+TEST(Bag, RandomizedMergeSplitRoundTrip) {
+  Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint32_t grain = 1 + static_cast<std::uint32_t>(rng.next() % 16);
+    Bag a(grain), b(grain);
+    std::vector<std::uint32_t> expect;
+    const std::uint32_t na = static_cast<std::uint32_t>(rng.next() % 200);
+    const std::uint32_t nb = static_cast<std::uint32_t>(rng.next() % 200);
+    for (std::uint32_t i = 0; i < na; ++i) {
+      a.push(i);
+      expect.push_back(i);
+    }
+    for (std::uint32_t i = 0; i < nb; ++i) {
+      b.push(1000 + i);
+      expect.push_back(1000 + i);
+    }
+    a.merge(std::move(b));
+    if (rng.next() % 2 == 0 && !a.empty()) {
+      Bag front = a.split();
+      auto got = enumerate(front);
+      const auto rest = enumerate(a);
+      got.insert(got.end(), rest.begin(), rest.end());
+      EXPECT_EQ(got, expect) << "trial " << trial << " grain " << grain;
+    } else {
+      EXPECT_EQ(enumerate(a), expect) << "trial " << trial << " grain " << grain;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pregel
