@@ -9,6 +9,7 @@
 // median/p90 wall times and the engine's perf-counter totals.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "partition/partitioner.hpp"
 #include "partition/streaming.hpp"
 #include "runtime/trace.hpp"
+#include "sched/scheduler.hpp"
 
 namespace {
 
@@ -127,6 +129,54 @@ BENCHMARK(BM_EngineSkewedFrontier)
     ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// Multi-job scheduler: a 6-job mixed plan (PageRank + SSSP, staggered
+// arrivals, two users) driven through JobScheduler on an 8-VM pool under the
+// fair-share policy. Items = completed jobs; the jobs_per_hour_per_usd
+// counter carries the modeled cost-efficiency (lower is worse — CI gates it
+// alongside the wall-clock rate via check_regression.py).
+void BM_SchedulerThroughput(benchmark::State& state) {
+  static const Graph g_small = barabasi_albert(4000, 5, 41);
+  static const Graph g_big = barabasi_albert(12000, 5, 42);
+  static const auto parts_small = HashPartitioner{}.partition(g_small, 8);
+  static const auto parts_big = HashPartitioner{}.partition(g_big, 8);
+  std::uint64_t completed = 0;
+  double jphpu = 0.0;
+  for (auto _ : state) {
+    sched::SchedulerOptions opts;
+    opts.pool_vms = 8;
+    sched::JobScheduler scheduler(opts);
+    JobOptions all;
+    all.start_all_vertices = true;
+    JobOptions root0;
+    root0.roots = {0};
+    for (std::size_t i = 0; i < 6; ++i) {
+      sched::JobSpec spec;
+      spec.name = "job" + std::to_string(i);
+      spec.user = (i % 2 != 0) ? "bob" : "alice";
+      spec.arrival = static_cast<double>(i) * 0.5;
+      ClusterConfig c;
+      c.num_partitions = 8;
+      c.initial_workers = (i % 2 != 0) ? 8 : 4;
+      if (i % 2 != 0)
+        scheduler.submit(spec, std::make_unique<sched::TypedJob<SsspProgram>>(
+                                   g_big, SsspProgram{}, c, parts_big, root0));
+      else
+        scheduler.submit(spec, std::make_unique<sched::TypedJob<PageRankProgram>>(
+                                   g_small, PageRankProgram{5, 0.85}, c, parts_small,
+                                   all));
+    }
+    scheduler.run_all();
+    completed += scheduler.pool().jobs_completed;
+    jphpu = scheduler.pool().jobs_per_hour_per_usd;
+    benchmark::DoNotOptimize(scheduler.pool());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+  state.counters["jobs/s"] = benchmark::Counter(static_cast<double>(completed),
+                                                benchmark::Counter::kIsRate);
+  state.counters["jobs_per_hour_per_usd"] = benchmark::Counter(jphpu);
+}
+BENCHMARK(BM_SchedulerThroughput)->Unit(benchmark::kMillisecond);
 
 void BM_EngineTraversal(benchmark::State& state) {
   const Graph& g = bench_graph();

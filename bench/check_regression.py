@@ -2,18 +2,31 @@
 """Benchmark regression gate for CI's bench-smoke job.
 
 Compares a fresh google-benchmark JSON run of bench_micro_engine against the
-checked-in baseline and fails (exit 1) when throughput regresses beyond the
-threshold.
+checked-in baseline and fails (exit 1) when a gated metric regresses beyond
+the threshold.
 
 Usage:
     python3 bench/check_regression.py CURRENT.json [BASELINE.json]
-        [--benchmark BM_EngineMessageRouting] [--threshold 0.25]
+        [--benchmark SPEC ...] [--threshold 0.25]
 
-The gate reads `items_per_second` from every non-aggregate entry whose name
-starts with the gated benchmark (e.g. BM_EngineMessageRouting/2,
-BM_EngineMessageRouting/5) and compares per-name medians. A name present in
-the baseline but missing from the current run is an error; extra names in the
-current run are ignored (new benchmarks don't need a baseline entry yet).
+Each --benchmark SPEC is NAME[:METRIC[:DIRECTION]]:
+
+    NAME       benchmark-name prefix (e.g. BM_EngineMessageRouting)
+    METRIC     JSON field or counter to gate (default: items_per_second)
+    DIRECTION  'higher' (default) = the metric is good when large, a drop
+               beyond the threshold fails; 'lower' = the metric is good when
+               small, a *rise* beyond the threshold fails (e.g. latency).
+
+--benchmark is repeatable, so one invocation gates several benchmarks (and
+several metrics of the same benchmark). With no --benchmark flags the gate
+defaults to BM_EngineMessageRouting:items_per_second, matching the original
+single-gate behavior.
+
+For every spec, the gate reads METRIC from each non-aggregate entry whose
+name starts with NAME (e.g. BM_EngineMessageRouting/2, .../5) and compares
+per-name medians. A name present in the baseline but missing from the current
+run is an error; extra names in the current run are ignored (new benchmarks
+don't need a baseline entry yet).
 
 Refreshing the baseline after an intentional perf change (one line):
     cp BENCH_micro_engine.json bench/baselines/micro_engine.json
@@ -32,8 +45,23 @@ import statistics
 import sys
 
 
-def medians_by_name(path, prefix):
-    """Map benchmark name -> median items_per_second across repetitions."""
+def parse_spec(spec):
+    """'NAME[:METRIC[:DIRECTION]]' -> (name, metric, higher_is_better)."""
+    parts = spec.split(":")
+    if len(parts) > 3:
+        raise SystemExit(f"error: bad --benchmark spec '{spec}'")
+    name = parts[0]
+    metric = parts[1] if len(parts) > 1 and parts[1] else "items_per_second"
+    direction = parts[2] if len(parts) > 2 and parts[2] else "higher"
+    if direction not in ("higher", "lower"):
+        raise SystemExit(
+            f"error: direction in '{spec}' must be 'higher' or 'lower'"
+        )
+    return name, metric, direction == "higher"
+
+
+def medians_by_name(path, prefix, metric):
+    """Map benchmark name -> median of `metric` across repetitions."""
     with open(path) as f:
         data = json.load(f)
     samples = {}
@@ -47,10 +75,44 @@ def medians_by_name(path, prefix):
         name = entry.get("run_name", entry["name"])
         if not name.startswith(prefix):
             continue
-        if "items_per_second" not in entry:
+        if metric not in entry:
             continue
-        samples.setdefault(name, []).append(float(entry["items_per_second"]))
+        samples.setdefault(name, []).append(float(entry[metric]))
     return {name: statistics.median(vals) for name, vals in samples.items()}
+
+
+def gate_one(args, name, metric, higher_is_better):
+    """Gate one benchmark/metric pair; returns the list of failing names."""
+    current = medians_by_name(args.current, name, metric)
+    baseline = medians_by_name(args.baseline, name, metric)
+    if not baseline:
+        print(f"error: no '{name}' entries with '{metric}' in {args.baseline}")
+        return [f"{name}:{metric}"]
+    if not current:
+        print(f"error: no '{name}' entries with '{metric}' in {args.current}")
+        return [f"{name}:{metric}"]
+
+    failures = []
+    for bench, base in sorted(baseline.items()):
+        label = f"{bench} [{metric}]"
+        if bench not in current:
+            print(f"error: baseline entry {bench} missing from current run")
+            failures.append(label)
+            continue
+        now = current[bench]
+        change = (now - base) / base if base != 0 else 0.0
+        # 'higher': a drop beyond the threshold fails. 'lower': a rise does.
+        bad = change < -args.threshold if higher_is_better else change > args.threshold
+        status = "OK"
+        if bad:
+            worse = "drop" if higher_is_better else "rise"
+            status = f"REGRESSION (> {args.threshold:.0%} {worse})"
+            failures.append(label)
+        print(
+            f"{label}: baseline {base:,.2f} -> current {now:,.2f} "
+            f"({change:+.1%}) {status}"
+        )
+    return failures
 
 
 def main():
@@ -62,40 +124,26 @@ def main():
         default="bench/baselines/micro_engine.json",
         help="checked-in baseline JSON (default: %(default)s)",
     )
-    parser.add_argument("--benchmark", default="BM_EngineMessageRouting")
+    parser.add_argument(
+        "--benchmark",
+        action="append",
+        default=None,
+        help="NAME[:METRIC[:DIRECTION]], repeatable "
+        "(default: BM_EngineMessageRouting:items_per_second:higher)",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
         default=0.25,
-        help="max allowed fractional items/s drop (default: %(default)s)",
+        help="max allowed fractional change for the worse (default: %(default)s)",
     )
     args = parser.parse_args()
 
-    current = medians_by_name(args.current, args.benchmark)
-    baseline = medians_by_name(args.baseline, args.benchmark)
-    if not baseline:
-        print(f"error: no '{args.benchmark}' entries in baseline {args.baseline}")
-        return 1
-    if not current:
-        print(f"error: no '{args.benchmark}' entries in {args.current}")
-        return 1
-
+    specs = args.benchmark or ["BM_EngineMessageRouting"]
     failures = []
-    for name, base in sorted(baseline.items()):
-        if name not in current:
-            print(f"error: baseline entry {name} missing from current run")
-            failures.append(name)
-            continue
-        now = current[name]
-        change = (now - base) / base
-        status = "OK"
-        if change < -args.threshold:
-            status = f"REGRESSION (> {args.threshold:.0%} drop)"
-            failures.append(name)
-        print(
-            f"{name}: baseline {base:,.0f} items/s -> current {now:,.0f} items/s "
-            f"({change:+.1%}) {status}"
-        )
+    for spec in specs:
+        name, metric, higher = parse_spec(spec)
+        failures.extend(gate_one(args, name, metric, higher))
 
     if failures:
         print(f"\nbench gate FAILED for: {', '.join(failures)}")

@@ -33,6 +33,26 @@ enum class RecoveryMode {
 
 const char* to_string(RecoveryMode mode) noexcept;
 
+/// Scale-in rung: when a job's frontier collapses, retire idle VMs mid-job
+/// and re-home their partitions through the MigrationExecutor, returning the
+/// capacity to the pool (a multi-job scheduler reclaims it between slices).
+/// The trigger reads modeled job-own state only — active-vertex density and
+/// pending swath roots — so the decision, like every other elasticity rung,
+/// is part of the bit-identity contract and reproduces in a solo run.
+struct ScaleInOptions {
+  bool enabled = false;
+  /// Retire when active vertices / total vertices stays below this...
+  double density_threshold = 0.05;
+  /// ...for this many consecutive barriers (debounces frontier oscillation,
+  /// e.g. a direction-optimized wave straddling the pull/push switch).
+  std::uint32_t patience = 2;
+  /// Never shrink below this many VMs.
+  std::uint32_t min_workers = 1;
+  /// Barriers to wait after a retirement before considering the next one,
+  /// so the re-homed partitions' first supersteps inform the next decision.
+  std::uint32_t cooldown = 2;
+};
+
 /// The simulated deployment: how many graph partitions exist, how many
 /// worker VMs host them, what hardware each VM is, and how the environment
 /// behaves (cost model parameters, tenancy noise, elastic scaling policy).
@@ -65,6 +85,10 @@ struct ClusterConfig {
   /// charged; results stay bit-identical to the unmigrated run (see
   /// docs/ELASTICITY.md).
   MigrationOptions migration;
+  /// Frontier-collapse scale-in (off by default). Retirement re-homes the
+  /// departing VM's partitions over the modeled transfer planes via the same
+  /// redistribution path scaling events use, so every byte is charged.
+  ScaleInOptions scale_in;
 
   // -- Fault tolerance (Pregel's checkpoint/recovery, which the paper lists
   // -- among the advanced features its framework could support) ------------

@@ -229,17 +229,39 @@ class Engine {
   }
 
   JobResult<Program> run(const JobOptions& opts) {
+    trace::Span job_span("engine.run", "engine");
+    JobResult<Program> result;
+    if (start(opts, result)) {
+      while (advance(result) == StepStatus::kRunning) {
+      }
+    }
+    finish(result);
+    return result;
+  }
+
+  // ---- re-entrant (scheduled-slice) execution -------------------------------
+  //
+  // `start` + repeated `advance` + `finish` is exactly `run`, sliced at
+  // superstep granularity so a multi-job scheduler (src/sched/) can
+  // interleave many engines over a shared VM pool. Nothing engine-visible
+  // happens between slices: pausing, preempting, and resuming a job leave
+  // every value, modeled time, and metric bit-identical to the solo run.
+
+  /// One `advance` outcome: the job wants another slice, or it is finished
+  /// (halted, failed, or out of supersteps) and only `finish` remains.
+  enum class StepStatus { kRunning, kDone };
+
+  /// Begin a run: validate, reset state, simulate setup, and perform the
+  /// pre-superstep-0 barrier (initial activation / first swath / implicit
+  /// snapshot). Returns false when the job dies during setup — the caller
+  /// should skip straight to finish().
+  bool start(const JobOptions& opts, JobResult<Program>& result) {
     validate(opts);
     reset_run_state(opts);
-    trace::Span job_span("engine.run", "engine");
 
-    JobResult<Program> result;
     result.metrics.recovery_mode =
         cluster_.checkpoint_interval > 0 ? to_string(cluster_.recovery_mode) : "none";
-    if (!simulate_setup(result)) {
-      collect(result);
-      return result;
-    }
+    if (!simulate_setup(result)) return false;
 
     // Barrier before superstep 0: activate all vertices (PageRank-style) or
     // inject the first swath of roots.
@@ -262,80 +284,102 @@ class Engine {
     if ((cluster_.checkpoint_interval > 0 || governor_.enabled()) &&
         !checkpoint_.has_value())
       take_snapshot(0);
+    return true;
+  }
 
-    std::uint64_t executed = 0;
-    while (superstep_ < opts_.max_supersteps && executed++ < 4 * opts_.max_supersteps) {
-      prepare_superstep();
-      if (!any_activity()) break;
+  /// Execute one superstep attempt (or one recovery/rewind replay step).
+  /// Exactly one iteration of the classic run loop; kDone means the loop
+  /// would have exited — call finish() to collect the result.
+  StepStatus advance(JobResult<Program>& result) {
+    if (result.failed) return StepStatus::kDone;
+    if (!(superstep_ < opts_.max_supersteps && executed_++ < 4 * opts_.max_supersteps))
+      return StepStatus::kDone;
+    prepare_superstep();
+    if (!any_activity()) return StepStatus::kDone;
 
-      // Control plane, exactly as §III describes: the manager posts one
-      // superstep token per worker to the "step" queue; each worker dequeues
-      // its token, computes, then checks in through the "barrier" queue with
-      // its active-vertex count, which the manager drains to decide halting.
-      // Every queue op runs under the retry policy: transient failures are
-      // masked at backoff cost, an exhausted budget kills the worker.
-      control_superstep_begin(result);
+    // Control plane, exactly as §III describes: the manager posts one
+    // superstep token per worker to the "step" queue; each worker dequeues
+    // its token, computes, then checks in through the "barrier" queue with
+    // its active-vertex count, which the manager drains to decide halting.
+    // Every queue op runs under the retry policy: transient failures are
+    // masked at backoff cost, an exhausted budget kills the worker.
+    control_superstep_begin(result);
 
-      SuperstepMetrics sm = execute_superstep();
-      const bool restarted = finalize_timing(sm, result);
-      control_superstep_end(sm, result);
-      settle_control_latency(sm, result);
-      if (confined_replay_active()) result.metrics.confined_replay_time += sm.span;
-      result.metrics.supersteps.push_back(std::move(sm));
-      if (restarted) break;
+    SuperstepMetrics sm = execute_superstep();
+    const bool restarted = finalize_timing(sm, result);
+    control_superstep_end(sm, result);
+    settle_control_latency(sm, result);
+    if (confined_replay_active()) result.metrics.confined_replay_time += sm.span;
+    result.metrics.supersteps.push_back(std::move(sm));
+    if (restarted) return StepStatus::kDone;
 
-      // Worker failure (fault-injection model): a worker missing the barrier
-      // — VM death, spot preemption, a control op past its retry budget, or
-      // a whole availability zone going dark — is detected by the job
-      // manager. With a checkpoint we roll back (confined to the lost
-      // partitions when so configured) and replay; without one the job is
-      // lost (Pregel without fault tolerance).
-      const FailureEvent event = collect_failures(result);
-      if (!event.dead.empty()) {
-        result.metrics.worker_failures += static_cast<std::uint32_t>(event.dead.size());
-        if (!checkpoint_.has_value()) {
-          result.failed = true;
-          result.failure_reason = failure_description(event) + " at superstep " +
-                                  std::to_string(superstep_) +
-                                  " with no checkpoint to recover from";
-          break;
-        }
-        if (event.zone && cluster_.availability_zones > 1 &&
-            !cluster_.replicate_checkpoints_across_zones) {
-          // The lost zone took the checkpoint blobs homed in it down with
-          // the VMs that wrote them: without cross-zone replicas there is
-          // nothing left to restore from.
-          result.failed = true;
-          result.failure_reason = failure_description(event) + " at superstep " +
-                                  std::to_string(superstep_) +
-                                  " lost its checkpoints: no cross-zone replicas configured";
-          break;
-        }
-        if (cluster_.recovery_mode == RecoveryMode::kConfined && !confined_replay_active())
-          recover_confined(result, event.dead);
-        else
-          recover_from_checkpoint(result);
-        continue;  // re-execute from the restored superstep
+    // Worker failure (fault-injection model): a worker missing the barrier
+    // — VM death, spot preemption, a control op past its retry budget, or
+    // a whole availability zone going dark — is detected by the job
+    // manager. With a checkpoint we roll back (confined to the lost
+    // partitions when so configured) and replay; without one the job is
+    // lost (Pregel without fault tolerance).
+    const FailureEvent event = collect_failures(result);
+    if (!event.dead.empty()) {
+      result.metrics.worker_failures += static_cast<std::uint32_t>(event.dead.size());
+      if (!checkpoint_.has_value()) {
+        result.failed = true;
+        result.failure_reason = failure_description(event) + " at superstep " +
+                                std::to_string(superstep_) +
+                                " with no checkpoint to recover from";
+        return StepStatus::kDone;
       }
-
-      // Memory-pressure governor, rungs 2-3: at the barrier, decide whether
-      // this superstep's pressure warrants parking roots (shed) or a
-      // governed-OOM restore. Both rewind to the snapshot and re-execute.
-      const GovernorVerdict verdict = governor_step(result);
-      if (verdict == GovernorVerdict::kRewound) continue;
-      if (verdict == GovernorVerdict::kFailed) break;
-
-      run_barrier(result);
-      maybe_checkpoint(result);
-      if (halt_requested_) break;
-      ++superstep_;
-      if (!replay_lost_vms_.empty() && superstep_ > confined_replay_until_)
-        replay_lost_vms_.clear();
+      if (event.zone && cluster_.availability_zones > 1 &&
+          !cluster_.replicate_checkpoints_across_zones) {
+        // The lost zone took the checkpoint blobs homed in it down with
+        // the VMs that wrote them: without cross-zone replicas there is
+        // nothing left to restore from.
+        result.failed = true;
+        result.failure_reason = failure_description(event) + " at superstep " +
+                                std::to_string(superstep_) +
+                                " lost its checkpoints: no cross-zone replicas configured";
+        return StepStatus::kDone;
+      }
+      if (cluster_.recovery_mode == RecoveryMode::kConfined && !confined_replay_active())
+        recover_confined(result, event.dead);
+      else
+        recover_from_checkpoint(result);
+      return StepStatus::kRunning;  // re-execute from the restored superstep
     }
 
-    collect(result);
-    return result;
+    // Memory-pressure governor, rungs 2-3: at the barrier, decide whether
+    // this superstep's pressure warrants parking roots (shed) or a
+    // governed-OOM restore. Both rewind to the snapshot and re-execute.
+    const GovernorVerdict verdict = governor_step(result);
+    if (verdict == GovernorVerdict::kRewound) return StepStatus::kRunning;
+    if (verdict == GovernorVerdict::kFailed) return StepStatus::kDone;
+
+    run_barrier(result);
+    maybe_checkpoint(result);
+    if (halt_requested_) return StepStatus::kDone;
+    ++superstep_;
+    if (!replay_lost_vms_.empty() && superstep_ > confined_replay_until_)
+      replay_lost_vms_.clear();
+    return StepStatus::kRunning;
   }
+
+  /// Collect the final values and cost totals into `result`. Idempotent;
+  /// the classic run() calls it once after the loop drains.
+  void finish(JobResult<Program>& result) { collect(result); }
+
+  // ---- pool-facing accessors (read-only; consulted between slices) ---------
+
+  /// VMs this job currently holds (the scheduler polls this after each slice
+  /// to reclaim capacity the scale-in rung returned).
+  std::uint32_t current_workers() const noexcept { return workers_now_; }
+  std::uint64_t current_superstep() const noexcept { return superstep_; }
+  /// Modeled spend so far (admission-control budget enforcement).
+  Usd cost_so_far() const { return meter_.total_usd(); }
+  Seconds vm_seconds_so_far() const { return meter_.total_vm_seconds(); }
+  /// Manifest a scheduler persists via cloud::JobManager when preempting
+  /// this job between slices; resuming later needs nothing else, because the
+  /// engine object itself retains the (deterministic) in-memory state.
+  cloud::ManagerManifest preemption_manifest() const { return current_manifest(); }
 
  private:
   friend class VertexContext<Program>;
@@ -549,6 +593,9 @@ class Engine {
     last_active_vertices_ = 0;
     workers_now_ = cluster_.initial_workers;
     workers_changed_ = false;
+    executed_ = 0;
+    scale_in_quiet_ = 0;
+    scale_in_cooldown_ = 0;
     // Each run bills from zero: JobMetrics::cost_usd is this job's spend, not
     // a lifetime total for the engine (reuse would silently double-charge).
     meter_.reset();
@@ -1643,6 +1690,58 @@ class Engine {
     if (cluster_.migration.enabled() && cluster_.migration.period > 0 &&
         (superstep_ + 1) % cluster_.migration.period == 0) {
       plan_and_migrate(result, "periodic");
+    }
+
+    // 6. Frontier-collapse scale-in: retire an idle VM and return its
+    // capacity (to the pool, under a scheduler; to the bill, solo).
+    maybe_scale_in(result);
+  }
+
+  /// Scale-in rung: when the active frontier has stayed below the density
+  /// threshold for `patience` consecutive barriers — and no pending swath
+  /// roots could regrow it — retire one VM and re-home its partitions over
+  /// the modeled transfer planes. The trigger reads modeled job-own state
+  /// only, so a solo run and a scheduled run retire at the same barriers
+  /// (bit-identity), and a scheduler polling current_workers() between
+  /// slices reclaims the freed VM for queued jobs.
+  void maybe_scale_in(JobResult<Program>& result) {
+    const ScaleInOptions& si = cluster_.scale_in;
+    if (!si.enabled) return;
+    if (scale_in_cooldown_ > 0) --scale_in_cooldown_;
+    const double density =
+        graph_->num_vertices() == 0
+            ? 0.0
+            : static_cast<double>(last_active_vertices_) /
+                  static_cast<double>(graph_->num_vertices());
+    const bool roots_pending = next_root_ < pending_roots_.size();
+    if (density >= si.density_threshold || roots_pending) {
+      scale_in_quiet_ = 0;
+      return;
+    }
+    ++scale_in_quiet_;
+    if (scale_in_quiet_ < si.patience || scale_in_cooldown_ > 0) return;
+    if (workers_now_ <= std::max<std::uint32_t>(si.min_workers, 1)) return;
+
+    trace::Span span("engine.scale_in", "cloud", "superstep", superstep_);
+    const std::vector<std::uint32_t> old_placement = placement_;
+    workers_now_ -= 1;
+    workers_changed_ = true;  // next superstep's span absorbs scale_event_cost
+    reset_placement_to_modulo();
+    vm_straggler_counts_.assign(workers_now_, 0);
+    recompute_baseline_memory();
+    charge_partition_redistribution(old_placement, result);
+    if (cluster_.migration.enabled() && cluster_.migration.on_scaling)
+      plan_and_migrate(result, "scale-in");
+    ++result.metrics.scale_ins;
+    scale_in_quiet_ = 0;
+    scale_in_cooldown_ = si.cooldown;
+    trace::add("engine.scale_ins", 1);
+    if (trace::spans_on()) {
+      const std::string args = "{\"superstep\":" + std::to_string(superstep_) +
+                               ",\"workers\":" + std::to_string(workers_now_) + "}";
+      trace::Tracer::instance().instant("scale.in", "cloud", args);
+      trace::Tracer::instance().virtual_instant("scale.in", "cloud", virtual_now_us_,
+                                                args);
     }
   }
 
@@ -3000,6 +3099,14 @@ class Engine {
   bool halt_requested_ = false;
   std::uint32_t workers_now_ = 1;
   bool workers_changed_ = false;
+  /// Superstep attempts this run (includes recovery/rewind replays); the
+  /// 4x max_supersteps runaway guard the classic loop applied, kept as a
+  /// member so a scheduler can slice the run across advance() calls.
+  std::uint64_t executed_ = 0;
+  /// Scale-in debounce: consecutive quiet (below-threshold) barriers, and
+  /// barriers left before the next retirement is considered.
+  std::uint32_t scale_in_quiet_ = 0;
+  std::uint32_t scale_in_cooldown_ = 0;
 
   Aggregates agg_cur_;
   Globals globals_, globals_next_;

@@ -156,6 +156,9 @@ struct JobMetrics {
   /// Governor hard-watermark episodes resolved by scaling out + migrating
   /// instead of shedding (no rewind).
   std::uint32_t governor_scale_outs = 0;
+  /// Scale-in rung: VMs retired mid-job after the frontier collapsed, their
+  /// partitions re-homed through the migration executor (docs/SCHEDULER.md).
+  std::uint32_t scale_ins = 0;
 
   // Memory-pressure governor (degradation ladder; see docs/FAULTS.md).
   std::uint32_t governor_vetoes = 0;       ///< swath initiations skipped (soft watermark)
@@ -177,6 +180,54 @@ struct JobMetrics {
   Seconds total_busy_time() const noexcept;
   /// busy / (busy + wait): aggregate utilization over the job.
   double utilization() const noexcept;
+};
+
+// ---------------------------------------------------------------------------
+// Multi-job serving (src/sched/): per-job and pool-level rollups.
+
+/// One admitted job's scheduling outcome, as seen from the pool. Everything
+/// the engine modeled (values, JobMetrics) lives in the job's own result;
+/// these rows add only what the *scheduler* caused — queue wait, preemptions,
+/// slices — so the engine-side numbers stay bit-identical to a solo run.
+struct JobRow {
+  std::uint64_t id = 0;
+  std::string name;
+  std::string user;
+  std::string state;          ///< "done", "failed", "rejected"
+  Seconds arrival = 0.0;      ///< modeled submission time
+  Seconds admitted = 0.0;     ///< first admission (== arrival when no queue)
+  Seconds completed = 0.0;    ///< pool clock at completion
+  Seconds wait_time = 0.0;    ///< queued + preempted time, outside the engine
+  Seconds run_time = 0.0;     ///< the engine's modeled total_time
+  Usd cost_usd = 0.0;         ///< the engine's modeled spend
+  std::uint32_t workers_peak = 0;
+  std::uint32_t workers_final = 0;  ///< after any scale-in retirements
+  std::uint32_t preemptions = 0;
+  std::uint32_t scale_ins = 0;
+  std::uint64_t supersteps = 0;
+};
+
+/// Pool-level rollup of one scheduler run. `jobs_per_hour_per_usd` is the
+/// serving layer's headline metric: completed jobs per modeled pool-hour per
+/// dollar of modeled spend (engine costs + scheduler overheads).
+struct PoolMetrics {
+  std::string policy;               ///< queue policy name
+  std::uint32_t pool_vms = 0;
+  std::uint32_t jobs_submitted = 0;
+  std::uint32_t jobs_completed = 0;
+  std::uint32_t jobs_failed = 0;
+  std::uint32_t jobs_rejected = 0;  ///< failed admission control
+  std::uint32_t preemptions = 0;
+  std::uint32_t resumes = 0;
+  std::uint32_t scale_ins = 0;      ///< VMs reclaimed mid-job across all jobs
+  Seconds makespan = 0.0;           ///< last completion − first arrival
+  Seconds total_wait = 0.0;         ///< sum of JobRow::wait_time
+  Usd total_cost_usd = 0.0;         ///< job spend + preemption overheads
+  Seconds vm_seconds = 0.0;
+  Seconds preemption_overhead = 0.0; ///< manifest persist/reload time, priced
+  double jobs_per_hour_per_usd = 0.0;
+  /// Busy VM-seconds over pool VM-seconds (pool_vms x makespan).
+  double pool_utilization = 0.0;
 };
 
 }  // namespace pregel

@@ -107,13 +107,60 @@ void write_governor_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
 void write_migration_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
   CsvWriter w(out);
   w.header({"migrations", "migrated_vertices", "migrated_bytes", "migration_time_s",
-            "rebalance_gain"});
+            "rebalance_gain", "scale_ins"});
   w.field(static_cast<std::uint64_t>(metrics.migrations))
       .field(metrics.migrated_vertices)
       .field(metrics.migrated_bytes)
       .field(metrics.migration_time)
       .field(metrics.rebalance_gain)
+      .field(static_cast<std::uint64_t>(metrics.scale_ins))
       .end_row();
+}
+
+void write_pool_metrics_csv(const PoolMetrics& pool, const std::vector<JobRow>& jobs,
+                            std::ostream& out) {
+  CsvWriter w(out);
+  w.header({"policy", "job", "name", "user", "state", "arrival_s", "admitted_s",
+            "completed_s", "wait_s", "run_s", "cost_usd", "workers_peak",
+            "workers_final", "preemptions", "scale_ins", "supersteps"});
+  for (const auto& j : jobs) {
+    w.field(pool.policy)
+        .field(j.id)
+        .field(j.name)
+        .field(j.user)
+        .field(j.state)
+        .field(j.arrival)
+        .field(j.admitted)
+        .field(j.completed)
+        .field(j.wait_time)
+        .field(j.run_time)
+        .field(j.cost_usd)
+        .field(static_cast<std::uint64_t>(j.workers_peak))
+        .field(static_cast<std::uint64_t>(j.workers_final))
+        .field(static_cast<std::uint64_t>(j.preemptions))
+        .field(static_cast<std::uint64_t>(j.scale_ins))
+        .field(j.supersteps)
+        .end_row();
+  }
+}
+
+void write_pool_summary(const PoolMetrics& pool, std::ostream& out) {
+  out << "policy=" << pool.policy
+      << " pool_vms=" << pool.pool_vms
+      << " submitted=" << pool.jobs_submitted
+      << " completed=" << pool.jobs_completed
+      << " failed=" << pool.jobs_failed
+      << " rejected=" << pool.jobs_rejected
+      << " preemptions=" << pool.preemptions
+      << " resumes=" << pool.resumes
+      << " scale_ins=" << pool.scale_ins
+      << " makespan_s=" << pool.makespan
+      << " total_wait_s=" << pool.total_wait
+      << " total_cost_usd=" << pool.total_cost_usd
+      << " vm_seconds=" << pool.vm_seconds
+      << " preemption_overhead_s=" << pool.preemption_overhead
+      << " jobs_per_hour_per_usd=" << pool.jobs_per_hour_per_usd
+      << " pool_utilization=" << pool.pool_utilization << "\n";
 }
 
 void write_job_summary(const JobMetrics& metrics, std::ostream& out) {
@@ -158,6 +205,7 @@ void write_job_summary(const JobMetrics& metrics, std::ostream& out) {
       << " migration_time_s=" << metrics.migration_time
       << " rebalance_gain=" << metrics.rebalance_gain
       << " governor_scale_outs=" << metrics.governor_scale_outs
+      << " scale_ins=" << metrics.scale_ins
       << " work_steals=" << metrics.work_steals
       << " stolen_chunks=" << metrics.stolen_chunks
       << " pull_supersteps=" << metrics.pull_supersteps

@@ -38,4 +38,13 @@ void write_migration_metrics_csv(const JobMetrics& metrics, std::ostream& out);
 /// One-line key=value job summary (human- and grep-friendly).
 void write_job_summary(const JobMetrics& metrics, std::ostream& out);
 
+/// Per-job scheduling rows of one pool run (multi-job serving; src/sched/):
+/// policy,job,name,user,state,arrival_s,admitted_s,completed_s,wait_s,run_s,
+/// cost_usd,workers_peak,workers_final,preemptions,scale_ins,supersteps
+void write_pool_metrics_csv(const PoolMetrics& pool, const std::vector<JobRow>& jobs,
+                            std::ostream& out);
+
+/// One-line key=value pool summary, jobs_per_hour_per_usd included.
+void write_pool_summary(const PoolMetrics& pool, std::ostream& out);
+
 }  // namespace pregel

@@ -1,0 +1,122 @@
+// Type-erased job handle for the multi-job scheduler (docs/SCHEDULER.md).
+//
+// Engine<Program> is a template; the pool is not. TypedJob<Program> wraps an
+// engine plus its JobOptions/JobResult behind the small virtual surface the
+// scheduler drives between slices: start / advance / finish, plus read-only
+// accessors for admission control (budget, fleet size), capacity reclaim
+// (current_workers after the scale-in rung fires), and preemption (the
+// manifest a cloud::JobManager persists while the job sits off the pool).
+//
+// The wrapper owns nothing the engine does not already model: pausing a job
+// between advance() calls touches no engine state, so every value, modeled
+// time, and metric stays bit-identical to running the job alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "cloud/manager.hpp"
+#include "core/config.hpp"
+#include "core/engine.hpp"
+
+namespace pregel::sched {
+
+/// What a user submits alongside the job itself: identity for fair-share
+/// accounting, urgency for the priority queue, a modeled submission time,
+/// and the per-job spend ceiling admission control enforces.
+struct JobSpec {
+  std::string name;
+  std::string user = "default";
+  /// Higher = more urgent (PriorityPolicy only; FairShare ignores it).
+  std::uint32_t priority = 0;
+  /// Modeled pool time at which the job arrives in the queue.
+  Seconds arrival = 0.0;
+  /// Spend ceiling: 0 = unlimited. A running job whose modeled cost crosses
+  /// it is terminated; a job whose budget cannot buy its fleet one modeled
+  /// second is refused at admission.
+  Usd budget_usd = 0.0;
+  /// Advisory completion target, reported in the job rows (not enforced).
+  Seconds deadline = 0.0;
+};
+
+/// The scheduler's view of one admitted engine. One slice == one advance()
+/// call == one superstep attempt (including recovery/rewind replays).
+class ScheduledJob {
+ public:
+  virtual ~ScheduledJob() = default;
+
+  /// Validate + reset + modeled setup. False = the job died during setup
+  /// (e.g. graph blob unreadable); finish() still collects the report.
+  virtual bool start() = 0;
+  /// One superstep slice. True = the job wants another slice.
+  virtual bool advance() = 0;
+  /// Collect final values and cost totals into the report.
+  virtual void finish() = 0;
+  /// Terminate the job from outside (budget exhaustion): collects partial
+  /// state, then marks the report failed with `reason`.
+  virtual void fail(std::string reason) = 0;
+
+  virtual const JobReport& report() const = 0;
+  /// VMs the job's cluster starts with (what admission must reserve).
+  virtual std::uint32_t initial_workers() const = 0;
+  /// VMs the job currently holds; drops when the scale-in rung retires one.
+  virtual std::uint32_t current_workers() const = 0;
+  virtual std::uint64_t current_superstep() const = 0;
+  virtual Usd cost_so_far() const = 0;
+  virtual Seconds vm_seconds_so_far() const = 0;
+  /// Modeled job time so far (setup + spans + recovery); the scheduler's
+  /// event clock advances by the per-slice delta of this.
+  virtual Seconds modeled_time() const = 0;
+  /// Manifest persisted via cloud::JobManager when this job is preempted.
+  virtual cloud::ManagerManifest manifest() const = 0;
+};
+
+template <VertexProgramT Program>
+class TypedJob final : public ScheduledJob {
+ public:
+  /// The graph and partitioning must outlive the job (same contract as
+  /// Engine). The cluster's initial_workers is the fleet admission reserves.
+  TypedJob(const Graph& graph, Program program, ClusterConfig cluster,
+           const Partitioning& partitioning, JobOptions opts)
+      : initial_workers_(cluster.initial_workers),
+        engine_(graph, std::move(program), std::move(cluster), partitioning),
+        opts_(std::move(opts)) {}
+
+  bool start() override { return engine_.start(opts_, result_); }
+  bool advance() override {
+    return engine_.advance(result_) == Engine<Program>::StepStatus::kRunning;
+  }
+  void finish() override { engine_.finish(result_); }
+  void fail(std::string reason) override {
+    engine_.finish(result_);
+    result_.failed = true;
+    result_.failure_reason = std::move(reason);
+  }
+
+  const JobReport& report() const override { return result_; }
+  std::uint32_t initial_workers() const override { return initial_workers_; }
+  std::uint32_t current_workers() const override { return engine_.current_workers(); }
+  std::uint64_t current_superstep() const override {
+    return engine_.current_superstep();
+  }
+  Usd cost_so_far() const override { return engine_.cost_so_far(); }
+  Seconds vm_seconds_so_far() const override { return engine_.vm_seconds_so_far(); }
+  Seconds modeled_time() const override { return result_.metrics.total_time; }
+  cloud::ManagerManifest manifest() const override {
+    return engine_.preemption_manifest();
+  }
+
+  /// Typed access to the finished result (values included) for callers that
+  /// know the program — the bit-identity tests compare these against solo
+  /// runs of the same engine configuration.
+  const JobResult<Program>& result() const { return result_; }
+
+ private:
+  std::uint32_t initial_workers_;  ///< captured before the cluster moves
+  Engine<Program> engine_;
+  JobOptions opts_;
+  JobResult<Program> result_;
+};
+
+}  // namespace pregel::sched

@@ -1,0 +1,199 @@
+// Multi-job cluster scheduler: admits a stream of heterogeneous BSP jobs
+// onto a shared VM pool (docs/SCHEDULER.md).
+//
+// The scheduler is a discrete-event simulation in modeled time, layered on
+// the engine's re-entrant slice API (Engine::start/advance/finish). Admitted
+// jobs space-share the pool — each holds a disjoint set of VMs — and the
+// event loop always advances the running job whose local clock is earliest
+// (ties broken by job id), so the interleaving is a pure function of modeled
+// state. Nothing the scheduler does touches engine internals between slices:
+// queue wait, preemption manifests, and resume latencies are priced into
+// pool-level metrics only, which is what keeps every admitted job's values,
+// modeled times, and JobMetrics bit-identical to running it alone on a
+// dedicated pool.
+//
+// Admission control checks pool capacity (the job's initial_workers must fit
+// the free VMs) and the per-job budget (a budget that cannot buy the fleet
+// one modeled second is refused outright; a running job that crosses its
+// ceiling is terminated). Queue order is a pluggable policy: FairShare picks
+// the queued job whose user has consumed the least VM-seconds, Priority
+// picks the most urgent and may preempt strictly-lower-priority running jobs
+// — the victim's manifest is persisted via cloud::JobManager and the job
+// resumes later, bit-identically, because the engine object itself retains
+// its (deterministic) state. The scale-in rung returns capacity mid-job: the
+// scheduler polls current_workers() after every slice and hands retired VMs
+// to queued jobs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cloud/cost_model.hpp"
+#include "cloud/manager.hpp"
+#include "cloud/vm.hpp"
+#include "runtime/metrics.hpp"
+#include "sched/job.hpp"
+
+namespace pregel::sched {
+
+/// Queue-policy view of one queued job.
+struct QueuedJobView {
+  std::uint64_t id = 0;
+  const JobSpec* spec = nullptr;
+  /// VMs the job needs (initial_workers of its cluster).
+  std::uint32_t workers = 0;
+  /// VM-seconds this job's user has consumed so far (fair-share signal).
+  double user_service = 0.0;
+};
+
+/// Queue-policy view of one running job (preemption-victim selection).
+struct RunningJobView {
+  std::uint64_t id = 0;
+  const JobSpec* spec = nullptr;
+  std::uint32_t workers_held = 0;
+  Seconds admitted_at = 0.0;
+  double user_service = 0.0;
+};
+
+/// Pluggable queue discipline. Implementations must be deterministic pure
+/// functions of their arguments: equal inputs, equal picks — the admission
+/// and preemption order is part of the scheduler's reproducibility contract.
+class QueuePolicy {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  virtual ~QueuePolicy() = default;
+  virtual const char* name() const noexcept = 0;
+  /// Index of the queued job to try admitting next, or npos for "none".
+  virtual std::size_t pick(std::span<const QueuedJobView> queued) const = 0;
+  /// Index of a running job to preempt so `incoming` can fit, or npos for
+  /// "never preempt". Called repeatedly until capacity suffices or npos.
+  virtual std::size_t victim(const QueuedJobView& incoming,
+                             std::span<const RunningJobView> running) const = 0;
+};
+
+/// Least-service-first: admit the queued job whose user has consumed the
+/// fewest VM-seconds; ties break by arrival time, then job id. Never
+/// preempts — fairness is enforced at admission, not by eviction.
+class FairSharePolicy final : public QueuePolicy {
+ public:
+  const char* name() const noexcept override { return "fair-share"; }
+  std::size_t pick(std::span<const QueuedJobView> queued) const override;
+  std::size_t victim(const QueuedJobView&,
+                     std::span<const RunningJobView>) const override {
+    return npos;
+  }
+};
+
+/// Strict priority: admit the most urgent queued job (ties by arrival time,
+/// then job id); when it cannot fit, evict the running job with the lowest
+/// priority strictly below the incoming one (ties: latest admission, then
+/// highest id), repeatedly until the fleet fits or no victim qualifies.
+class PriorityPolicy final : public QueuePolicy {
+ public:
+  const char* name() const noexcept override { return "priority"; }
+  std::size_t pick(std::span<const QueuedJobView> queued) const override;
+  std::size_t victim(const QueuedJobView& incoming,
+                     std::span<const RunningJobView> running) const override;
+};
+
+struct SchedulerOptions {
+  /// VMs in the shared pool. A job needing more is rejected outright.
+  std::uint32_t pool_vms = 8;
+  /// VM type the pool is built from (prices preemption overheads; each job
+  /// additionally prices its own compute through its cluster's VmSpec).
+  cloud::VmSpec vm = cloud::azure_large_2012();
+  /// Shared cost model pricing the scheduler's own control traffic
+  /// (manifest persist on preempt, manifest reload on resume).
+  cloud::CostParams cost;
+  /// Queue discipline; null = FairSharePolicy.
+  std::shared_ptr<QueuePolicy> policy;
+  /// Master switch for policy-driven preemption.
+  bool allow_preemption = true;
+  /// Modeled size of a persisted preemption manifest.
+  Bytes manifest_bytes = 64 * 1024;
+};
+
+/// One scheduler instance drives one batch of submitted jobs to completion.
+class JobScheduler {
+ public:
+  explicit JobScheduler(SchedulerOptions opts);
+  ~JobScheduler();
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Submit a job (before run_all). Returns the job id admission, event-log
+  /// lines, and rows() refer to. Submission order breaks all remaining ties.
+  std::uint64_t submit(JobSpec spec, std::unique_ptr<ScheduledJob> job);
+
+  /// Drive every submitted job to a terminal state. Deterministic: the
+  /// event log, rows, and pool metrics are pure functions of the submitted
+  /// jobs and options.
+  void run_all();
+
+  const PoolMetrics& pool() const noexcept { return pool_; }
+  const std::vector<JobRow>& rows() const noexcept { return rows_; }
+  /// Human-readable admission/preemption/completion trail, one line per
+  /// scheduling event — the determinism tests assert it verbatim.
+  const std::vector<std::string>& event_log() const noexcept { return log_; }
+  /// The (finished) report of job `id`.
+  const JobReport& report(std::uint64_t id) const;
+
+ private:
+  enum class State {
+    kPending,    ///< submitted, arrival time not reached
+    kQueued,     ///< in the admission queue (fresh or preempted)
+    kRunning,    ///< holds VMs, receives slices
+    kDone,
+    kFailed,
+    kRejected,
+  };
+
+  struct Rec {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    std::unique_ptr<ScheduledJob> job;
+    State state = State::kPending;
+    bool started = false;        ///< engine setup has run
+    std::uint32_t vms_held = 0;
+    std::uint32_t workers_peak = 0;
+    Seconds admitted_at = 0.0;   ///< first admission
+    Seconds clock = 0.0;         ///< pool time at which its last slice ended
+    Seconds completed_at = 0.0;
+    Seconds wait = 0.0;          ///< queued + preempted time
+    std::uint32_t preemptions = 0;
+    std::uint32_t scale_ins = 0;
+    cloud::JobManager manager;   ///< durable preemption manifests
+  };
+
+  void release_arrivals(Seconds now);
+  void try_admit(Seconds now);
+  bool admit(Rec& rec, Seconds now);
+  void preempt(Rec& rec, Seconds now);
+  void step(Rec& rec);
+  void finish_job(Rec& rec, State terminal);
+  void reclaim_capacity(Rec& rec);
+  Seconds manifest_transfer_time() const;
+  void charge_overhead(std::uint32_t vms, Seconds t);
+  double& service_of(const std::string& user);
+  void log_event(Seconds t, const std::string& what);
+  void finalize_metrics();
+
+  SchedulerOptions opts_;
+  cloud::CostModel cost_;
+  cloud::CostMeter overhead_meter_;
+  std::shared_ptr<QueuePolicy> policy_;
+  std::vector<Rec> recs_;            ///< by submission order; id == index
+  std::vector<std::pair<std::string, double>> service_;  ///< per-user VM-seconds
+  std::int64_t free_vms_ = 0;
+  bool ran_ = false;
+  PoolMetrics pool_;
+  std::vector<JobRow> rows_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace pregel::sched

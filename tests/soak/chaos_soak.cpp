@@ -24,6 +24,9 @@
 #include <string>
 #include <vector>
 
+#include <deque>
+#include <memory>
+
 #include "algos/bc.hpp"
 #include "algos/pagerank.hpp"
 #include "algos/sssp.hpp"
@@ -31,6 +34,7 @@
 #include "partition/partitioner.hpp"
 #include "partition/rebalance.hpp"
 #include "runtime/trace.hpp"
+#include "sched/scheduler.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -389,13 +393,147 @@ SeedOutcome run_bc_scenario(SplitMix64& rng, bool smoke, std::string& desc) {
   return {true, "", chaos_stats(r.metrics)};
 }
 
+/// Multi-job scheduler under contention: a seeded mixed plan (PageRank and
+/// SSSP jobs, varied graphs, fleet widths, arrivals, users, priorities —
+/// some with the scale-in rung armed) runs through JobScheduler on a pool
+/// too small to hold everyone at once, under a seeded queue policy. Every
+/// job must finish with vertex values, modeled time, and modeled cost
+/// bit-identical to running the same configuration alone on a dedicated
+/// pool: queueing, preemption, resume, and capacity reclaim may move a job
+/// in time but may not touch what it computes.
+SeedOutcome run_scheduler_scenario(SplitMix64& rng, bool smoke, std::string& desc) {
+  struct JobCase {
+    Graph g;
+    Partitioning parts;
+    ClusterConfig cluster;
+    bool is_pagerank = false;
+    int iterations = 0;
+    VertexId root = 0;
+    sched::TypedJob<PageRankProgram>* pr = nullptr;  // owned by the scheduler
+    sched::TypedJob<SsspProgram>* sp = nullptr;
+  };
+
+  const std::uint32_t partitions = 4;
+  const std::uint64_t n_jobs = uniform_int(rng, 3, 5);
+  std::deque<JobCase> cases;
+  for (std::uint64_t i = 0; i < n_jobs; ++i) {
+    JobCase c;
+    std::string kind;
+    c.g = make_graph(rng, smoke, kind);
+    c.parts = HashPartitioner{}.partition(c.g, partitions);
+    c.cluster.num_partitions = partitions;
+    c.cluster.initial_workers =
+        static_cast<std::uint32_t>(uniform_int(rng, 2, partitions));
+    c.cluster.vm.ram = 64_GiB;
+    if (rng() & 1) {
+      c.cluster.scale_in.enabled = true;
+      c.cluster.scale_in.density_threshold = uniform_real(rng, 0.02, 0.10);
+      c.cluster.scale_in.patience = static_cast<std::uint32_t>(uniform_int(rng, 1, 3));
+      c.cluster.scale_in.min_workers = 2;
+    }
+    c.is_pagerank = (rng() & 1) != 0;
+    if (c.is_pagerank)
+      c.iterations = static_cast<int>(uniform_int(rng, 6, 12));
+    else
+      c.root = static_cast<VertexId>(rng() % c.g.num_vertices());
+    cases.push_back(std::move(c));
+  }
+
+  sched::SchedulerOptions sopts;
+  sopts.pool_vms = static_cast<std::uint32_t>(uniform_int(rng, partitions, 6));
+  const bool priority_policy = (rng() & 1) != 0;
+  sopts.policy = priority_policy
+                     ? std::shared_ptr<sched::QueuePolicy>(
+                           std::make_shared<sched::PriorityPolicy>())
+                     : std::make_shared<sched::FairSharePolicy>();
+  sched::JobScheduler scheduler(sopts);
+  desc = "workload=sched jobs=" + std::to_string(n_jobs) +
+         " policy=" + (priority_policy ? "priority" : "fair-share") +
+         " pool=" + std::to_string(sopts.pool_vms);
+
+  const char* users[] = {"alice", "bob"};
+  for (std::uint64_t i = 0; i < n_jobs; ++i) {
+    JobCase& c = cases[i];
+    sched::JobSpec spec;
+    spec.name = "soak-job-" + std::to_string(i);
+    spec.user = users[rng() % 2];
+    spec.priority = static_cast<std::uint32_t>(rng() % 4);
+    spec.arrival = uniform_real(rng, 0.0, 8.0);
+    if (c.is_pagerank) {
+      JobOptions o;
+      o.start_all_vertices = true;
+      auto job = std::make_unique<sched::TypedJob<PageRankProgram>>(
+          c.g, PageRankProgram{c.iterations, 0.85}, c.cluster, c.parts, o);
+      c.pr = job.get();
+      scheduler.submit(spec, std::move(job));
+    } else {
+      JobOptions o;
+      o.roots = {c.root};
+      auto job = std::make_unique<sched::TypedJob<SsspProgram>>(
+          c.g, SsspProgram{}, c.cluster, c.parts, o);
+      c.sp = job.get();
+      scheduler.submit(spec, std::move(job));
+    }
+  }
+  scheduler.run_all();
+  if (scheduler.pool().jobs_completed != n_jobs)
+    return {false,
+            "scheduler completed " + std::to_string(scheduler.pool().jobs_completed) +
+                "/" + std::to_string(n_jobs) + " jobs",
+            ""};
+
+  for (std::uint64_t i = 0; i < n_jobs; ++i) {
+    const JobCase& c = cases[i];
+    if (c.is_pagerank) {
+      Engine<PageRankProgram> solo(c.g, {c.iterations, 0.85}, c.cluster, c.parts);
+      JobOptions o;
+      o.start_all_vertices = true;
+      const auto alone = solo.run(o);
+      const auto& pooled = c.pr->result();
+      if (pooled.metrics.total_time != alone.metrics.total_time ||
+          pooled.metrics.cost_usd != alone.metrics.cost_usd)
+        return {false, "job " + std::to_string(i) + " modeled time/cost diverged", ""};
+      for (VertexId v = 0; v < c.g.num_vertices(); ++v)
+        if (std::memcmp(&pooled.values[v].rank, &alone.values[v].rank,
+                        sizeof(double)) != 0)
+          return {false,
+                  "job " + std::to_string(i) + " rank mismatch at vertex " +
+                      std::to_string(v),
+                  ""};
+    } else {
+      Engine<SsspProgram> solo(c.g, {}, c.cluster, c.parts);
+      JobOptions o;
+      o.roots = {c.root};
+      const auto alone = solo.run(o);
+      const auto& pooled = c.sp->result();
+      if (pooled.metrics.total_time != alone.metrics.total_time ||
+          pooled.metrics.cost_usd != alone.metrics.cost_usd)
+        return {false, "job " + std::to_string(i) + " modeled time/cost diverged", ""};
+      for (VertexId v = 0; v < c.g.num_vertices(); ++v)
+        if (pooled.values[v].distance != alone.values[v].distance)
+          return {false,
+                  "job " + std::to_string(i) + " distance mismatch at vertex " +
+                      std::to_string(v),
+                  ""};
+    }
+  }
+  const auto& pool = scheduler.pool();
+  return {true, "",
+          "preemptions=" + std::to_string(pool.preemptions) +
+              " resumes=" + std::to_string(pool.resumes) +
+              " scale_ins=" + std::to_string(pool.scale_ins) +
+              " makespan_s=" + std::to_string(pool.makespan) +
+              " jobs_per_hour_per_usd=" + std::to_string(pool.jobs_per_hour_per_usd)};
+}
+
 SeedOutcome run_seed(std::uint64_t seed, bool smoke, std::string& desc) {
   SplitMix64 rng(mix64(seed ^ 0x50414B5F534F414BULL));
   try {
-    switch (rng() % 3) {
+    switch (rng() % 4) {
       case 0: return run_sssp_scenario(rng, smoke, desc);
       case 1: return run_pagerank_scenario(rng, smoke, desc);
-      default: return run_bc_scenario(rng, smoke, desc);
+      case 2: return run_bc_scenario(rng, smoke, desc);
+      default: return run_scheduler_scenario(rng, smoke, desc);
     }
   } catch (const std::exception& e) {
     return {false, std::string("exception: ") + e.what(), ""};
