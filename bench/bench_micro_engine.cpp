@@ -178,6 +178,42 @@ void BM_SchedulerThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerThroughput)->Unit(benchmark::kMillisecond);
 
+// Generational delta-checkpoint store on the hot path: SSSP writing a
+// generation every other superstep with one seeded preemption, so every
+// iteration pays the dirty-tracking write barrier, delta-leg sizing, one
+// multi-generation restore, and the replay back to the failure point.
+// ckpt_mbytes is the modeled store upload — deterministic, so CI gates it
+// with direction 'lower': a sizing bug that balloons delta legs fails the
+// job even when wall time holds.
+void BM_EngineCheckpointDelta(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const auto parts = HashPartitioner{}.partition(g, 8);
+  std::uint64_t messages = 0;
+  double ckpt_mb = 0.0;
+  for (auto _ : state) {
+    ClusterConfig c = bench_cluster();
+    c.checkpoint_interval = 2;
+    c.ckpt.delta_enabled = true;
+    c.failure_detection_time = 1.0;
+    c.vm_reacquisition_time = 2.0;
+    c.scheduled_failures = {{5, 1}};
+    Engine<SsspProgram> e(g, {}, c, parts);
+    JobOptions o;
+    o.roots = {0};
+    const auto r = e.run(o);
+    messages += r.metrics.total_messages();
+    ckpt_mb = static_cast<double>(r.metrics.checkpoint_base_bytes +
+                                  r.metrics.checkpoint_delta_bytes) /
+              (1024.0 * 1024.0);
+    benchmark::DoNotOptimize(r.values.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+  state.counters["msgs/s"] = benchmark::Counter(static_cast<double>(messages),
+                                                benchmark::Counter::kIsRate);
+  state.counters["ckpt_mbytes"] = benchmark::Counter(ckpt_mb);
+}
+BENCHMARK(BM_EngineCheckpointDelta)->Unit(benchmark::kMillisecond);
+
 void BM_EngineTraversal(benchmark::State& state) {
   const Graph& g = bench_graph();
   const auto parts = HashPartitioner{}.partition(g, 8);

@@ -27,6 +27,13 @@ struct PageRankProgram {
 
   int iterations = 30;
   double damping = 0.85;
+  /// Adaptive (GraphLab-style dynamic) PageRank: a vertex whose rank moved
+  /// less than `tolerance` stops sending and votes to halt; a message from a
+  /// still-active neighbor wakes it. 0 (the default) keeps the exact
+  /// fixed-iteration schedule above. With a tolerance the active frontier
+  /// decays as regions converge — the workload the delta-checkpoint
+  /// ablation uses, since checkpoint deltas are sized from that frontier.
+  double tolerance = 0.0;
 
   static constexpr std::uint64_t kDanglingKey = make_key(0xFFFFFF, 1);
 
@@ -43,7 +50,16 @@ struct PageRankProgram {
       double sum = 0.0;
       for (double m : messages) sum += m;
       const double dangling = ctx.global(kDanglingKey) / n;
-      v.rank = (1.0 - damping) / n + damping * (sum + dangling);
+      const double next = (1.0 - damping) / n + damping * (sum + dangling);
+      const double moved = next > v.rank ? next - v.rank : v.rank - next;
+      if (tolerance > 0.0 && moved < tolerance) {
+        // Converged: keep the stored rank (the sub-tolerance residual is
+        // the accuracy budget the caller chose), stop sending, and tell
+        // the engine the value is delta-clean.
+        ctx.state_unchanged();
+        return;
+      }
+      v.rank = next;
     }
     if (static_cast<int>(ctx.superstep()) < iterations) {
       const auto degree = ctx.out_degree();

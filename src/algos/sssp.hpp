@@ -37,6 +37,10 @@ struct SsspProgram {
     if (best < v.distance) {
       v.distance = best;
       ctx.send_to_all_neighbors(best + 1);
+    } else {
+      // Relaxation lost: the stored distance is untouched, so the next
+      // delta checkpoint need not carry this vertex.
+      ctx.state_unchanged();
     }
     // Implicit vote-to-halt: reactivated only by a better candidate.
   }

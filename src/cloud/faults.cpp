@@ -27,6 +27,8 @@ void FaultPlan::validate() const {
   check_rate(blob_write_failure_rate, "blob_write_failure_rate");
   check_rate(blob_corruption_rate, "blob_corruption_rate");
   check_rate(queue_corruption_rate, "queue_corruption_rate");
+  check_rate(ckpt_torn_write_rate, "ckpt_torn_write_rate");
+  check_rate(ckpt_rot_rate, "ckpt_rot_rate");
   check_rate(vm_preemption_rate, "vm_preemption_rate");
   check_rate(manager_preemption_rate, "manager_preemption_rate");
   check_rate(zone_outage_rate, "zone_outage_rate");
@@ -52,6 +54,7 @@ double FaultInjector::rate_of(FaultKind kind) const noexcept {
     case FaultKind::kBlobWrite: return plan_.blob_write_failure_rate;
     case FaultKind::kBlobCorrupt: return plan_.blob_corruption_rate;
     case FaultKind::kQueueCorrupt: return plan_.queue_corruption_rate;
+    case FaultKind::kCkptTornWrite: return plan_.ckpt_torn_write_rate;
   }
   return 0.0;
 }
@@ -80,6 +83,10 @@ double FaultInjector::next_uniform(FaultKind kind) noexcept {
       counter = &queue_corrupt_draws_;
       seed = plan_.queue_corruption_seed;
       break;
+    case FaultKind::kCkptTornWrite:
+      counter = &ckpt_torn_draws_;
+      seed = plan_.ckpt_seed;
+      break;
   }
   const std::uint64_t bits = mix64(seed ^ (0x9E3779B97F4A7C15ULL * ++*counter));
   return u01(bits);
@@ -92,6 +99,7 @@ std::uint64_t FaultInjector::draws(FaultKind kind) const noexcept {
     case FaultKind::kBlobWrite: return blob_write_draws_;
     case FaultKind::kBlobCorrupt: return blob_corrupt_draws_;
     case FaultKind::kQueueCorrupt: return queue_corrupt_draws_;
+    case FaultKind::kCkptTornWrite: return ckpt_torn_draws_;
   }
   return 0;
 }
@@ -167,6 +175,22 @@ bool FaultInjector::zone_outage(std::uint32_t zone, std::uint64_t superstep,
                                   (static_cast<std::uint64_t>(zone) << 32) ^
                                   (epoch * 0x9E3779B9ULL));
   return u01(key) < plan_.zone_outage_rate;
+}
+
+bool FaultInjector::next_ckpt_torn() noexcept {
+  if (plan_.ckpt_torn_write_rate <= 0.0) return false;
+  return next_uniform(FaultKind::kCkptTornWrite) < plan_.ckpt_torn_write_rate;
+}
+
+bool FaultInjector::ckpt_rot(std::uint64_t serial, std::uint32_t partition,
+                             std::uint32_t copy, std::uint32_t repair_epoch) const noexcept {
+  if (plan_.ckpt_rot_rate <= 0.0) return false;
+  const std::uint64_t key =
+      mix64(plan_.corruption_seed ^ (serial * 0x1000193ULL) ^
+            (static_cast<std::uint64_t>(partition) << 32) ^
+            (static_cast<std::uint64_t>(copy) << 24) ^
+            (static_cast<std::uint64_t>(repair_epoch) * 0x9E3779B9ULL));
+  return u01(key) < plan_.ckpt_rot_rate;
 }
 
 bool FaultInjector::next_duplicate() noexcept {

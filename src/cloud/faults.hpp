@@ -27,8 +27,18 @@ namespace pregel::cloud {
 /// read that completes but returns a payload failing checksum verification;
 /// the read path escalates it to a retriable failure. kQueueCorrupt is the
 /// queue-plane analog: a dequeue that delivers a message whose CRC32C check
-/// fails (the data-plane hot path, not just recovery reads).
-enum class FaultKind { kQueueOp, kBlobRead, kBlobWrite, kBlobCorrupt, kQueueCorrupt };
+/// fails (the data-plane hot path, not just recovery reads). kCkptTornWrite
+/// is a checkpoint-store write (data leg or manifest) that is acknowledged
+/// but lands torn — undetectable at write time, caught by CRC verification
+/// when the blob is next read (restore walk or scrub pass).
+enum class FaultKind {
+  kQueueOp,
+  kBlobRead,
+  kBlobWrite,
+  kBlobCorrupt,
+  kQueueCorrupt,
+  kCkptTornWrite,
+};
 
 /// What goes wrong, how often, and under which seeds.
 struct FaultPlan {
@@ -48,6 +58,22 @@ struct FaultPlan {
   /// blob_corruption_rate composes with blob reads: drawn from its own
   /// stream on otherwise-successful attempts only.
   double queue_corruption_rate = 0.0;
+
+  /// Probability that one checkpoint-store blob write (a per-partition data
+  /// leg, the chain-hashed manifest, or a cross-zone replica leg) is
+  /// acknowledged but lands torn. Drawn from its own counter stream, one
+  /// draw per write, so it composes with the kBlobWrite retry stream
+  /// without perturbing its draw sequence.
+  double ckpt_torn_write_rate = 0.0;
+
+  /// Probability that a stored checkpoint blob copy bit-rots at rest.
+  /// Keyed by (publish serial, partition, copy, repair epoch) — call-order
+  /// independent, so a restore walk and a scrub pass observe the same rot —
+  /// and drawn on the kBlobCorrupt seed (`corruption_seed`), since rot is
+  /// detected by exactly the CRC32C verification that catches corrupt
+  /// reads. A scrub repair bumps the copy's repair epoch and the rewritten
+  /// blob redraws.
+  double ckpt_rot_rate = 0.0;
 
   /// Spot-style VM preemption probability per VM per superstep. A preempted
   /// VM is a worker failure: the engine recovers from the last checkpoint
@@ -87,6 +113,7 @@ struct FaultPlan {
   std::uint64_t manager_seed = 0xFA07;
   std::uint64_t zone_seed = 0xFA08;
   std::uint64_t queue_duplicate_seed = 0xFA09;
+  std::uint64_t ckpt_seed = 0xFA0A;
 
   /// True when any retriable (queue/blob/corruption) rate is nonzero.
   bool any_transient() const noexcept {
@@ -161,6 +188,19 @@ class FaultInjector {
   bool next_duplicate() noexcept;
   std::uint64_t duplicate_draws() const noexcept { return duplicate_draws_; }
 
+  /// Torn-write draw for one checkpoint-store blob write (data leg,
+  /// manifest, or replica leg). Consumes the kCkptTornWrite stream counter;
+  /// a zero rate draws nothing.
+  bool next_ckpt_torn() noexcept;
+
+  /// At-rest bit-rot draw for checkpoint blob copy `copy` (0 = primary,
+  /// 1 = replica) of partition `partition` in the generation published with
+  /// `serial`. Pure function of the key, so restore walks and scrub passes
+  /// agree on which copies rotted; `repair_epoch` counts scrub repairs of
+  /// this copy so a rewritten blob redraws instead of rotting forever.
+  bool ckpt_rot(std::uint64_t serial, std::uint32_t partition, std::uint32_t copy,
+                std::uint32_t repair_epoch) const noexcept;
+
   /// Straggler slowdown factor (>= 1) for `vm` at `superstep`; exactly 1
   /// when the VM is not straggling.
   double straggler_factor(std::uint32_t vm, std::uint64_t superstep) const noexcept;
@@ -179,6 +219,7 @@ class FaultInjector {
   std::uint64_t blob_corrupt_draws_ = 0;
   std::uint64_t queue_corrupt_draws_ = 0;
   std::uint64_t duplicate_draws_ = 0;
+  std::uint64_t ckpt_torn_draws_ = 0;
 };
 
 }  // namespace pregel::cloud

@@ -125,6 +125,7 @@ std::string ManagerManifest::serialize() const {
   std::string body = "pregel-manifest-v1 superstep=" + std::to_string(superstep) +
                      " epoch=" + std::to_string(epoch) +
                      " locv=" + std::to_string(location_version) +
+                     " ckpt=" + std::to_string(ckpt_generation) +
                      " aggs=" + std::to_string(aggregators.size()) + "\n";
   for (const auto& [key, value] : aggregators) {
     // Doubles go through their bit pattern so the standby's master-compute
@@ -155,15 +156,17 @@ std::optional<ManagerManifest> ManagerManifest::deserialize(std::string_view blo
   ManagerManifest m;
   std::size_t aggs = 0;
   {
-    unsigned long long s = 0, e = 0, l = 0, a = 0;
+    unsigned long long s = 0, e = 0, l = 0, c = 0, a = 0;
     const std::string header(body.substr(0, body.find('\n')));
     if (std::sscanf(header.c_str(),
-                    "pregel-manifest-v1 superstep=%llu epoch=%llu locv=%llu aggs=%llu",
-                    &s, &e, &l, &a) != 4)
+                    "pregel-manifest-v1 superstep=%llu epoch=%llu locv=%llu "
+                    "ckpt=%llu aggs=%llu",
+                    &s, &e, &l, &c, &a) != 5)
       return std::nullopt;
     m.superstep = s;
     m.epoch = e;
     m.location_version = l;
+    m.ckpt_generation = c;
     aggs = a;
   }
   std::size_t pos = body.find('\n');

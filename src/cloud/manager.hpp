@@ -109,6 +109,9 @@ struct ManagerManifest {
   std::uint64_t superstep = 0;
   std::uint64_t epoch = 0;
   std::uint64_t location_version = 0;
+  /// Publish serial of the newest visible checkpoint generation, so a
+  /// standby resumes against the same restore chain the primary saw.
+  std::uint64_t ckpt_generation = 0;
   /// Aggregator/global state, sorted by key; doubles round-trip bit-exactly.
   std::vector<std::pair<std::uint64_t, double>> aggregators;
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "cloud/ckpt_store.hpp"
 #include "cloud/cost_model.hpp"
 #include "cloud/elasticity.hpp"
 #include "cloud/faults.hpp"
@@ -101,6 +102,14 @@ struct ClusterConfig {
   std::uint64_t failure_seed = 7;
   /// Explicitly scheduled failures: (superstep, worker VM). Each fires once.
   std::vector<std::pair<std::uint64_t, std::uint32_t>> scheduled_failures;
+  /// Explicitly scheduled whole-zone outages: (superstep, zone). Each fires
+  /// once, preempting every VM in the zone — the deterministic counterpart
+  /// of the seeded zone-outage stream for crash-point tests.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> scheduled_zone_outages;
+  /// Generational checkpoint-store policy: delta chains, retention/GC,
+  /// background scrub, and deterministic crash-point hooks (see
+  /// docs/FAULTS.md "Checkpoint store").
+  cloud::CkptOptions ckpt;
   /// Modeled time to detect a dead worker (missed barrier heartbeats),
   /// acquire a replacement VM, and have every worker reload the checkpoint
   /// (transfer time is charged separately from checkpoint size).

@@ -71,6 +71,7 @@
 #include <utility>
 #include <vector>
 
+#include "cloud/ckpt_store.hpp"
 #include "cloud/cost_model.hpp"
 #include "cloud/faults.hpp"
 #include "cloud/manager.hpp"
@@ -163,6 +164,13 @@ class VertexContext {
   /// Declare a traversal root complete (root-scheduled algorithms).
   void mark_root_done(VertexId root) { engine_->root_done_from(root, chunk_); }
 
+  /// Write-barrier hint for delta checkpoints: this compute left the vertex
+  /// value bit-identical (a relaxation that didn't improve the distance, a
+  /// converged PageRank update below tolerance), so the next delta leg need
+  /// not carry it. Purely a sizing hint — a program that never calls it gets
+  /// every computed vertex in the delta, the conservative default.
+  void state_unchanged() noexcept { mutated_ = false; }
+
  private:
   friend class Engine<Program>;
   VertexContext(Engine<Program>* engine, std::uint32_t partition, std::uint32_t local,
@@ -175,6 +183,7 @@ class VertexContext {
   std::uint32_t local_;
   VertexId vertex_;
   std::size_t chunk_;
+  bool mutated_ = true;
 };
 
 /// Handed to Program::master_compute at each barrier (GPS-style master task).
@@ -282,7 +291,7 @@ class Engine {
     // periodic checkpoint restarts from superstep 0 instead of losing the
     // job. No upload is charged — nothing new needs writing.
     if ((cluster_.checkpoint_interval > 0 || governor_.enabled()) &&
-        !checkpoint_.has_value())
+        !ckpt_.has_checkpoint())
       take_snapshot(0);
     return true;
   }
@@ -322,28 +331,19 @@ class Engine {
     const FailureEvent event = collect_failures(result);
     if (!event.dead.empty()) {
       result.metrics.worker_failures += static_cast<std::uint32_t>(event.dead.size());
-      if (!checkpoint_.has_value()) {
+      // One assessment serves every recovery path: is anything restorable
+      // at all, and which generation will the restore walk land on?
+      RecoveryAssessment assessment = assess_recovery(event, result);
+      if (!assessment.plan) {
         result.failed = true;
         result.failure_reason = failure_description(event) + " at superstep " +
-                                std::to_string(superstep_) +
-                                " with no checkpoint to recover from";
-        return StepStatus::kDone;
-      }
-      if (event.zone && cluster_.availability_zones > 1 &&
-          !cluster_.replicate_checkpoints_across_zones) {
-        // The lost zone took the checkpoint blobs homed in it down with
-        // the VMs that wrote them: without cross-zone replicas there is
-        // nothing left to restore from.
-        result.failed = true;
-        result.failure_reason = failure_description(event) + " at superstep " +
-                                std::to_string(superstep_) +
-                                " lost its checkpoints: no cross-zone replicas configured";
+                                std::to_string(superstep_) + " " + assessment.reason;
         return StepStatus::kDone;
       }
       if (cluster_.recovery_mode == RecoveryMode::kConfined && !confined_replay_active())
-        recover_confined(result, event.dead);
+        recover_confined(result, event.dead, *assessment.plan);
       else
-        recover_from_checkpoint(result);
+        recover_from_checkpoint(result, *assessment.plan);
       return StepStatus::kRunning;  // re-execute from the restored superstep
     }
 
@@ -356,6 +356,7 @@ class Engine {
 
     run_barrier(result);
     maybe_checkpoint(result);
+    maybe_scrub(result);
     if (halt_requested_) return StepStatus::kDone;
     ++superstep_;
     if (!replay_lost_vms_.empty() && superstep_ > confined_replay_until_)
@@ -428,6 +429,16 @@ class Engine {
     /// is possible this run — a moving vertex must carry its exact modeled
     /// state so both partitions' totals stay right.
     std::vector<std::int64_t> state_bytes_v;
+    /// Delta-checkpoint dirty tracking, maintained only when the run writes
+    /// delta generations: which locals mutated their value/state since the
+    /// last *published* checkpoint (computed, minus computes the program
+    /// declared write-free via ctx.state_unchanged()). Cleared on
+    /// successful publish only, so a torn-manifest round leaves the next
+    /// delta relative to the last generation a restore could actually
+    /// read. Travels inside snapshots: a rollback replays with exactly the
+    /// dirty sets the original execution had, so re-published generations
+    /// are bit-identical.
+    std::vector<std::uint8_t> dirty;
     Bytes graph_bytes = 0;
     Bytes outbuf_bytes = 0;  ///< serialized remote sends buffered this superstep
     cloud::WorkerLoad load;  ///< raw counters, reset each superstep
@@ -576,8 +587,11 @@ class Engine {
     opts_combine_ = opts.use_combiner;
     last_messages_sent_ = 0;
     roots_completed_ = 0;
-    checkpoint_.reset();
+    ckpt_.configure(cluster_.ckpt, static_cast<std::uint32_t>(parts_.size()));
+    track_dirty_ = cluster_.checkpoint_interval > 0 && cluster_.ckpt.delta_enabled;
+    barriers_since_scrub_ = 0;
     scheduled_failures_ = cluster_.scheduled_failures;
+    scheduled_zone_outages_ = cluster_.scheduled_zone_outages;
     failure_epoch_ = 0;
     superstep_ = 0;
     halt_requested_ = false;
@@ -620,6 +634,10 @@ class Engine {
         ps.state_bytes_v.clear();
       ps.outbuf_bytes = 0;
       ps.load = {};
+      if (track_dirty_)
+        ps.dirty.assign(ps.vertices.size(), 0);
+      else
+        ps.dirty.clear();
     }
     reset_placement_to_modulo();
     pending_placement_cost_ = 0.0;
@@ -778,6 +796,14 @@ class Engine {
       }
       ps.load = {};
       ps.outbuf_bytes = 0;
+      // Delta-checkpoint dirty tracking: a migration rebuilt the partition
+      // under us -> everything is dirty until the forced re-base publishes.
+      // Ordinary dirtying happens after each compute() (see
+      // compute_partition / compute_chunk): the vertex rides the next delta
+      // leg unless its program declared the call a write-free no-op via
+      // ctx.state_unchanged().
+      if (track_dirty_ && ps.dirty.size() != ps.vertices.size())
+        ps.dirty.assign(ps.vertices.size(), 1);
     }
     // Confined recovery keeps a per-superstep log of remote outbox bytes
     // (src partition x dst partition). Only the current superstep's row is
@@ -812,6 +838,7 @@ class Engine {
       ++ps.load.vertices_computed;
       ps.load.messages_processed += box.size();
       program_.compute(ctx, ps.values[l], std::span<const M>(box));
+      if (track_dirty_ && ctx.mutated_) ps.dirty[l] = 1;
       // Drain: buffered incoming bytes are released after compute.
       for (const M& m : box) {
         const Bytes b = cost_.buffered_bytes(payload_bytes(m));
@@ -875,6 +902,9 @@ class Engine {
       ++cs.load.vertices_computed;
       cs.load.messages_processed += box.size();
       program_.compute(ctx, ps.values[l], std::span<const M>(box));
+      // Safe unstaged: dirty is per-vertex and a vertex lives in exactly
+      // one chunk, so concurrent chunks write disjoint bytes.
+      if (track_dirty_ && ctx.mutated_) ps.dirty[l] = 1;
       for (const M& m : box) cs.drained_bytes += cost_.buffered_bytes(payload_bytes(m));
       shrink_after_drain(box);
       if (opts_combine_) shrink_after_drain(ps.inbox_cur_src[l]);
@@ -1502,7 +1532,7 @@ class Engine {
     trace_superstep(sm, result.metrics.total_time);
 
     if (restart) {
-      if (governor_.enabled() && checkpoint_.has_value()) {
+      if (governor_.enabled() && ckpt_.has_checkpoint()) {
         // Rung 3 trigger: the thrashed VM would be restarted by the fabric.
         // Flag the breach for the governor ladder at this barrier instead of
         // killing the job (fail_on_vm_restart is deliberately bypassed).
@@ -1953,6 +1983,7 @@ class Engine {
     m.superstep = superstep_;
     m.epoch = manager_.epoch();
     m.location_version = location_version_;
+    m.ckpt_generation = ckpt_.newest_seq();
     m.aggregators.assign(globals_.items().begin(), globals_.items().end());
     std::sort(m.aggregators.begin(), m.aggregators.end());
     return m;
@@ -2065,27 +2096,91 @@ class Engine {
     result.metrics.control_queue_ops = queues_.total_ops();
   }
 
-  void take_snapshot(std::uint64_t resume_superstep) {
+  /// Deep-copy all recoverable state into a payload the checkpoint store
+  /// can hang off a generation.
+  std::shared_ptr<Snapshot> make_snapshot(std::uint64_t resume_superstep) {
     compact_outstanding_roots();  // snapshot a tombstone-free root list
-    Snapshot s;
-    s.parts = parts_;
-    s.superstep = resume_superstep;
-    s.globals = globals_;
-    s.pending_roots = pending_roots_;
-    s.next_root = next_root_;
-    s.outstanding_roots = outstanding_roots_;
-    s.roots_completed = roots_completed_;
-    s.swath_index = swath_index_;
-    s.last_swath_size = last_swath_size_;
-    s.supersteps_since_initiation = supersteps_since_initiation_;
-    s.peak_memory_since_initiation = peak_memory_since_initiation_;
-    s.last_messages_sent = last_messages_sent_;
+    auto s = std::make_shared<Snapshot>();
+    s->parts = parts_;
+    s->superstep = resume_superstep;
+    s->globals = globals_;
+    s->pending_roots = pending_roots_;
+    s->next_root = next_root_;
+    s->outstanding_roots = outstanding_roots_;
+    s->roots_completed = roots_completed_;
+    s->swath_index = swath_index_;
+    s->last_swath_size = last_swath_size_;
+    s->supersteps_since_initiation = supersteps_since_initiation_;
+    s->peak_memory_since_initiation = peak_memory_since_initiation_;
+    s->last_messages_sent = last_messages_sent_;
     if (migration_possible_) {
-      s.part_of = part_of_;
-      s.local_of = local_of_;
-      s.migrated = migrated_;
+      s->part_of = part_of_;
+      s->local_of = local_of_;
+      s->migrated = migrated_;
     }
-    checkpoint_ = std::move(s);
+    return s;
+  }
+
+  /// Generation-0 seeding (start(), governor anchor): the superstep-0 state
+  /// is implicitly recoverable — the input graph lives in blob storage — so
+  /// nothing is uploaded or charged. No-op once a generation 0 exists.
+  void take_snapshot(std::uint64_t resume_superstep) {
+    ckpt_.seed_initial(make_snapshot(resume_superstep));
+  }
+
+  /// The newest restorable snapshot (nullptr only when the store is empty,
+  /// i.e. fault tolerance and the governor are both off this run).
+  const Snapshot* newest_snapshot() const {
+    return static_cast<const Snapshot*>(ckpt_.newest_payload());
+  }
+  Snapshot* newest_snapshot_mut() {
+    return static_cast<Snapshot*>(ckpt_.newest_payload());
+  }
+
+  /// Full data-leg size of one partition: algorithm state + buffered
+  /// messages + per-vertex values (the per-partition term of the legacy
+  /// checkpoint_bytes model, so base generations cost what full snapshots
+  /// always did).
+  Bytes full_leg_bytes(std::uint32_t p) const {
+    const PartitionState& ps = parts_[p];
+    return static_cast<Bytes>(std::max<std::int64_t>(ps.state_bytes, 0)) +
+           ps.inbox_cur_bytes + ps.inbox_next_bytes +
+           static_cast<Bytes>(ps.vertices.size()) * sizeof(V);
+  }
+
+  /// Delta data-leg size: only vertices dirtied since the last published
+  /// generation carry their value + state, and only the undelivered inbox
+  /// (inbox_next) rides along — the consumed inbox_cur is re-derived by
+  /// replay, which is where stationary-frontier algorithms like PageRank
+  /// get their reduction. Capped at the full leg (a delta is never worth
+  /// writing bigger than its base).
+  Bytes delta_leg_bytes(std::uint32_t p) const {
+    const PartitionState& ps = parts_[p];
+    if (ps.dirty.size() != ps.vertices.size()) return full_leg_bytes(p);
+    std::uint64_t dirty_count = 0;
+    for (const std::uint8_t f : ps.dirty) dirty_count += f;
+    Bytes dirty_state = 0;
+    if (!ps.state_bytes_v.empty()) {
+      for (std::uint32_t l = 0; l < ps.dirty.size(); ++l)
+        if (ps.dirty[l])
+          dirty_state +=
+              static_cast<Bytes>(std::max<std::int64_t>(ps.state_bytes_v[l], 0));
+    } else if (!ps.vertices.empty()) {
+      // No per-vertex breakdown this run: prorate the partition total by the
+      // dirty share (pure integer function of modeled state — deterministic).
+      dirty_state = static_cast<Bytes>(std::max<std::int64_t>(ps.state_bytes, 0)) *
+                    dirty_count / ps.vertices.size();
+    }
+    const Bytes d = dirty_state + dirty_count * sizeof(V) + ps.inbox_next_bytes;
+    return std::min(d, full_leg_bytes(p));
+  }
+
+  /// Successful publish: the next delta is relative to *this* generation.
+  /// Runs before make_snapshot so restored snapshots carry the cleared
+  /// flags — a replay re-dirties and re-publishes identical generations.
+  void clear_dirty() {
+    if (!track_dirty_) return;
+    for (auto& ps : parts_) std::fill(ps.dirty.begin(), ps.dirty.end(), 0);
   }
 
   void maybe_checkpoint(JobResult<Program>& result) {
@@ -2106,37 +2201,89 @@ class Engine {
     }
 
     Seconds t = retry_extra;
+    const double bw_Bps =
+        cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
     if (uploaded) {
-      take_snapshot(superstep_ + 1);  // resume at the next superstep
+      // Stage this round's data legs (full base or dirty-sized delta) and
+      // run the two-phase publish: legs, then the chain-hashed manifest.
+      const bool base = ckpt_.next_is_base(location_version_);
+      std::vector<Bytes> leg_bytes(parts_.size());
+      std::vector<std::uint32_t> home_vm(parts_.size()), home_zone(parts_.size());
+      for (std::uint32_t p = 0; p < parts_.size(); ++p) {
+        leg_bytes[p] = base ? full_leg_bytes(p) : delta_leg_bytes(p);
+        home_vm[p] = vm_of(p);
+        home_zone[p] = zones_.zone_of(vm_of(p));
+      }
+      const cloud::CkptWriteOutcome out = ckpt_.write_generation(
+          superstep_ + 1, location_version_, leg_bytes, home_vm, home_zone,
+          zones_.zones, faults_);
+      result.metrics.checkpoint_torn_legs += out.torn_legs;
+
+      // The slowest worker's leg uploads bound the barrier extension; the
+      // manifest publish is one more control op. Legs transfer whether or
+      // not the manifest lands — a torn manifest wastes the round's bytes.
       Bytes biggest = 0;
-      for (std::uint32_t w = 0; w < workers_now_; ++w)
-        biggest = std::max(biggest, checkpoint_bytes(w));
-      const double bw_Bps =
-          cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
+      std::vector<Bytes> vm_bytes(workers_now_, 0);
+      for (std::uint32_t p = 0; p < parts_.size(); ++p) vm_bytes[vm_of(p)] += leg_bytes[p];
+      for (const Bytes b : vm_bytes) biggest = std::max(biggest, b);
       t += static_cast<double>(biggest) / bw_Bps + cost_.params().queue_op_latency;
-      ++result.metrics.checkpoints_written;
-      trace::add("engine.checkpoints", 1);
-      if (cluster_.availability_zones > 1 && cluster_.replicate_checkpoints_across_zones) {
-        // Cross-zone replica: each worker writes a second copy to a blob
-        // homed in another zone, so a whole-zone outage cannot take a
-        // checkpoint down with every VM that could restore it. The replica
-        // upload is serialized after the primary ack, so the barrier pays
-        // one more transfer of the biggest checkpoint (plus its retries).
-        Seconds replica_extra = 0.0;
-        bool replicated = true;
-        for (std::uint32_t w = 0; w < workers_now_; ++w) {
-          const auto rep = control_op(cloud::FaultKind::kBlobWrite, result);
-          replica_extra = std::max(replica_extra, rep.extra_latency);
-          replicated = replicated && rep.success;
-        }
-        t += replica_extra;
-        if (replicated) {
-          t += static_cast<double>(biggest) / bw_Bps;
-          result.metrics.checkpoint_replicas_written += workers_now_;
-          trace::add("engine.checkpoint.replicas", workers_now_);
+
+      if (out.published) {
+        clear_dirty();  // before the snapshot: replays re-derive identical deltas
+        ckpt_.attach_payload(make_snapshot(superstep_ + 1));
+        ++result.metrics.checkpoints_written;
+        if (out.is_base) {
+          ++result.metrics.checkpoint_bases;
+          result.metrics.checkpoint_base_bytes += out.bytes_written;
         } else {
-          ++result.metrics.checkpoint_failures;  // replica round abandoned
+          ++result.metrics.checkpoint_deltas;
+          result.metrics.checkpoint_delta_bytes += out.bytes_written;
         }
+        trace::add("engine.checkpoints", 1);
+        trace::add(out.is_base ? "engine.checkpoint.base.bytes"
+                               : "engine.checkpoint.delta.bytes",
+                   out.bytes_written);
+        // Retention GC rode along with the publish: price its blob deletes
+        // as control ops folded into the checkpoint charge.
+        if (out.gc_delete_ops > 0) {
+          result.metrics.ckpt_gc_generations += out.gc_generations;
+          result.metrics.ckpt_gc_delete_ops += out.gc_delete_ops;
+          t += static_cast<double>(out.gc_delete_ops) * cost_.params().queue_op_latency;
+          trace::add("engine.checkpoint.gc", out.gc_generations);
+        }
+        if (cluster_.availability_zones > 1 &&
+            cluster_.replicate_checkpoints_across_zones) {
+          // Cross-zone replica: each worker writes a second copy to a blob
+          // homed in another zone, so a whole-zone outage cannot take a
+          // checkpoint down with every VM that could restore it. The replica
+          // upload is serialized after the primary ack, so the barrier pays
+          // one more transfer of the biggest checkpoint (plus its retries).
+          Seconds replica_extra = 0.0;
+          bool replicated = true;
+          for (std::uint32_t w = 0; w < workers_now_; ++w) {
+            const auto rep = control_op(cloud::FaultKind::kBlobWrite, result);
+            replica_extra = std::max(replica_extra, rep.extra_latency);
+            replicated = replicated && rep.success;
+          }
+          t += replica_extra;
+          if (replicated && ckpt_.complete_replica_round(faults_)) {
+            t += static_cast<double>(biggest) / bw_Bps;
+            result.metrics.checkpoint_replicas_written += workers_now_;
+            trace::add("engine.checkpoint.replicas", workers_now_);
+          } else {
+            // Replica round abandoned: the primary generation published
+            // fine, so this is not a checkpoint failure — it only thins the
+            // zone-outage safety margin.
+            ++result.metrics.checkpoint_replica_failures;
+            trace::add("engine.checkpoint.replica_failures", 1);
+          }
+        }
+      } else {
+        // Torn manifest: the whole round is lost, the previous generation
+        // stays newest, and the dirty sets keep accumulating toward it.
+        ++result.metrics.checkpoint_failures;
+        ++result.metrics.checkpoint_torn_manifests;
+        trace::add("engine.checkpoint.torn_manifests", 1);
       }
     } else {
       ++result.metrics.checkpoint_failures;
@@ -2146,6 +2293,30 @@ class Engine {
       result.metrics.total_time += t;
       meter_.charge(cluster_.vm, workers_now_, t);
     }
+  }
+
+  /// Modeled background scrub between barriers: every scrub_period
+  /// barriers, re-verify all retained checkpoint copies and re-replicate
+  /// rotted or torn ones from a surviving copy, charging the repair
+  /// transfers in modeled time.
+  void maybe_scrub(JobResult<Program>& result) {
+    if (cluster_.ckpt.scrub_period == 0 || cluster_.checkpoint_interval == 0) return;
+    if (++barriers_since_scrub_ < cluster_.ckpt.scrub_period) return;
+    barriers_since_scrub_ = 0;
+    const cloud::CkptScrubOutcome out = ckpt_.scrub(faults_);
+    ++result.metrics.scrub_passes;
+    result.metrics.scrub_copies_verified += out.copies_verified;
+    const std::uint32_t repairs = out.repairs + out.manifest_repairs;
+    result.metrics.scrub_repairs += repairs;
+    if (repairs == 0) return;
+    trace::add("engine.scrub.repairs", repairs);
+    const double bw_Bps =
+        cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
+    const Seconds t = static_cast<double>(out.repaired_bytes) / bw_Bps +
+                      static_cast<double>(repairs) * cost_.params().queue_op_latency;
+    result.metrics.scrub_time += t;
+    result.metrics.total_time += t;
+    meter_.charge(cluster_.vm, workers_now_, t);
   }
 
   /// One barrier's worth of worker deaths: the lost VMs (sorted, unique)
@@ -2174,7 +2345,23 @@ class Engine {
     if (event.dead.empty()) {
       if (const auto vm = failure_strikes()) event.dead.push_back(*vm);
     }
-    if (cluster_.availability_zones > 1 && faults_.plan().zone_outage_rate > 0.0) {
+    if (cluster_.availability_zones > 1 && !event.zone) {
+      // Deterministic crash-point hook: an explicitly scheduled zone outage
+      // fires once, exactly like a drawn one.
+      for (auto it = scheduled_zone_outages_.begin(); it != scheduled_zone_outages_.end();
+           ++it) {
+        if (it->first != superstep_ || it->second >= zones_.zones) continue;
+        event.zone = it->second;
+        scheduled_zone_outages_.erase(it);
+        ++result.metrics.zone_outages;
+        trace::add("engine.zone.outages", 1);
+        for (std::uint32_t vm : zones_.vms_in_zone(*event.zone, workers_now_))
+          event.dead.push_back(vm);
+        break;
+      }
+    }
+    if (cluster_.availability_zones > 1 && !event.zone &&
+        faults_.plan().zone_outage_rate > 0.0) {
       for (std::uint32_t z = 0; z < zones_.zones; ++z) {
         if (!faults_.zone_outage(z, superstep_, failure_epoch_)) continue;
         event.zone = z;
@@ -2237,8 +2424,7 @@ class Engine {
     return total;
   }
 
-  void restore_snapshot_state() {
-    const Snapshot& s = *checkpoint_;
+  void restore_snapshot_state(const Snapshot& s) {
     parts_ = s.parts;
     globals_ = s.globals;
     globals_next_ = Globals{};
@@ -2272,11 +2458,76 @@ class Engine {
     pull_mode_ = false;
   }
 
-  void recover_from_checkpoint(JobResult<Program>& result) {
+  /// Satellite of every recovery path: is anything restorable after this
+  /// failure event, and which generation will the restore walk land on? One
+  /// place answers for the zone-loss gate, full rollback, and confined
+  /// recovery alike; the returned plan carries the chosen generation, its
+  /// fallback depth, and per-partition download bytes.
+  struct RecoveryAssessment {
+    std::optional<cloud::CkptRestorePlan> plan;
+    std::string reason;  ///< unrecoverable-why, appended to the failure text
+  };
+
+  RecoveryAssessment assess_recovery(const FailureEvent& event,
+                                     JobResult<Program>& result) {
+    RecoveryAssessment a;
+    if (!ckpt_.has_checkpoint()) {
+      a.reason = "with no checkpoint to recover from";
+      return a;
+    }
+    if (event.zone && cluster_.availability_zones > 1 &&
+        !cluster_.replicate_checkpoints_across_zones) {
+      // The lost zone took the checkpoint blobs homed in it down with the
+      // VMs that wrote them: without cross-zone replicas there is nothing
+      // left to restore from.
+      a.reason = "lost its checkpoints: no cross-zone replicas configured";
+      return a;
+    }
+    const std::optional<std::uint32_t> lost_zone =
+        cluster_.availability_zones > 1 ? event.zone : std::nullopt;
+    a.plan = ckpt_.plan_restore(lost_zone, faults_);
+    if (!a.plan) {
+      a.reason = "with no checkpoint to recover from";
+      return a;
+    }
+    result.metrics.checkpoint_corrupt_legs += a.plan->corrupt_legs;
+    result.metrics.checkpoint_corrupt_manifests += a.plan->corrupt_manifests;
+    result.metrics.checkpoint_replica_reads += a.plan->replica_reads;
+    if (a.plan->fallback_depth > 0) {
+      ++result.metrics.checkpoint_fallbacks;
+      result.metrics.checkpoint_fallback_depth_max = std::max(
+          result.metrics.checkpoint_fallback_depth_max, a.plan->fallback_depth);
+      trace::add("engine.checkpoint.fallbacks", 1);
+    }
+    return a;
+  }
+
+  /// Restore-transfer size for `vm` under `plan`: the restore set's leg
+  /// bytes for the partitions it hosts. A generation-0 (initial) plan has
+  /// no legs — the worker re-derives state from the graph blob, priced at
+  /// the legacy full-checkpoint size exactly as the pre-store engine did.
+  Bytes plan_restore_bytes(const cloud::CkptRestorePlan& plan, std::uint32_t vm) const {
+    if (plan.initial) return checkpoint_bytes(vm);
+    Bytes total = 0;
+    for (std::uint32_t p = 0; p < parts_.size(); ++p)
+      if (vm_of(p) == vm && p < plan.partition_bytes.size())
+        total += plan.partition_bytes[p];
+    return total;
+  }
+
+  /// The state rollback both recovery flavors share: restore the plan's
+  /// snapshot and truncate the now-stale newer generations (the replay
+  /// deterministically re-writes those rounds).
+  void apply_restore_plan(const cloud::CkptRestorePlan& plan) {
+    restore_snapshot_state(*static_cast<const Snapshot*>(plan.payload.get()));
+    ckpt_.truncate_after(plan.seq);
+  }
+
+  void recover_from_checkpoint(JobResult<Program>& result,
+                               const cloud::CkptRestorePlan& plan) {
     trace::Span span("engine.recover.full", "recovery", "superstep", superstep_);
     trace::add("engine.recoveries", 1);
-    const Snapshot& s = *checkpoint_;
-    result.metrics.replayed_supersteps += superstep_ + 1 - s.superstep;
+    result.metrics.replayed_supersteps += superstep_ + 1 - plan.resume_superstep;
     ++failure_epoch_;
     // A failure during an active confined replay falls back to the full
     // Pregel rollback: every partition reloads, so the replay-in-progress
@@ -2288,7 +2539,7 @@ class Engine {
     // blob reads run under the retry policy.
     Bytes biggest = 0;
     for (std::uint32_t w = 0; w < workers_now_; ++w)
-      biggest = std::max(biggest, checkpoint_bytes(w));
+      biggest = std::max(biggest, plan_restore_bytes(plan, w));
     const auto read = control_op(cloud::FaultKind::kBlobRead, result);
     const double bw_Bps = cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
     Seconds t = cluster_.failure_detection_time + cluster_.vm_reacquisition_time +
@@ -2300,7 +2551,7 @@ class Engine {
     result.metrics.total_time += t;
     meter_.charge(cluster_.vm, workers_now_, t);
 
-    restore_snapshot_state();
+    apply_restore_plan(plan);
     reinitiate_after_restore(result);
   }
 
@@ -2311,18 +2562,18 @@ class Engine {
   /// supersteps are costed confined: healthy workers only re-deliver logged
   /// outbox bytes, and only the replacement VMs download checkpoint data —
   /// in parallel, so the largest lost checkpoint bounds the stall.
-  void recover_confined(JobResult<Program>& result, const std::vector<std::uint32_t>& dead) {
+  void recover_confined(JobResult<Program>& result, const std::vector<std::uint32_t>& dead,
+                        const cloud::CkptRestorePlan& plan) {
     trace::Span span("engine.recover.confined", "recovery", "vms", dead.size());
     trace::add("engine.recoveries", 1);
-    const Snapshot& s = *checkpoint_;
-    result.metrics.replayed_supersteps += superstep_ + 1 - s.superstep;
+    result.metrics.replayed_supersteps += superstep_ + 1 - plan.resume_superstep;
     ++failure_epoch_;
 
     const auto read = control_op(cloud::FaultKind::kBlobRead, result);
     const double bw_Bps = cluster_.vm.network_bps * cost_.params().network_efficiency / 8.0;
     Bytes biggest_lost = 0;
     for (const std::uint32_t vm : dead)
-      biggest_lost = std::max(biggest_lost, checkpoint_bytes(vm));
+      biggest_lost = std::max(biggest_lost, plan_restore_bytes(plan, vm));
     Seconds t = cluster_.failure_detection_time + cluster_.vm_reacquisition_time +
                 static_cast<double>(biggest_lost) / bw_Bps + read.extra_latency;
     if (!read.success) t += cluster_.retry.op_deadline;
@@ -2332,7 +2583,7 @@ class Engine {
 
     confined_replay_until_ = superstep_;
     replay_lost_vms_ = dead;
-    restore_snapshot_state();
+    apply_restore_plan(plan);
     reinitiate_after_restore(result);
   }
 
@@ -2363,9 +2614,10 @@ class Engine {
   /// ones a shed can park, because rewinding to the snapshot un-initiates
   /// them without touching any completed root's recorded result.
   std::uint32_t parkable_root_count() const {
-    if (!checkpoint_) return 0;
+    const Snapshot* snap = newest_snapshot();
+    if (!snap) return 0;
     std::uint32_t n = 0;
-    for (std::size_t i = checkpoint_->next_root; i < next_root_; ++i)
+    for (std::size_t i = snap->next_root; i < next_root_; ++i)
       if (outstanding_index_.contains(pending_roots_[i])) ++n;
     return n;
   }
@@ -2396,7 +2648,7 @@ class Engine {
       for (std::uint32_t i = 0; i < workers_now_; ++i)
         biggest = std::max(biggest, checkpoint_bytes(i));
       const std::uint64_t replayed =
-          checkpoint_ ? superstep_ + 1 - checkpoint_->superstep : 0;
+          ckpt_.has_checkpoint() ? superstep_ + 1 - newest_snapshot()->superstep : 0;
       obs.shed_cost_estimate = static_cast<double>(biggest) / bw_Bps +
                                cost_.params().queue_op_latency +
                                static_cast<double>(replayed) * last_superstep_span_;
@@ -2439,7 +2691,7 @@ class Engine {
   /// reacquisition, just the checkpoint download under the retry policy.
   void shed_newest_roots(JobResult<Program>& result) {
     trace::Span span("engine.governor.shed", "recovery", "superstep", superstep_);
-    const Snapshot& s = *checkpoint_;
+    const Snapshot& s = *newest_snapshot();
     std::vector<VertexId> parkable;
     for (std::size_t i = s.next_root; i < next_root_; ++i) {
       const VertexId r = pending_roots_[i];
@@ -2463,14 +2715,14 @@ class Engine {
     result.metrics.total_time += t;
     meter_.charge(cluster_.vm, workers_now_, t);
 
-    restore_snapshot_state();
+    restore_snapshot_state(s);
     // Park: move the shed roots behind every other pending root, preserving
     // relative order. The snapshot's own pending list is updated too — a
     // later failure rollback must not silently undo the parking.
     std::stable_partition(
         pending_roots_.begin() + static_cast<std::ptrdiff_t>(next_root_),
         pending_roots_.end(), [&](VertexId r) { return !parked.contains(r); });
-    checkpoint_->pending_roots = pending_roots_;
+    newest_snapshot_mut()->pending_roots = pending_roots_;
     governor_.on_shed();
     ++result.metrics.governor_sheds;
     result.metrics.governor_roots_parked += k;
@@ -2493,7 +2745,7 @@ class Engine {
   /// Recorded as an episode in the metrics, not a job failure.
   void governed_oom_restore(JobResult<Program>& result) {
     trace::Span span("engine.governor.escalate", "recovery", "superstep", superstep_);
-    const Snapshot& s = *checkpoint_;
+    const Snapshot& s = *newest_snapshot();
     result.metrics.replayed_supersteps += superstep_ + 1 - s.superstep;
     ++failure_epoch_;
     replay_lost_vms_.clear();
@@ -2511,7 +2763,7 @@ class Engine {
     result.metrics.total_time += t;
     meter_.charge(cluster_.vm, workers_now_, t);
 
-    restore_snapshot_state();
+    restore_snapshot_state(s);
     governor_.on_escalated(offending);
     ++result.metrics.governed_oom_episodes;
     trace::add("engine.governor.escalations", 1);
@@ -3128,8 +3380,16 @@ class Engine {
   std::uint64_t last_active_vertices_ = 0;
   std::uint64_t last_messages_sent_ = 0;
 
-  std::optional<Snapshot> checkpoint_;
+  /// Generational checkpoint store: generation 0 (the input graph) plus
+  /// every published base/delta generation, each holding its Snapshot as an
+  /// opaque payload. See src/cloud/ckpt_store.hpp and docs/FAULTS.md.
+  cloud::CkptStore ckpt_;
+  /// Delta sizing active this run (checkpointing on + delta mode on).
+  bool track_dirty_ = false;
+  /// Barriers since the last background scrub pass (CkptOptions::scrub_period).
+  std::uint32_t barriers_since_scrub_ = 0;
   std::vector<std::pair<std::uint64_t, std::uint32_t>> scheduled_failures_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> scheduled_zone_outages_;
   std::uint64_t failure_epoch_ = 0;
 
   /// Memory-pressure governor state: the ladder itself plus this superstep's

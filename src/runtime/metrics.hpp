@@ -96,6 +96,31 @@ struct JobMetrics {
   /// Checkpoint uploads abandoned after exhausting the retry budget (the
   /// previous checkpoint stays in force).
   std::uint32_t checkpoint_failures = 0;
+  /// Cross-zone replica rounds abandoned (the primary generation published
+  /// fine; only the replica copies are missing). Distinct from
+  /// checkpoint_failures, which counts lost primary rounds.
+  std::uint32_t checkpoint_replica_failures = 0;
+
+  // Generational checkpoint store (docs/FAULTS.md "Checkpoint store").
+  std::uint32_t checkpoint_bases = 0;       ///< full generations published
+  std::uint32_t checkpoint_deltas = 0;      ///< delta generations published
+  Bytes checkpoint_base_bytes = 0;          ///< data-leg bytes in base rounds
+  Bytes checkpoint_delta_bytes = 0;         ///< data-leg bytes in delta rounds
+  std::uint32_t checkpoint_torn_manifests = 0;  ///< rounds lost at the publish step
+  std::uint32_t checkpoint_torn_legs = 0;       ///< data legs that landed torn
+  /// Restores that fell back past the newest generation, and the deepest
+  /// fallback (published generations skipped) any restore needed.
+  std::uint32_t checkpoint_fallbacks = 0;
+  std::uint32_t checkpoint_fallback_depth_max = 0;
+  std::uint32_t checkpoint_corrupt_legs = 0;      ///< torn/rotted legs hit on restore walks
+  std::uint32_t checkpoint_corrupt_manifests = 0; ///< manifests failing chain verification
+  std::uint32_t checkpoint_replica_reads = 0;     ///< restore legs served by the replica
+  std::uint32_t scrub_passes = 0;
+  std::uint64_t scrub_copies_verified = 0;
+  std::uint32_t scrub_repairs = 0;          ///< rotted/torn copies re-replicated
+  Seconds scrub_time = 0.0;                 ///< re-replication transfers; in total_time
+  std::uint32_t ckpt_gc_generations = 0;    ///< generations retired by retention GC
+  std::uint64_t ckpt_gc_delete_ops = 0;     ///< priced blob delete operations
 
   // Transient-fault injection and the retries masking it.
   std::uint64_t faults_injected = 0;   ///< transient queue/blob failures drawn

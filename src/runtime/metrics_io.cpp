@@ -62,7 +62,13 @@ void write_fault_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
             "straggler_reexecutions", "blob_corruptions", "queue_corruptions",
             "manager_failovers", "manager_failover_s", "barrier_duplicates",
             "barrier_fenced", "barrier_detection_timeouts", "zone_outages",
-            "checkpoint_replicas"});
+            "checkpoint_replicas", "checkpoint_replica_failures", "checkpoint_bases",
+            "checkpoint_deltas", "checkpoint_base_bytes", "checkpoint_delta_bytes",
+            "checkpoint_torn_manifests", "checkpoint_torn_legs", "checkpoint_fallbacks",
+            "checkpoint_fallback_depth_max", "checkpoint_corrupt_legs",
+            "checkpoint_corrupt_manifests", "checkpoint_replica_reads", "scrub_passes",
+            "scrub_copies_verified", "scrub_repairs", "scrub_time_s",
+            "ckpt_gc_generations", "ckpt_gc_delete_ops"});
   w.field(metrics.recovery_mode)
       .field(static_cast<std::uint64_t>(metrics.checkpoints_written))
       .field(static_cast<std::uint64_t>(metrics.checkpoint_failures))
@@ -84,6 +90,24 @@ void write_fault_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
       .field(static_cast<std::uint64_t>(metrics.barrier_detection_timeouts))
       .field(static_cast<std::uint64_t>(metrics.zone_outages))
       .field(static_cast<std::uint64_t>(metrics.checkpoint_replicas_written))
+      .field(static_cast<std::uint64_t>(metrics.checkpoint_replica_failures))
+      .field(static_cast<std::uint64_t>(metrics.checkpoint_bases))
+      .field(static_cast<std::uint64_t>(metrics.checkpoint_deltas))
+      .field(metrics.checkpoint_base_bytes)
+      .field(metrics.checkpoint_delta_bytes)
+      .field(static_cast<std::uint64_t>(metrics.checkpoint_torn_manifests))
+      .field(static_cast<std::uint64_t>(metrics.checkpoint_torn_legs))
+      .field(static_cast<std::uint64_t>(metrics.checkpoint_fallbacks))
+      .field(static_cast<std::uint64_t>(metrics.checkpoint_fallback_depth_max))
+      .field(static_cast<std::uint64_t>(metrics.checkpoint_corrupt_legs))
+      .field(static_cast<std::uint64_t>(metrics.checkpoint_corrupt_manifests))
+      .field(static_cast<std::uint64_t>(metrics.checkpoint_replica_reads))
+      .field(static_cast<std::uint64_t>(metrics.scrub_passes))
+      .field(metrics.scrub_copies_verified)
+      .field(static_cast<std::uint64_t>(metrics.scrub_repairs))
+      .field(metrics.scrub_time)
+      .field(static_cast<std::uint64_t>(metrics.ckpt_gc_generations))
+      .field(metrics.ckpt_gc_delete_ops)
       .end_row();
 }
 
@@ -199,6 +223,15 @@ void write_job_summary(const JobMetrics& metrics, std::ostream& out) {
       << " barrier_detection_timeouts=" << metrics.barrier_detection_timeouts
       << " zone_outages=" << metrics.zone_outages
       << " checkpoint_replicas=" << metrics.checkpoint_replicas_written
+      << " checkpoint_replica_failures=" << metrics.checkpoint_replica_failures
+      << " checkpoint_bases=" << metrics.checkpoint_bases
+      << " checkpoint_deltas=" << metrics.checkpoint_deltas
+      << " checkpoint_base_bytes=" << metrics.checkpoint_base_bytes
+      << " checkpoint_delta_bytes=" << metrics.checkpoint_delta_bytes
+      << " checkpoint_fallbacks=" << metrics.checkpoint_fallbacks
+      << " checkpoint_fallback_depth_max=" << metrics.checkpoint_fallback_depth_max
+      << " scrub_repairs=" << metrics.scrub_repairs
+      << " ckpt_gc_delete_ops=" << metrics.ckpt_gc_delete_ops
       << " migrations=" << metrics.migrations
       << " migrated_vertices=" << metrics.migrated_vertices
       << " migrated_bytes=" << metrics.migrated_bytes

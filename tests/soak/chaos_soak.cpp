@@ -152,6 +152,19 @@ ChaosDraw draw_chaos(SplitMix64& rng, std::uint32_t partitions) {
     d.cluster.faults.zone_seed = rng();
   }
 
+  // Generational checkpoint store: torn leg/manifest writes, at-rest rot,
+  // delta chains, and the background scrub all ride along (drawn last so the
+  // legacy part of a seed's scenario is unchanged). Tear/rot rates stay low:
+  // a deep multi-generation fallback replays many supersteps and the
+  // runaway guard bounds total executed supersteps per scenario.
+  d.cluster.faults.ckpt_torn_write_rate = uniform_real(rng, 0.0, 0.05);
+  d.cluster.faults.ckpt_rot_rate = uniform_real(rng, 0.0, 0.1);
+  d.cluster.faults.ckpt_seed = rng();
+  d.cluster.ckpt.delta_enabled = (rng() & 1) != 0;
+  d.cluster.ckpt.max_chain_length = static_cast<std::uint32_t>(uniform_int(rng, 1, 4));
+  d.cluster.ckpt.retained_generations = static_cast<std::uint32_t>(uniform_int(rng, 1, 3));
+  d.cluster.ckpt.scrub_period = static_cast<std::uint32_t>(uniform_int(rng, 0, 3));
+
   d.describe = "workers=" + std::to_string(d.cluster.initial_workers) +
                " ckpt=" + std::to_string(d.cluster.checkpoint_interval) +
                " recovery=" + to_string(d.cluster.recovery_mode) +
@@ -161,7 +174,11 @@ ChaosDraw draw_chaos(SplitMix64& rng, std::uint32_t partitions) {
                     ? " migrate=p" + std::to_string(d.cluster.migration.period)
                     : " migrate=off") +
                (d.scale_out_enabled ? " scale-out=on" : "") +
-               " zones=" + std::to_string(d.cluster.availability_zones);
+               " zones=" + std::to_string(d.cluster.availability_zones) +
+               (d.cluster.ckpt.delta_enabled
+                    ? " delta=c" + std::to_string(d.cluster.ckpt.max_chain_length)
+                    : " delta=off") +
+               " scrub=" + std::to_string(d.cluster.ckpt.scrub_period);
   return d;
 }
 
@@ -212,7 +229,11 @@ std::string chaos_stats(const JobMetrics& m) {
          " oom_episodes=" + std::to_string(m.governed_oom_episodes) +
          " failovers=" + std::to_string(m.manager_failovers) +
          " dup=" + std::to_string(m.barrier_duplicates) +
-         " zone_outages=" + std::to_string(m.zone_outages);
+         " zone_outages=" + std::to_string(m.zone_outages) +
+         " ckpt_fallbacks=" + std::to_string(m.checkpoint_fallbacks) +
+         " torn=" + std::to_string(m.checkpoint_torn_legs) + "+" +
+         std::to_string(m.checkpoint_torn_manifests) + "m" +
+         " scrub_repairs=" + std::to_string(m.scrub_repairs);
 }
 
 /// Multi-source SSSP under chaos. Roots are staggered in per-superstep
