@@ -23,6 +23,7 @@
 #include "partition/streaming.hpp"
 #include "runtime/trace.hpp"
 #include "sched/scheduler.hpp"
+#include "subgraph/sssp.hpp"
 
 namespace {
 
@@ -223,6 +224,29 @@ void BM_EngineTraversal(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineTraversal)->Unit(benchmark::kMillisecond);
+
+// Same traversal through the subgraph-centric path: per-partition Dijkstra
+// to local convergence, staged-outbox sort, rank-merged boundary exchange.
+// The pair (BM_EngineTraversal, BM_SubgraphSuperstep) tracks the relative
+// cost of the two compute models on identical inputs.
+void BM_SubgraphSuperstep(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const auto parts = HashPartitioner{}.partition(g, 8);
+  std::uint64_t supersteps = 0, ops = 0;
+  for (auto _ : state) {
+    const auto r = subgraph::run_sssp_subgraph(g, bench_cluster(), parts, 0);
+    supersteps += r.metrics.supersteps.size();
+    for (const auto& sm : r.metrics.supersteps)
+      for (const auto& wm : sm.workers) ops += wm.subgraph_ops;
+    benchmark::DoNotOptimize(r.values.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.counters["supersteps"] = benchmark::Counter(
+      static_cast<double>(supersteps) / static_cast<double>(state.iterations()));
+  state.counters["subgraph_ops/s"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SubgraphSuperstep)->Unit(benchmark::kMillisecond);
 
 void BM_PartitionHash(benchmark::State& state) {
   const Graph& g = bench_graph();

@@ -32,7 +32,8 @@ Seconds CostModel::compute_time(const WorkerLoad& load, const VmSpec& vm) const 
       static_cast<double>(load.vertices_computed) * params_.cycles_per_vertex_op +
       static_cast<double>(load.messages_processed) * params_.cycles_per_message_processed +
       static_cast<double>(load.messages_sent_local + load.messages_sent_remote) *
-          params_.cycles_per_message_sent;
+          params_.cycles_per_message_sent +
+      static_cast<double>(load.subgraph_ops) * params_.cycles_per_subgraph_op;
   const double hz = vm.clock_ghz * 1e9 * std::max(1u, vm.cores);
   return cycles / hz * thrash_penalty(load.memory_peak, vm);
 }

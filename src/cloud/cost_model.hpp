@@ -29,6 +29,12 @@ struct WorkerLoad {
   std::uint64_t messages_processed = 0;  ///< drained from the previous superstep
   std::uint64_t messages_sent_local = 0;
   std::uint64_t messages_sent_remote = 0;
+  /// Internal sequential work performed by subgraph-centric programs (edge
+  /// relaxations, union-find operations, Gauss-Seidel updates...). Zero for
+  /// vertex-centric programs. Charged separately from vertices_computed so
+  /// the barrier's active-count audit stays exact while local-convergence
+  /// sweeps are still priced.
+  std::uint64_t subgraph_ops = 0;
   Bytes bytes_sent_remote = 0;
   Bytes bytes_received_remote = 0;
   Bytes memory_peak = 0;  ///< graph partition + buffered messages + vertex state
@@ -42,6 +48,13 @@ struct CostParams {
   double cycles_per_vertex_op = 4000;
   double cycles_per_message_processed = 2500;
   double cycles_per_message_sent = 2000;  ///< serialization + routing
+  /// One internal step of a subgraph-centric program (a relaxation, a
+  /// union-find find+union, one Gauss-Seidel update). Much cheaper than a
+  /// full vertex_op: no per-vertex dispatch, no message envelope handling —
+  /// the sequential algorithm runs over raw adjacency. This asymmetry is
+  /// the subgraph model's whole bet (GoFFish): trade framework overhead per
+  /// vertex for tight loops inside the partition.
+  double cycles_per_subgraph_op = 400;
 
   // Wire format: payload + envelope (vertex id, type tag, framing).
   Bytes message_envelope_bytes = 16;

@@ -57,6 +57,24 @@
 //     template <class MCtx> void master_compute(MCtx& master) const;
 //     std::int64_t vertex_state_bytes() const;  // resident per-vertex bytes
 //   };
+//
+// Subgraph-centric programs (GoFFish / Giraph++-style; see docs/SUBGRAPH.md)
+// declare `static constexpr bool kSubgraphModel = true;` and replace
+// per-vertex compute() with a per-partition hook:
+//   template <class Ctx> void compute_subgraph(Ctx& ctx) const;
+// The engine then hands each partition ONE SubgraphContext per superstep —
+// full local adjacency view, per-vertex boundary inboxes, a staged boundary
+// outbox, and the shared aggregator — and the program runs a sequential
+// algorithm to local convergence before the barrier. Everything around
+// compute is unchanged: barriers, fault injection, checkpointing (the delta
+// write barrier via state_unchanged_all/mark_changed), migration, the
+// memory governor, and the scheduler all drive subgraph jobs exactly as
+// vertex jobs. Boundary sends are tagged with the sender's immutable rank
+// and merged in canonical (rank, emission) order through the same staged-
+// outbox/serial-merge discipline, so results stay bit-identical at any
+// parallelism. Internal sequential work is charged via
+// ctx.charge_local_work() (CostParams::cycles_per_subgraph_op), keeping the
+// barrier's active-vertex audit exact.
 #pragma once
 
 #include <algorithm>
@@ -184,6 +202,148 @@ class VertexContext {
   VertexId vertex_;
   std::size_t chunk_;
   bool mutated_ = true;
+};
+
+/// Handed to Program::compute_subgraph once per partition per superstep
+/// (subgraph-centric programs only; docs/SUBGRAPH.md). The context exposes
+/// the partition's full local view — vertex list, values, adjacency through
+/// the shared graph, per-vertex inboxes of boundary messages, this
+/// superstep's frontier — plus a staged boundary outbox and the shared
+/// aggregator. All emissions are staged into the partition's chunk scratch
+/// and merged in canonical order after the compute barrier, so results are
+/// bit-identical at any parallelism and across migrations.
+template <VertexProgramT Program>
+class SubgraphContext {
+ public:
+  using MessageValue = typename Program::MessageValue;
+  using VertexValue = typename Program::VertexValue;
+
+  // ---- partition view ------------------------------------------------------
+
+  std::uint32_t partition() const noexcept { return partition_; }
+  std::uint64_t superstep() const noexcept { return engine_->superstep_; }
+  VertexId num_graph_vertices() const noexcept { return engine_->graph_->num_vertices(); }
+
+  /// Global ids of this partition's vertices, ascending. Local index ==
+  /// position in this span.
+  std::span<const VertexId> vertices() const {
+    return engine_->parts_[partition_].vertices;
+  }
+  std::uint32_t num_vertices() const {
+    return static_cast<std::uint32_t>(engine_->parts_[partition_].vertices.size());
+  }
+  VertexId vertex_at(std::uint32_t local) const {
+    return engine_->parts_[partition_].vertices[local];
+  }
+  bool is_local(VertexId v) const { return engine_->part_of_[v] == partition_; }
+  /// Local index of a vertex currently homed in this partition.
+  std::uint32_t local_of(VertexId v) const { return engine_->local_of_[v]; }
+  VertexValue& value(std::uint32_t local) {
+    return engine_->parts_[partition_].values[local];
+  }
+  const VertexValue& value(std::uint32_t local) const {
+    return engine_->parts_[partition_].values[local];
+  }
+
+  /// Full adjacency of any vertex (local or boundary remote endpoint).
+  std::span<const VertexId> out_neighbors(VertexId v) const {
+    return engine_->graph_->out_neighbors(v);
+  }
+  std::uint32_t out_degree(VertexId v) const { return engine_->graph_->out_degree(v); }
+
+  /// Immutable per-run serial rank of a vertex (partition-major over the
+  /// initial assignment). Boundary messages arrive in ascending sender rank;
+  /// order-sensitive reductions key on it for bit-identity.
+  std::uint32_t rank_of(VertexId v) const { return engine_->rank_of_[v]; }
+
+  // ---- frontier and inboxes ------------------------------------------------
+
+  /// Locals active this superstep (deterministically sorted). Every local
+  /// with a non-empty inbox is in here.
+  std::span<const std::uint32_t> active_locals() const {
+    return engine_->parts_[partition_].active_cur;
+  }
+  /// Boundary/seed messages delivered to a local vertex this superstep, in
+  /// ascending sender-rank order.
+  std::span<const MessageValue> messages(std::uint32_t local) const {
+    return engine_->parts_[partition_].inbox_cur[local];
+  }
+
+  // ---- boundary outbox and activation -------------------------------------
+
+  /// Emit a boundary message on behalf of local vertex `from` for delivery
+  /// at the start of the next superstep (any target, though subgraph
+  /// programs typically send only across the cut — internal updates are
+  /// applied in place).
+  void send(VertexId from, VertexId target, MessageValue message) {
+    PREGEL_DCHECK(target < engine_->graph_->num_vertices());
+    auto& cs = engine_->chunk_scratch_[partition_];
+    const std::uint32_t tp = engine_->part_of_[target];
+    const std::uint32_t tl = engine_->local_of_[target];
+    cs.out[tp].push_back(typename Engine<Program>::StagedMessage{
+        tl, engine_->rank_of_[from],
+        static_cast<std::uint8_t>(engine_->placement_[engine_->orig_part_[from]]),
+        cs.emit_seq++, std::move(message)});
+  }
+
+  /// Keep a local vertex active next superstep without sending it a message.
+  void remain_active(std::uint32_t local) {
+    engine_->chunk_scratch_[partition_].activations.push_back(local);
+  }
+  /// Request activation of a local vertex at an absolute future superstep.
+  void wake_at(std::uint32_t local, std::uint64_t superstep) {
+    engine_->chunk_scratch_[partition_].wakes.push_back({superstep, local});
+  }
+
+  // ---- aggregation / globals ----------------------------------------------
+
+  /// Contribute to a sum-aggregate on behalf of local vertex `as` (the rank
+  /// tag keeps barrier replay order migration-invariant).
+  void aggregate(VertexId as, std::uint64_t key, double value) {
+    engine_->chunk_scratch_[partition_].aggs.push_back(
+        {engine_->rank_of_[as], key, value});
+  }
+  double global(std::uint64_t key, double fallback = 0.0) const {
+    return engine_->globals_.get(key, fallback);
+  }
+  bool has_global(std::uint64_t key) const { return engine_->globals_.contains(key); }
+
+  // ---- accounting ----------------------------------------------------------
+
+  /// Charge `ops` units of internal sequential work (one relaxation, one
+  /// union-find step, one rank update). Priced at
+  /// CostParams::cycles_per_subgraph_op — far below a full vertex dispatch,
+  /// which is the subgraph model's whole bet.
+  void charge_local_work(std::uint64_t ops) {
+    engine_->chunk_scratch_[partition_].load.subgraph_ops += ops;
+  }
+  /// Account algorithm state growth/shrink at a local vertex (modeled bytes).
+  void charge_state_bytes(std::uint32_t local, std::int64_t delta) {
+    engine_->charge_state(partition_, local, delta, partition_);
+  }
+  /// Declare a traversal root complete (root-scheduled algorithms).
+  void mark_root_done(VertexId root) {
+    engine_->chunk_scratch_[partition_].roots.push_back(
+        {engine_->rank_of_[root], root});
+  }
+
+  // ---- delta-checkpoint write barrier -------------------------------------
+
+  /// Opt in to precise dirty tracking for this call: only locals passed to
+  /// mark_changed() afterwards enter the next delta leg. Without this call
+  /// every active local is conservatively marked dirty.
+  void state_unchanged_all() noexcept { unchanged_all_ = true; }
+  void mark_changed(std::uint32_t local) { changed_.push_back(local); }
+
+ private:
+  friend class Engine<Program>;
+  SubgraphContext(Engine<Program>* engine, std::uint32_t partition)
+      : engine_(engine), partition_(partition) {}
+
+  Engine<Program>* engine_;
+  std::uint32_t partition_;
+  bool unchanged_all_ = false;
+  std::vector<std::uint32_t> changed_;
 };
 
 /// Handed to Program::master_compute at each barrier (GPS-style master task).
@@ -384,6 +544,7 @@ class Engine {
 
  private:
   friend class VertexContext<Program>;
+  friend class SubgraphContext<Program>;
   friend class MasterContext<Program>;
 
   // ---- static program-trait helpers --------------------------------------
@@ -674,11 +835,12 @@ class Engine {
       broadcast_store_.assign(graph_->num_vertices(), {});
     else
       broadcast_store_.clear();
-    // The staged path serves three callers: the thread pool (any run with
+    // The staged path serves four callers: the thread pool (any run with
     // threads_ > 1), the post-migration rank merge (even serial runs — once
-    // vertices move, delivery order must be reconstructed by rank), and pull
-    // supersteps (the synthesized stream flows through the same merge).
-    if (threads_ > 1 || migration_possible_ || direction_enabled_)
+    // vertices move, delivery order must be reconstructed by rank), pull
+    // supersteps (the synthesized stream flows through the same merge), and
+    // subgraph-centric programs (every boundary send is staged).
+    if (threads_ > 1 || migration_possible_ || direction_enabled_ || subgraph_model())
       send_scratch_.assign(parts_.size() * parts_.size(), {});
     else
       send_scratch_.clear();
@@ -1188,6 +1350,116 @@ class Engine {
     }
   }
 
+  // ---- subgraph-centric execution (docs/SUBGRAPH.md) ----------------------
+
+  /// One chunk per partition: chunk index == partition index, so the staged
+  /// merge, the counter folds, and the log replays all see the exact shape
+  /// the vertex-centric staged path produces, with leaf order degenerate.
+  void setup_subgraph_chunks() {
+    const std::size_t n = parts_.size();
+    chunks_.clear();
+    for (std::uint32_t p = 0; p < n; ++p) {
+      part_chunk_range_[p] = {p, p + 1};
+      chunks_.push_back(ChunkRef{p, 0});
+    }
+    if (chunk_scratch_.size() < n) chunk_scratch_.resize(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      ChunkScratch& cs = chunk_scratch_[c];
+      cs.out.resize(n);
+      cs.load = {};
+      cs.drained_bytes = 0;
+      cs.state_delta = 0;
+      cs.emit_seq = 0;
+    }
+  }
+
+  /// Hand one whole partition to the program, then establish the canonical
+  /// outbox order: every staged row sorted by (sender rank, emission seq).
+  /// seq is unique per chunk, so the sort is a total order independent of
+  /// emission interleaving; unmigrated partition-major concatenation and the
+  /// post-migration rank merge then both deliver every inbox in ascending
+  /// sender rank — subgraph delivery order is migration-invariant.
+  void compute_subgraph_partition(std::uint32_t p) {
+    PartitionState& ps = parts_[p];
+    if (ps.active_cur.empty()) return;
+    ChunkScratch& cs = chunk_scratch_[p];
+    cs.load.vertices_computed += ps.active_cur.size();
+    for (const std::uint32_t l : ps.active_cur)
+      cs.load.messages_processed += ps.inbox_cur[l].size();
+
+    SubgraphContext<Program> ctx(this, p);
+    program_.compute_subgraph(ctx);
+
+    if (track_dirty_) {
+      if (ctx.unchanged_all_) {
+        for (const std::uint32_t l : ctx.changed_) ps.dirty[l] = 1;
+      } else {
+        // Conservative default, mirroring the vertex path's mutated_ = true.
+        for (const std::uint32_t l : ps.active_cur) ps.dirty[l] = 1;
+      }
+    }
+
+    // Drain the frontier's inboxes (every non-empty inbox belongs to an
+    // active local — delivery activates its target).
+    for (const std::uint32_t l : ps.active_cur) {
+      auto& box = ps.inbox_cur[l];
+      for (const M& m : box) cs.drained_bytes += cost_.buffered_bytes(payload_bytes(m));
+      shrink_after_drain(box);
+      if (opts_combine_) shrink_after_drain(ps.inbox_cur_src[l]);
+    }
+
+    for (auto& row : cs.out)
+      std::sort(row.begin(), row.end(),
+                [](const StagedMessage& a, const StagedMessage& b) {
+                  return a.sender_rank != b.sender_rank ? a.sender_rank < b.sender_rank
+                                                        : a.seq < b.seq;
+                });
+    std::stable_sort(cs.aggs.begin(), cs.aggs.end(),
+                     [](const StagedAgg& a, const StagedAgg& b) { return a.rank < b.rank; });
+    std::stable_sort(
+        cs.roots.begin(), cs.roots.end(),
+        [](const StagedRootDone& a, const StagedRootDone& b) { return a.rank < b.rank; });
+  }
+
+  /// The subgraph-centric superstep: compute every partition (in parallel —
+  /// each stages into its own scratch), then the same fold / merge / replay
+  /// sequence as the vertex-centric staged path. There is no chunk stealing:
+  /// the partition is the indivisible unit of subgraph work.
+  void execute_superstep_subgraph() {
+    const std::size_t n = parts_.size();
+    setup_subgraph_chunks();
+    for_each_partition([this](std::size_t p) {
+      compute_subgraph_partition(static_cast<std::uint32_t>(p));
+    });
+
+    for (std::uint32_t p = 0; p < n; ++p) {
+      PartitionState& ps = parts_[p];
+      ChunkScratch& cs = chunk_scratch_[p];
+      ps.load.vertices_computed += cs.load.vertices_computed;
+      ps.load.messages_processed += cs.load.messages_processed;
+      ps.load.subgraph_ops += cs.load.subgraph_ops;
+      ps.inbox_cur_bytes -= std::min(ps.inbox_cur_bytes, cs.drained_bytes);
+      ps.state_bytes += cs.state_delta;
+    }
+
+    for_each_partition([this](std::size_t q) {
+      merge_destination(static_cast<std::uint32_t>(q));
+    });
+
+    for (std::uint32_t p = 0; p < n; ++p) {
+      PartitionState& ps = parts_[p];
+      for (std::uint32_t q = 0; q < n; ++q) {
+        SendScratch& acc = send_scratch_[q * n + p];
+        ps.load.messages_sent_local += acc.load.messages_sent_local;
+        ps.load.messages_sent_remote += acc.load.messages_sent_remote;
+        ps.load.bytes_sent_remote += acc.load.bytes_sent_remote;
+        ps.outbuf_bytes += acc.outbuf_bytes;
+        acc = {};
+      }
+    }
+    replay_staged_logs();
+  }
+
   /// K-way merge of per-chunk logs by emitter rank across source
   /// partitions; within one partition the concatenated chunk logs are
   /// already rank-sorted (compute walks actives in rank order, chunks
@@ -1270,6 +1542,18 @@ class Engine {
       return false;
   }
 
+  /// Whether the program is subgraph-centric
+  /// (`static constexpr bool kSubgraphModel = true;` + compute_subgraph()).
+  /// The if-constexpr dispatch in execute_superstep() means vertex-path
+  /// members that call program_.compute never instantiate for subgraph
+  /// programs, and compute_subgraph is never required of vertex programs.
+  static constexpr bool subgraph_model() {
+    if constexpr (requires { Program::kSubgraphModel; })
+      return static_cast<bool>(Program::kSubgraphModel);
+    else
+      return false;
+  }
+
   /// Beamer-style push/pull decision from modeled frontier density only —
   /// active-vertex counts and out-degrees, never thread counts or host
   /// clocks — with hysteresis so the engine does not flap around the
@@ -1330,7 +1614,9 @@ class Engine {
       if (pull_this_step_ && !pull_index_built_) build_pull_index();
     }
 
-    if (threads_ > 1 || migrated_ || pull_this_step_) {
+    if constexpr (subgraph_model()) {
+      execute_superstep_subgraph();
+    } else if (threads_ > 1 || migrated_ || pull_this_step_) {
       execute_superstep_staged();
     } else {
       for (std::uint32_t p = 0; p < parts_.size(); ++p) compute_partition(p);
@@ -1367,6 +1653,7 @@ class Engine {
       L.messages_sent_remote += ps.load.messages_sent_remote;
       L.bytes_sent_remote += ps.load.bytes_sent_remote;
       L.bytes_received_remote += ps.load.bytes_received_remote;
+      L.subgraph_ops += ps.load.subgraph_ops;
       // Peak resident: partition graph + algorithm state + undrained inbox
       // snapshot + next-superstep buffers + serialized outgoing.
       L.memory_peak += ps.graph_bytes +
@@ -1429,6 +1716,7 @@ class Engine {
       wm.messages_sent_remote = L.messages_sent_remote;
       wm.bytes_sent_remote = L.bytes_sent_remote;
       wm.bytes_received_remote = L.bytes_received_remote;
+      wm.subgraph_ops = L.subgraph_ops;
       wm.memory_peak = L.memory_peak;
 
       // Continuous multi-tenancy jitter times episodic straggler slowdowns.
@@ -2810,6 +3098,7 @@ class Engine {
     sig.placement = &placement_;
     sig.workers = workers_now_;
     sig.superstep = superstep_;
+    sig.location_version = location_version_;
     sig.active.resize(parts_.size());
     for (std::uint32_t p = 0; p < parts_.size(); ++p) {
       const PartitionState& ps = parts_[p];

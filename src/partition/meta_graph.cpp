@@ -1,0 +1,140 @@
+#include "partition/meta_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pregel {
+
+MetaGraph::MetaGraph(const Graph& graph, const std::vector<PartitionId>& part_of,
+                     PartitionId num_parts, Bytes bytes_per_boundary_message) {
+  nodes_.assign(num_parts, {});
+  activity_.assign(num_parts, 0);
+  // Dense cut tally: partition counts in this codebase are tens, not
+  // thousands, so P^2 counters beat a hash map and keep the scan branch-free.
+  std::vector<std::uint64_t> cut(static_cast<std::size_t>(num_parts) * num_parts, 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const PartitionId p = part_of[v];
+    PREGEL_DCHECK(p < num_parts);
+    ++nodes_[p].vertices;
+    for (const VertexId u : graph.out_neighbors(v)) {
+      const PartitionId q = part_of[u];
+      if (q == p)
+        ++nodes_[p].internal_arcs;
+      else
+        ++cut[static_cast<std::size_t>(p) * num_parts + q];
+    }
+  }
+  off_.assign(static_cast<std::size_t>(num_parts) + 1, 0);
+  for (PartitionId p = 0; p < num_parts; ++p) {
+    for (PartitionId q = 0; q < num_parts; ++q) {
+      const std::uint64_t m = cut[static_cast<std::size_t>(p) * num_parts + q];
+      if (m == 0) continue;
+      edges_.push_back({p, q, m, m * bytes_per_boundary_message});
+      total_cut_arcs_ += m;
+      total_cut_bytes_ += m * bytes_per_boundary_message;
+    }
+    off_[p + 1] = static_cast<std::uint32_t>(edges_.size());
+  }
+}
+
+void MetaGraph::record_activity(std::uint64_t superstep,
+                                const std::vector<std::uint64_t>& active_per_partition) {
+  PREGEL_DCHECK(active_per_partition.size() == nodes_.size());
+  activity_ = active_per_partition;
+  activity_superstep_ = superstep;
+}
+
+MigrationPlan MetaGraphPlanner::plan(const RebalanceSignals& s) {
+  MigrationPlan out;
+  if (s.workers < 2 || s.active.empty() || s.graph == nullptr) return out;
+  const PartitionId parts = static_cast<PartitionId>(s.active.size());
+  const auto& part_of = *s.part_of;
+  const auto& placement = *s.placement;
+
+  // The meta-graph is a pure function of (graph, location table); any
+  // applied migration bumps location_version, so an unchanged version means
+  // the cached structure is still exact.
+  if (!cache_valid_ || cached_graph_ != s.graph || cached_version_ != s.location_version) {
+    meta_ = MetaGraph(*s.graph, part_of, parts, bytes_per_message_);
+    cached_graph_ = s.graph;
+    cached_version_ = s.location_version;
+    cache_valid_ = true;
+    ++rebuilds_;
+  }
+
+  std::vector<std::uint64_t> act(parts, 0);
+  for (PartitionId p = 0; p < parts; ++p) act[p] = s.active[p].size();
+  meta_.record_activity(s.superstep, act);
+
+  // Forecast next-superstep influx from frontier motion across the cut.
+  std::vector<double> pred(parts, 0.0);
+  for (PartitionId p = 0; p < parts; ++p) {
+    if (act[p] == 0) continue;
+    const double per_vertex = static_cast<double>(act[p]) /
+                              static_cast<double>(std::max<std::uint64_t>(
+                                  meta_.nodes()[p].vertices, 1));
+    for (const MetaEdge& e : meta_.out_edges(p))
+      pred[e.dst] += per_vertex * static_cast<double>(e.multiplicity);
+  }
+
+  // Predicted per-VM load one barrier out: what is still running plus what
+  // the wave is about to deliver.
+  std::vector<double> vm_load(s.workers, 0.0);
+  double total = 0.0;
+  for (PartitionId p = 0; p < parts; ++p) {
+    const double load = static_cast<double>(act[p]) + pred[p];
+    PREGEL_DCHECK(placement[p] < s.workers);
+    vm_load[placement[p]] += load;
+    total += load;
+  }
+  if (total <= 0.0) return out;
+  const double mean = total / static_cast<double>(s.workers);
+  std::uint32_t hot = 0, cool = 0;
+  for (std::uint32_t v = 1; v < s.workers; ++v) {
+    if (vm_load[v] > vm_load[hot]) hot = v;
+    if (vm_load[v] < vm_load[cool]) cool = v;
+  }
+  if (hot == cool || vm_load[hot] <= (1.0 + tolerance_) * mean) return out;
+
+  // Receiver: the cool VM's least predicted-loaded partition (ties to the
+  // lowest id — deterministic).
+  PartitionId rp = kInvalidVertex;
+  double rp_load = 0.0;
+  for (PartitionId p = 0; p < parts; ++p) {
+    if (placement[p] != cool) continue;
+    const double load = static_cast<double>(act[p]) + pred[p];
+    if (rp == kInvalidVertex || load < rp_load) {
+      rp = p;
+      rp_load = load;
+    }
+  }
+  if (rp == kInvalidVertex) return out;
+
+  // Move predicted next-wave vertices ahead of the frontier: targets of cut
+  // arcs out of currently-active vertices that land on the hot VM. Scan
+  // order (partitions ascending, active ids ascending, adjacency order) and
+  // first-hit dedup keep the plan deterministic.
+  const double want = vm_load[hot] - mean;  // predicted-active units to shift
+  std::vector<std::uint8_t> seen(s.graph->num_vertices(), 0);
+  double moved = 0.0;
+  for (PartitionId p = 0; p < parts && moved < want; ++p) {
+    if (act[p] == 0) continue;
+    for (const VertexId v : s.active[p]) {
+      if (moved >= want || out.moves.size() >= max_moves_) break;
+      for (const VertexId u : s.graph->out_neighbors(v)) {
+        if (out.moves.size() >= max_moves_) break;
+        const PartitionId q = part_of[u];
+        if (placement[q] != hot || seen[u]) continue;
+        seen[u] = 1;
+        out.moves.push_back({u, q, rp});
+        moved += 1.0;
+        if (moved >= want) break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pregel

@@ -1,0 +1,126 @@
+// The meta-graph: partitions as vertices, cut arcs as weighted edges — the
+// coarse graph the subgraph-centric model (docs/SUBGRAPH.md) actually
+// traverses. Each meta-edge carries the cut-arc multiplicity and its byte
+// weight (multiplicity x modeled boundary-message payload); per-superstep
+// activity annotations record how the frontier moved through the partitions.
+//
+// Built by a deterministic id-order scan, the meta-graph is a pure function
+// of (graph, part_of, num_parts, bytes-per-message): identical across
+// parallelism levels and after migration re-bases that land on the same
+// location table. The MetaGraphPlanner keys its cache on
+// RebalanceSignals::location_version for exactly that reason.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/rebalance.hpp"
+
+namespace pregel {
+
+/// Per-partition node of the meta-graph.
+struct MetaVertex {
+  std::uint64_t vertices = 0;       ///< vertices homed in the partition
+  std::uint64_t internal_arcs = 0;  ///< arcs with both endpoints inside
+  friend bool operator==(const MetaVertex&, const MetaVertex&) = default;
+};
+
+/// One directed cut edge src -> dst aggregated over all crossing arcs.
+struct MetaEdge {
+  PartitionId src = 0;
+  PartitionId dst = 0;
+  std::uint64_t multiplicity = 0;  ///< crossing arcs
+  Bytes weight_bytes = 0;          ///< multiplicity x bytes per boundary message
+  friend bool operator==(const MetaEdge&, const MetaEdge&) = default;
+};
+
+class MetaGraph {
+ public:
+  MetaGraph() = default;
+
+  /// Deterministic construction: scan vertices in ascending id, arcs in
+  /// adjacency order; edges come out sorted by (src, dst).
+  MetaGraph(const Graph& graph, const std::vector<PartitionId>& part_of,
+            PartitionId num_parts, Bytes bytes_per_boundary_message);
+
+  std::uint32_t num_partitions() const noexcept {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  const std::vector<MetaVertex>& nodes() const noexcept { return nodes_; }
+  const std::vector<MetaEdge>& edges() const noexcept { return edges_; }
+  /// Out-edges of partition p — a contiguous slice of edges().
+  std::span<const MetaEdge> out_edges(PartitionId p) const {
+    return std::span<const MetaEdge>(edges_).subspan(off_[p], off_[p + 1] - off_[p]);
+  }
+  std::uint64_t total_cut_arcs() const noexcept { return total_cut_arcs_; }
+  Bytes total_cut_bytes() const noexcept { return total_cut_bytes_; }
+
+  /// Record one superstep's per-partition activity (modeled active-vertex
+  /// counts). The latest annotation drives the planner's forecast.
+  void record_activity(std::uint64_t superstep,
+                       const std::vector<std::uint64_t>& active_per_partition);
+  std::uint64_t last_activity_superstep() const noexcept { return activity_superstep_; }
+  const std::vector<std::uint64_t>& activity() const noexcept { return activity_; }
+
+  /// Structural equality (annotations excluded) — what the determinism
+  /// tests compare across parallelism levels and migration re-bases.
+  friend bool operator==(const MetaGraph& a, const MetaGraph& b) {
+    return a.nodes_ == b.nodes_ && a.edges_ == b.edges_;
+  }
+
+ private:
+  std::vector<MetaVertex> nodes_;
+  std::vector<MetaEdge> edges_;       ///< sorted by (src, dst)
+  std::vector<std::uint32_t> off_;    ///< CSR offsets into edges_, size P+1
+  std::uint64_t total_cut_arcs_ = 0;
+  Bytes total_cut_bytes_ = 0;
+  std::vector<std::uint64_t> activity_;  ///< latest per-partition annotation
+  std::uint64_t activity_superstep_ = 0;
+};
+
+/// Predictive migration planning over the meta-graph: forecast the next
+/// superstep's boundary traffic from this superstep's frontier and the cut
+/// multiplicities, and move the predicted next-wave vertices *ahead* of the
+/// frontier — from the VM the wave is about to pile onto, to the coolest VM
+/// — through the ordinary MigrationExecutor. Where ActivityGreedy reacts to
+/// the imbalance it can already see, this planner spends its moves on the
+/// imbalance one barrier out.
+///
+/// Forecast rule (docs/SUBGRAPH.md): predicted influx into partition q is
+///   pred(q) = sum over p != q of  act(p) * mult(p->q) / max(1, |V(p)|),
+/// i.e. each active vertex of p is assumed to push its share of p's cut
+/// toward q. Predicted partition load is act(q) + pred(q); VM loads sum
+/// their partitions. The meta-graph itself is cached on (graph,
+/// location_version) — rebuilding it costs a full arc scan, so it is reused
+/// across consecutive barriers exactly like the cut-refine tally cache.
+class MetaGraphPlanner final : public MigrationPlanner {
+ public:
+  explicit MetaGraphPlanner(double tolerance = 0.2, std::uint64_t max_moves = 2048,
+                            Bytes bytes_per_boundary_message = 8)
+      : tolerance_(tolerance), max_moves_(max_moves),
+        bytes_per_message_(bytes_per_boundary_message) {}
+
+  MigrationPlan plan(const RebalanceSignals& s) override;
+  std::string name() const override { return "meta-graph"; }
+
+  /// The cached meta-graph (for observability; rebuilt lazily by plan()).
+  const MetaGraph& meta_graph() const noexcept { return meta_; }
+  std::uint64_t rebuilds() const noexcept { return rebuilds_; }
+
+ private:
+  double tolerance_;
+  std::uint64_t max_moves_;
+  Bytes bytes_per_message_;
+
+  MetaGraph meta_;
+  const Graph* cached_graph_ = nullptr;
+  std::uint64_t cached_version_ = 0;
+  bool cache_valid_ = false;
+  std::uint64_t rebuilds_ = 0;
+};
+
+}  // namespace pregel

@@ -121,24 +121,53 @@ MigrationPlan EdgeCutRefinePlanner::plan(const RebalanceSignals& s) {
       (1.0 + balance_tolerance_) * static_cast<double>(total) /
       static_cast<double>(s.workers);
 
+  // Tally cache: reusable while the location table is unchanged. The version
+  // guard is the cheap fast path (any applied migration bumps it); the full
+  // part_of comparison keeps the cache sound when distinct engines share one
+  // planner instance and happen to land on equal version counters.
+  const bool reusable = cache_valid_ && cached_graph_ == s.graph &&
+                        cached_version_ == s.location_version &&
+                        cached_part_of_ == part_of;
+  if (!reusable) {
+    tallies_.clear();
+    cached_graph_ = s.graph;
+    cached_version_ = s.location_version;
+    cached_part_of_ = part_of;
+    cache_valid_ = true;
+  }
+
   std::vector<std::uint32_t> tally(parts, 0);
   for (PartitionId p = 0; p < parts && out.moves.size() < max_moves_; ++p) {
     for (const VertexId v : s.active[p]) {
       if (out.moves.size() >= max_moves_) break;
-      const auto nbrs = s.graph->out_neighbors(v);
-      if (nbrs.empty()) continue;
-      for (const VertexId u : nbrs) tally[part_of[u]]++;
-      // Best foreign partition by neighbor count; ties to the lowest id.
+      auto it = tallies_.find(v);
+      if (it == tallies_.end()) {
+        std::vector<std::pair<PartitionId, std::uint32_t>> entry;
+        const auto nbrs = s.graph->out_neighbors(v);
+        for (const VertexId u : nbrs) tally[part_of[u]]++;
+        for (PartitionId q = 0; q < parts; ++q)
+          if (tally[q] > 0) entry.push_back({q, tally[q]});
+        for (const VertexId u : nbrs) tally[part_of[u]] = 0;  // reset for next vertex
+        it = tallies_.emplace(v, std::move(entry)).first;
+      } else {
+        ++cache_hits_;
+      }
+      const auto& counts = it->second;  // ascending partition id
+      if (counts.empty()) continue;     // isolated vertex
+      // Best foreign partition by neighbor count; ties to the lowest id
+      // (entries are ascending and only a strictly greater count displaces
+      // the running best, exactly matching the uncached scan).
+      std::uint32_t home_n = 0;
+      for (const auto& [q, n] : counts)
+        if (q == p) home_n = n;
       PartitionId best = p;
-      std::uint32_t best_n = tally[p];
-      for (PartitionId q = 0; q < parts; ++q) {
-        if (q != p && tally[q] > best_n) {
+      std::uint32_t best_n = home_n;
+      for (const auto& [q, n] : counts) {
+        if (q != p && n > best_n) {
           best = q;
-          best_n = tally[q];
+          best_n = n;
         }
       }
-      const std::uint32_t home_n = tally[p];
-      for (const VertexId u : nbrs) tally[part_of[u]] = 0;  // reset for next vertex
       if (best == p || best_n <= home_n) continue;
       const std::uint32_t dst_vm = (*s.placement)[best];
       const std::uint32_t src_vm = (*s.placement)[p];

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -50,6 +52,11 @@ struct RebalanceSignals {
   const std::vector<std::uint32_t>* placement = nullptr;
   std::uint32_t workers = 1;
   std::uint64_t superstep = 0;
+  /// Monotonic version of the engine's vertex-location table; bumped on
+  /// every applied migration and placement reset. Stateful planners (the
+  /// cut-refine boundary cache, the meta-graph planner) key their caches on
+  /// it: unchanged version + unchanged graph ⇒ part_of is unchanged.
+  std::uint64_t location_version = 0;
   /// Per partition: vertices active in the *next* superstep, ascending ids.
   std::vector<std::vector<VertexId>> active;
 };
@@ -102,6 +109,13 @@ class ActivityGreedyPlanner final : public MigrationPlanner {
 /// (1 + balance_tolerance) x the mean active load. Trades some balance for
 /// fewer remote messages; the planner the paper's §VII partition-quality
 /// analysis argues for and its §V imbalance result argues against.
+///
+/// Per-vertex neighbor tallies are cached across consecutive barriers: while
+/// the location table is unchanged (same graph, same `location_version`,
+/// same part_of), a vertex active again reuses its cached (partition, count)
+/// list instead of re-scanning its full adjacency. Any applied migration
+/// bumps the version and drops the cache. Decisions and move order are
+/// bit-identical with the cache hot or cold.
 class EdgeCutRefinePlanner final : public MigrationPlanner {
  public:
   explicit EdgeCutRefinePlanner(std::uint64_t max_moves = 512,
@@ -110,9 +124,21 @@ class EdgeCutRefinePlanner final : public MigrationPlanner {
   MigrationPlan plan(const RebalanceSignals& s) override;
   std::string name() const override { return "cut-refine"; }
 
+  /// Adjacency scans avoided via the tally cache (observability for tests).
+  std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+
  private:
   std::uint64_t max_moves_;
   double balance_tolerance_;
+
+  // Tally cache, valid while (graph, location_version, part_of) match.
+  const Graph* cached_graph_ = nullptr;
+  std::uint64_t cached_version_ = 0;
+  bool cache_valid_ = false;
+  std::vector<PartitionId> cached_part_of_;
+  std::unordered_map<VertexId, std::vector<std::pair<PartitionId, std::uint32_t>>>
+      tallies_;
+  std::uint64_t cache_hits_ = 0;
 };
 
 /// Migration configuration carried on ClusterConfig. Migration is off

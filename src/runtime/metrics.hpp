@@ -21,6 +21,10 @@ struct WorkerStepMetrics {
   std::uint64_t messages_processed = 0;
   std::uint64_t messages_sent_local = 0;
   std::uint64_t messages_sent_remote = 0;
+  /// Internal sequential steps run by subgraph-centric programs (relaxations,
+  /// union-find ops, Gauss-Seidel updates). Zero under vertex-centric
+  /// programs; priced via CostParams::cycles_per_subgraph_op.
+  std::uint64_t subgraph_ops = 0;
   Bytes bytes_sent_remote = 0;
   Bytes bytes_received_remote = 0;
   Bytes memory_peak = 0;
@@ -230,6 +234,12 @@ struct JobRow {
   std::uint32_t preemptions = 0;
   std::uint32_t scale_ins = 0;
   std::uint64_t supersteps = 0;
+  /// The job's advisory completion target (JobSpec::deadline; 0 = none).
+  Seconds deadline = 0.0;
+  /// True when a deadline was set and the job did not complete by it —
+  /// finished late, failed, or was rejected. Observability only; no policy
+  /// acts on it yet.
+  bool missed_deadline = false;
 };
 
 /// Pool-level rollup of one scheduler run. `jobs_per_hour_per_usd` is the
@@ -242,6 +252,9 @@ struct PoolMetrics {
   std::uint32_t jobs_completed = 0;
   std::uint32_t jobs_failed = 0;
   std::uint32_t jobs_rejected = 0;  ///< failed admission control
+  /// Jobs with a deadline that did not complete by it (late, failed, or
+  /// rejected). Sum of JobRow::missed_deadline.
+  std::uint32_t deadline_misses = 0;
   std::uint32_t preemptions = 0;
   std::uint32_t resumes = 0;
   std::uint32_t scale_ins = 0;      ///< VMs reclaimed mid-job across all jobs

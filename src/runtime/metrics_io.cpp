@@ -8,8 +8,9 @@ void write_worker_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
   CsvWriter w(out);
   w.header({"superstep", "worker", "vertices_computed", "messages_processed",
             "messages_sent_local", "messages_sent_remote", "bytes_sent_remote",
-            "bytes_received_remote", "memory_peak_bytes", "compute_seconds",
-            "network_seconds", "barrier_wait_seconds", "spilled_bytes"});
+            "bytes_received_remote", "subgraph_ops", "memory_peak_bytes",
+            "compute_seconds", "network_seconds", "barrier_wait_seconds",
+            "spilled_bytes"});
   for (const auto& sm : metrics.supersteps) {
     for (std::size_t i = 0; i < sm.workers.size(); ++i) {
       const auto& wm = sm.workers[i];
@@ -21,6 +22,7 @@ void write_worker_metrics_csv(const JobMetrics& metrics, std::ostream& out) {
           .field(wm.messages_sent_remote)
           .field(wm.bytes_sent_remote)
           .field(wm.bytes_received_remote)
+          .field(wm.subgraph_ops)
           .field(wm.memory_peak)
           .field(wm.compute_time)
           .field(wm.network_time)
@@ -146,7 +148,8 @@ void write_pool_metrics_csv(const PoolMetrics& pool, const std::vector<JobRow>& 
   CsvWriter w(out);
   w.header({"policy", "job", "name", "user", "state", "arrival_s", "admitted_s",
             "completed_s", "wait_s", "run_s", "cost_usd", "workers_peak",
-            "workers_final", "preemptions", "scale_ins", "supersteps"});
+            "workers_final", "preemptions", "scale_ins", "supersteps",
+            "deadline_s", "missed_deadline"});
   for (const auto& j : jobs) {
     w.field(pool.policy)
         .field(j.id)
@@ -164,6 +167,8 @@ void write_pool_metrics_csv(const PoolMetrics& pool, const std::vector<JobRow>& 
         .field(static_cast<std::uint64_t>(j.preemptions))
         .field(static_cast<std::uint64_t>(j.scale_ins))
         .field(j.supersteps)
+        .field(j.deadline)
+        .field(static_cast<std::uint64_t>(j.missed_deadline ? 1 : 0))
         .end_row();
   }
 }
@@ -175,6 +180,7 @@ void write_pool_summary(const PoolMetrics& pool, std::ostream& out) {
       << " completed=" << pool.jobs_completed
       << " failed=" << pool.jobs_failed
       << " rejected=" << pool.jobs_rejected
+      << " deadline_misses=" << pool.deadline_misses
       << " preemptions=" << pool.preemptions
       << " resumes=" << pool.resumes
       << " scale_ins=" << pool.scale_ins

@@ -36,7 +36,10 @@ struct JobSpec {
   /// it is terminated; a job whose budget cannot buy its fleet one modeled
   /// second is refused at admission.
   Usd budget_usd = 0.0;
-  /// Advisory completion target, reported in the job rows (not enforced).
+  /// Completion target. Observable, not enforced: a job with a deadline that
+  /// does not finish by it (late, failed, or rejected) sets
+  /// JobRow::missed_deadline and counts toward PoolMetrics::deadline_misses;
+  /// no admission or preemption policy acts on it yet.
   Seconds deadline = 0.0;
 };
 

@@ -405,6 +405,14 @@ void JobScheduler::finalize_metrics() {
     row.preemptions = rec.preemptions;
     row.scale_ins = rec.scale_ins;
     row.workers_peak = rec.workers_peak;
+    row.deadline = rec.spec.deadline;
+    // A deadline is missed unless the job finished successfully by it:
+    // late completions, failures, and rejections all count (a rejected job
+    // with a deadline certainly did not meet it).
+    row.missed_deadline =
+        rec.spec.deadline > 0.0 &&
+        (rec.state != State::kDone || rec.completed_at > rec.spec.deadline);
+    if (row.missed_deadline) ++pool_.deadline_misses;
     if (rec.started) {
       const JobReport& rep = rec.job->report();
       row.run_time = rep.metrics.total_time;

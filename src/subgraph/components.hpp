@@ -1,0 +1,106 @@
+// Subgraph-centric connected components: each superstep a partition rebuilds
+// a union-find over its internal arcs (the program is stateless across
+// supersteps — snapshots and recovery carry vertex values only), folds the
+// incoming boundary labels into each local component, and floods improved
+// component labels across the cut. Label exchange runs per *component* per
+// superstep instead of per vertex per hop, so convergence takes O(meta-graph
+// diameter) supersteps.
+//
+// Assumes an undirected graph (both arcs present), like the hash-min
+// vertex-centric program it is value-equivalent to: the unique fixed point
+// is the minimum vertex id of each connected component.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace pregel::subgraph {
+
+struct ComponentsSubgraphProgram {
+  static constexpr bool kSubgraphModel = true;
+
+  struct VertexValue {
+    VertexId label = kInvalidVertex;
+  };
+  using MessageValue = VertexId;
+
+  static Bytes message_payload_bytes(const MessageValue&) { return 4; }
+
+  template <class Ctx>
+  void compute_subgraph(Ctx& ctx) const {
+    const std::uint32_t n = ctx.num_vertices();
+    if (n == 0) return;
+    std::uint64_t ops = 0;
+
+    // Union-find over internal arcs, path-halving + union-by-id (the root is
+    // always the smaller local index, so find chains stay deterministic).
+    std::vector<std::uint32_t> parent(n);
+    std::iota(parent.begin(), parent.end(), 0u);
+    const auto find = [&](std::uint32_t x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+        ++ops;
+      }
+      return x;
+    };
+    for (std::uint32_t l = 0; l < n; ++l) {
+      const VertexId v = ctx.vertex_at(l);
+      for (const VertexId u : ctx.out_neighbors(v)) {
+        if (!ctx.is_local(u)) continue;
+        const std::uint32_t a = find(l), b = find(ctx.local_of(u));
+        ++ops;
+        if (a != b) parent[std::max(a, b)] = std::min(a, b);
+      }
+    }
+
+    // Component label = min(stored labels, own ids on superstep 0, incoming
+    // boundary labels) over the members of each internal component.
+    std::vector<VertexId> label(n, kInvalidVertex);
+    for (std::uint32_t l = 0; l < n; ++l) {
+      const std::uint32_t r = find(l);
+      VertexId cand = ctx.superstep() == 0 ? ctx.vertex_at(l) : ctx.value(l).label;
+      if (cand < label[r]) label[r] = cand;
+    }
+    for (const std::uint32_t l : ctx.active_locals()) {
+      const std::uint32_t r = find(l);
+      for (const VertexId m : ctx.messages(l)) {
+        ++ops;
+        if (m < label[r]) label[r] = m;
+      }
+    }
+
+    // Write improved labels back and flood them across the cut. Superstep 0
+    // always sends (the neighbor has never heard any label).
+    ctx.state_unchanged_all();
+    for (std::uint32_t l = 0; l < n; ++l) {
+      const VertexId next = label[find(l)];
+      const bool improved = next < ctx.value(l).label;
+      if (improved) {
+        ctx.value(l).label = next;
+        ctx.mark_changed(l);
+      }
+      if (improved || ctx.superstep() == 0) {
+        const VertexId v = ctx.vertex_at(l);
+        for (const VertexId u : ctx.out_neighbors(v))
+          if (!ctx.is_local(u)) ctx.send(v, u, next);
+      }
+    }
+    ctx.charge_local_work(ops);
+  }
+};
+
+/// Convenience runner, mirroring algos::run_components.
+inline JobResult<ComponentsSubgraphProgram> run_components_subgraph(
+    const Graph& g, const ClusterConfig& cluster, const Partitioning& parts) {
+  Engine<ComponentsSubgraphProgram> engine(g, {}, cluster, parts);
+  JobOptions opts;
+  opts.start_all_vertices = true;
+  return engine.run(opts);
+}
+
+}  // namespace pregel::subgraph

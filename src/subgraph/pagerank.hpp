@@ -1,0 +1,237 @@
+// Subgraph-centric PageRank, two local-solver modes:
+//
+//  - kJacobi reproduces the vertex-centric PageRankProgram bit-for-bit: one
+//    global Jacobi update per superstep, with each vertex's in-contributions
+//    summed in ascending sender rank — exactly the order the vertex engine
+//    delivers its inbox in. Local contributions are recomputed from stored
+//    ranks each superstep (no internal messages); only cut arcs carry
+//    (sender, share) pairs, so the cross-partition byte volume drops by the
+//    internal-arc fraction while values stay identical.
+//
+//  - kGaussSeidel runs repeated in-place sweeps inside each partition until
+//    the local residual converges, exchanging only boundary share *deltas*
+//    between supersteps. Far fewer supersteps on well-cut partitions; values
+//    converge to the same fixed point but are not bitwise comparable to the
+//    lock-step schedule.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/aggregates.hpp"
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace pregel::subgraph {
+
+struct PageRankSubgraphProgram {
+  static constexpr bool kSubgraphModel = true;
+
+  enum class Mode { kJacobi, kGaussSeidel };
+
+  struct VertexValue {
+    double rank = 0.0;
+    /// kGaussSeidel only: accumulated remote in-contribution and the share
+    /// last flooded across the cut (deltas are relative to it).
+    double remote_sum = 0.0;
+    double last_share = 0.0;
+  };
+  /// Boundary payload: the sender id keys the rank-ordered merge (kJacobi)
+  /// and `share` is an absolute share (kJacobi) or a share delta
+  /// (kGaussSeidel).
+  struct MessageValue {
+    VertexId src = kInvalidVertex;
+    double share = 0.0;
+  };
+
+  int iterations = 30;
+  double damping = 0.85;
+  Mode mode = Mode::kJacobi;
+  /// kGaussSeidel: sweep/halt threshold on per-vertex rank movement and on
+  /// boundary delta flooding.
+  double tolerance = 1e-10;
+  /// kGaussSeidel: cap on in-place sweeps per superstep.
+  int max_sweeps = 16;
+
+  static constexpr std::uint64_t kDanglingKey = make_key(0xFFFFFF, 1);
+
+  static Bytes message_payload_bytes(const MessageValue&) { return 12; }
+
+  template <class Ctx>
+  void compute_subgraph(Ctx& ctx) const {
+    if (mode == Mode::kJacobi)
+      jacobi_superstep(ctx);
+    else
+      gauss_seidel_superstep(ctx);
+  }
+
+  template <class MCtx>
+  void master_compute(MCtx& master) const {
+    // Re-broadcast this superstep's dangling mass for the next update.
+    master.globals().set(kDanglingKey, master.aggregates().get(kDanglingKey));
+  }
+
+ private:
+  // ---- exact lock-step Jacobi ---------------------------------------------
+
+  template <class Ctx>
+  void jacobi_superstep(Ctx& ctx) const {
+    const std::uint32_t nl = ctx.num_vertices();
+    const double n = ctx.num_graph_vertices();
+    std::uint64_t ops = 0;
+
+    if (ctx.superstep() > 0) {
+      // Pass A: gather every in-contribution per local target — internal
+      // shares from the stored (pre-update) ranks, boundary shares from the
+      // inbox — tagged with the sender's immutable rank.
+      std::vector<std::vector<std::pair<std::uint32_t, double>>> contrib(nl);
+      for (std::uint32_t l = 0; l < nl; ++l) {
+        const VertexId v = ctx.vertex_at(l);
+        const auto nbrs = ctx.out_neighbors(v);
+        if (nbrs.empty()) continue;
+        const double share = ctx.value(l).rank / static_cast<double>(nbrs.size());
+        const std::uint32_t r = ctx.rank_of(v);
+        for (const VertexId u : nbrs) {
+          ++ops;
+          if (ctx.is_local(u)) contrib[ctx.local_of(u)].push_back({r, share});
+        }
+      }
+      for (const std::uint32_t l : ctx.active_locals())
+        for (const MessageValue& m : ctx.messages(l))
+          contrib[l].push_back({ctx.rank_of(m.src), m.share});
+
+      // Pass B: sum in ascending sender rank — the vertex engine's delivery
+      // order — and apply the identical update expression. One sender's
+      // multi-arc contributions stay adjacent in arc order (stable sort).
+      const double dangling = ctx.global(kDanglingKey) / n;
+      for (std::uint32_t l = 0; l < nl; ++l) {
+        auto& c = contrib[l];
+        std::stable_sort(c.begin(), c.end(),
+                         [](const auto& a, const auto& b) { return a.first < b.first; });
+        double sum = 0.0;
+        for (const auto& [r, share] : c) sum += share;
+        ops += c.size();
+        ctx.value(l).rank = (1.0 - damping) / n + damping * (sum + dangling);
+      }
+    } else {
+      for (std::uint32_t l = 0; l < nl; ++l) ctx.value(l).rank = 1.0 / n;
+    }
+
+    // Pass C: boundary shares / dangling mass from the new ranks. Every
+    // local stays active (dangling vertices included — their rank keeps
+    // tracking the dangling mass), exactly like the vertex-centric program.
+    if (static_cast<int>(ctx.superstep()) < iterations) {
+      for (std::uint32_t l = 0; l < nl; ++l) {
+        const VertexId v = ctx.vertex_at(l);
+        const auto nbrs = ctx.out_neighbors(v);
+        if (nbrs.empty()) {
+          ctx.aggregate(v, kDanglingKey, ctx.value(l).rank);
+        } else {
+          const double share = ctx.value(l).rank / static_cast<double>(nbrs.size());
+          for (const VertexId u : nbrs)
+            if (!ctx.is_local(u)) ctx.send(v, u, {v, share});
+        }
+        ctx.remain_active(l);
+      }
+    }
+    ctx.charge_local_work(ops);
+  }
+
+  // ---- locally-converging Gauss-Seidel ------------------------------------
+
+  template <class Ctx>
+  void gauss_seidel_superstep(Ctx& ctx) const {
+    const std::uint32_t nl = ctx.num_vertices();
+    const double n = ctx.num_graph_vertices();
+    std::uint64_t ops = 0;
+
+    if (ctx.superstep() == 0)
+      for (std::uint32_t l = 0; l < nl; ++l) ctx.value(l).rank = 1.0 / n;
+
+    // Fold boundary deltas into each target's standing remote contribution.
+    for (const std::uint32_t l : ctx.active_locals())
+      for (const MessageValue& m : ctx.messages(l)) {
+        ctx.value(l).remote_sum += m.share;
+        ++ops;
+      }
+
+    // Internal reverse adjacency (in-neighbors restricted to this
+    // partition), rebuilt per superstep — the program is stateless.
+    std::vector<std::vector<std::uint32_t>> rev(nl);
+    for (std::uint32_t l = 0; l < nl; ++l) {
+      const VertexId v = ctx.vertex_at(l);
+      for (const VertexId u : ctx.out_neighbors(v)) {
+        ++ops;
+        if (ctx.is_local(u)) rev[ctx.local_of(u)].push_back(l);
+      }
+    }
+
+    // In-place sweeps to local convergence: each update reads the *latest*
+    // local ranks plus the standing remote sum and the barrier-lagged
+    // dangling mass.
+    const double dangling = ctx.global(kDanglingKey) / n;
+    bool converged = false;
+    for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+      double residual = 0.0;
+      for (std::uint32_t l = 0; l < nl; ++l) {
+        double local_sum = 0.0;
+        for (const std::uint32_t s : rev[l]) {
+          const VertexId sv = ctx.vertex_at(s);
+          local_sum += ctx.value(s).rank / static_cast<double>(ctx.out_degree(sv));
+          ++ops;
+        }
+        const double next =
+            (1.0 - damping) / n + damping * (local_sum + ctx.value(l).remote_sum + dangling);
+        residual = std::max(residual, std::fabs(next - ctx.value(l).rank));
+        ctx.value(l).rank = next;
+      }
+      converged = residual < tolerance;
+    }
+
+    // Flood material share deltas across the cut; keep dangling mass fresh.
+    // An unconverged partition re-activates itself for another superstep of
+    // sweeps even without incoming deltas.
+    for (std::uint32_t l = 0; l < nl; ++l) {
+      const VertexId v = ctx.vertex_at(l);
+      const auto nbrs = ctx.out_neighbors(v);
+      if (nbrs.empty()) {
+        ctx.aggregate(v, kDanglingKey, ctx.value(l).rank);
+      } else {
+        const double share = ctx.value(l).rank / static_cast<double>(nbrs.size());
+        const double delta = share - ctx.value(l).last_share;
+        if (std::fabs(delta) >= tolerance) {
+          bool sent = false;
+          for (const VertexId u : nbrs) {
+            if (ctx.is_local(u)) continue;
+            ctx.send(v, u, {v, delta});
+            sent = true;
+          }
+          // Only a flooded delta resets the baseline: sub-threshold drift
+          // keeps accumulating until it is worth a message. A vertex with
+          // no cut arcs never floods and needs no baseline.
+          if (sent) ctx.value(l).last_share = share;
+        }
+      }
+      if (!converged) ctx.remain_active(l);
+    }
+    ctx.charge_local_work(ops);
+  }
+};
+
+/// Convenience runner (exact Jacobi mode), mirroring algos::run_pagerank.
+inline JobResult<PageRankSubgraphProgram> run_pagerank_subgraph(
+    const Graph& g, const ClusterConfig& cluster, const Partitioning& parts,
+    int iterations = 30, double damping = 0.85) {
+  PageRankSubgraphProgram prog;
+  prog.iterations = iterations;
+  prog.damping = damping;
+  Engine<PageRankSubgraphProgram> engine(g, prog, cluster, parts);
+  JobOptions opts;
+  opts.start_all_vertices = true;
+  return engine.run(opts);
+}
+
+}  // namespace pregel::subgraph

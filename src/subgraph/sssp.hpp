@@ -1,0 +1,103 @@
+// Subgraph-centric SSSP (hop metric): per-superstep, each partition runs a
+// multi-source Dijkstra over its full local adjacency from the vertices the
+// boundary frontier improved, then sends one candidate per cut arc out of
+// every improved vertex. Where the vertex-centric program needs one
+// superstep per hop, this needs one per *partition crossing* — the GoFFish
+// observation that traversal superstep count collapses from O(diameter) to
+// O(meta-graph diameter).
+//
+// The hop distance from the source is a unique fixed point, so converged
+// values are bit-identical to the vertex-centric SsspProgram at any
+// parallelism and under any migration schedule (docs/SUBGRAPH.md).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace pregel::subgraph {
+
+struct SsspSubgraphProgram {
+  static constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+  static constexpr bool kSubgraphModel = true;
+
+  struct VertexValue {
+    std::uint32_t distance = kUnreached;
+  };
+  using MessageValue = std::uint32_t;  ///< candidate distance
+
+  static MessageValue seed_message(VertexId) { return 0; }
+  static Bytes message_payload_bytes(const MessageValue&) { return 4; }
+
+  template <class Ctx>
+  void compute_subgraph(Ctx& ctx) const {
+    // (distance, local) min-heap: unit weights make this a layered BFS, but
+    // the explicit key keeps pop order deterministic and id-tie-broken.
+    using Item = std::pair<std::uint32_t, std::uint32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+    std::vector<std::uint32_t> improved;  // locals whose distance dropped
+
+    ctx.state_unchanged_all();
+    std::uint64_t ops = 0;
+    for (const std::uint32_t l : ctx.active_locals()) {
+      std::uint32_t best = ctx.value(l).distance;
+      for (const std::uint32_t m : ctx.messages(l)) best = std::min(best, m);
+      ++ops;
+      if (best < ctx.value(l).distance) {
+        ctx.value(l).distance = best;
+        heap.push({best, l});
+      }
+    }
+
+    // Run the internal frontier to local convergence before the barrier.
+    while (!heap.empty()) {
+      const auto [d, l] = heap.top();
+      heap.pop();
+      ++ops;
+      if (d > ctx.value(l).distance) continue;  // stale entry
+      improved.push_back(l);
+      const VertexId v = ctx.vertex_at(l);
+      for (const VertexId u : ctx.out_neighbors(v)) {
+        if (!ctx.is_local(u)) continue;
+        const std::uint32_t ul = ctx.local_of(u);
+        ++ops;
+        if (d + 1 < ctx.value(ul).distance) {
+          ctx.value(ul).distance = d + 1;
+          heap.push({d + 1, ul});
+        }
+      }
+    }
+
+    // One boundary candidate per cut arc out of every improved vertex, at
+    // its final (converged) distance. A vertex can enter `improved` at most
+    // once: later heap entries are stale by then and are skipped above.
+    for (const std::uint32_t l : improved) {
+      ctx.mark_changed(l);
+      const VertexId v = ctx.vertex_at(l);
+      const std::uint32_t d = ctx.value(l).distance;
+      for (const VertexId u : ctx.out_neighbors(v))
+        if (!ctx.is_local(u)) ctx.send(v, u, d + 1);
+    }
+    ctx.charge_local_work(ops);
+    // Implicit vote-to-halt: the partition wakes when a boundary candidate
+    // arrives.
+  }
+};
+
+/// Convenience runner, mirroring algos::run_sssp.
+inline JobResult<SsspSubgraphProgram> run_sssp_subgraph(const Graph& g,
+                                                        const ClusterConfig& cluster,
+                                                        const Partitioning& parts,
+                                                        VertexId source) {
+  Engine<SsspSubgraphProgram> engine(g, {}, cluster, parts);
+  JobOptions opts;
+  opts.roots = {source};
+  return engine.run(opts);
+}
+
+}  // namespace pregel::subgraph

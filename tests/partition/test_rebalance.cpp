@@ -181,5 +181,63 @@ TEST(EdgeCutRefinePlanner, HonorsMoveBudget) {
   EXPECT_LE(planner.plan(s).moves.size(), 5u);
 }
 
+TEST(EdgeCutRefinePlanner, TallyCacheHitsAcrossBarriersSamePlan) {
+  // Same location table across consecutive barriers: the second plan() must
+  // reuse the boundary tallies (cache_hits grows) and emit the same moves a
+  // fresh planner computes from scratch.
+  const Graph g = barabasi_albert(200, 3, 17);
+  const auto parts = HashPartitioner{}.partition(g, 4);
+  std::vector<std::uint32_t> placement = {0, 1, 0, 1};
+  RebalanceSignals s;
+  s.graph = &g;
+  s.part_of = &parts.assignment();
+  s.placement = &placement;
+  s.workers = 2;
+  s.location_version = 3;
+  s.active.resize(4);
+  for (VertexId v = 0; v < 200; ++v)
+    s.active[parts.assignment()[v]].push_back(v);
+
+  EdgeCutRefinePlanner warm;
+  const MigrationPlan first = warm.plan(s);
+  const std::uint64_t hits_after_first = warm.cache_hits();
+  s.superstep = 2;  // later barrier, unchanged location table
+  const MigrationPlan second = warm.plan(s);
+  EXPECT_GT(warm.cache_hits(), hits_after_first);
+
+  EdgeCutRefinePlanner cold;
+  const MigrationPlan fresh = cold.plan(s);
+  EXPECT_EQ(second.moves, fresh.moves);
+  EXPECT_EQ(first.moves, fresh.moves);
+}
+
+TEST(EdgeCutRefinePlanner, LocationVersionBumpInvalidatesTallyCache) {
+  // A bumped location_version with a changed part_of must not replay stale
+  // tallies: the plan must match what a fresh planner sees.
+  const Graph g = path_graph(6);
+  std::vector<PartitionId> part_of = {0, 0, 1, 0, 0, 1};
+  std::vector<std::uint32_t> placement = {0, 0};
+  RebalanceSignals s;
+  s.graph = &g;
+  s.part_of = &part_of;
+  s.placement = &placement;
+  s.workers = 2;
+  s.location_version = 1;
+  s.active = {{}, {2}};
+
+  EdgeCutRefinePlanner planner;
+  ASSERT_EQ(planner.plan(s).moves.size(), 1u);  // pulls 2 home to partition 0
+
+  // Apply the move, as the executor would, and bump the version.
+  part_of[2] = 0;
+  s.location_version = 2;
+  s.active = {{2}, {5}};
+  const MigrationPlan after = planner.plan(s);
+  EdgeCutRefinePlanner cold;
+  const MigrationPlan fresh = cold.plan(s);
+  EXPECT_EQ(after.moves, fresh.moves);
+  for (const VertexMove& m : after.moves) EXPECT_NE(m.vertex, 2u);
+}
+
 }  // namespace
 }  // namespace pregel

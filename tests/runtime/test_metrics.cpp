@@ -21,6 +21,7 @@ SuperstepMetrics make_superstep(std::uint64_t id) {
   a.messages_sent_remote = 9;
   a.bytes_sent_remote = 900;
   a.bytes_received_remote = 400;
+  a.subgraph_ops = 21;
   a.memory_peak = 1000;
   a.compute_time = 2.0;
   a.network_time = 1.0;
@@ -78,8 +79,8 @@ TEST(MetricsIo, WorkerCsvShape) {
   EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 5);
   EXPECT_NE(s.find("superstep,worker,vertices_computed"), std::string::npos);
   EXPECT_NE(s.find("spilled_bytes"), std::string::npos);
-  EXPECT_NE(s.find("0,0,6,12,3,9,900,400,1000,2,1,1,0"), std::string::npos);
-  EXPECT_NE(s.find("0,1,4,8,2,4,400,900,2000,1,0.5,2.5,64"), std::string::npos);
+  EXPECT_NE(s.find("0,0,6,12,3,9,900,400,21,1000,2,1,1,0"), std::string::npos);
+  EXPECT_NE(s.find("0,1,4,8,2,4,400,900,0,2000,1,0.5,2.5,64"), std::string::npos);
 }
 
 TEST(MetricsIo, SuperstepCsvShape) {

@@ -10,6 +10,7 @@
 
 #include <cstring>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "algos/sssp.hpp"
 #include "graph/generators.hpp"
 #include "partition/partitioner.hpp"
+#include "runtime/metrics_io.hpp"
 #include "sched/scheduler.hpp"
 
 namespace pregel {
@@ -510,6 +512,70 @@ TEST(SchedScaleIn, SchedulerReclaimsRetiredVms) {
     EXPECT_EQ(rep.metrics.cost_usd, alone.metrics.cost_usd);
     EXPECT_EQ(rep.metrics.scale_ins, alone.metrics.scale_ins);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Deadline observability: advisory targets are recorded, never enforced.
+
+TEST(SchedDeadlines, MissesAreCountedAndReportedInCsv) {
+  const Corpus& c = corpus();
+  SchedulerOptions opts;
+  opts.pool_vms = 8;
+  JobScheduler scheduler(opts);
+
+  // An impossible deadline (before any slice can finish) and a generous one.
+  JobSpec tight{.name = "tight", .deadline = 1e-9};
+  JobSpec loose{.name = "loose", .deadline = 1e9};
+  JobSpec none{.name = "none"};  // no target: can never count as missed
+  const auto id_tight = scheduler.submit(
+      tight, std::make_unique<TypedJob<SsspProgram>>(
+                 c.ba, SsspProgram{}, small_cluster(4), c.ba_parts, sssp_opts(0)));
+  const auto id_loose = scheduler.submit(
+      loose, std::make_unique<TypedJob<SsspProgram>>(
+                 c.ba, SsspProgram{}, small_cluster(4), c.ba_parts, sssp_opts(0)));
+  const auto id_none = scheduler.submit(
+      none, std::make_unique<TypedJob<SsspProgram>>(
+                c.ba, SsspProgram{}, small_cluster(4), c.ba_parts, sssp_opts(0)));
+  scheduler.run_all();
+
+  ASSERT_EQ(scheduler.pool().jobs_completed, 3u);
+  EXPECT_TRUE(scheduler.rows()[id_tight].missed_deadline);
+  EXPECT_FALSE(scheduler.rows()[id_loose].missed_deadline);
+  EXPECT_FALSE(scheduler.rows()[id_none].missed_deadline);
+  EXPECT_EQ(scheduler.pool().deadline_misses, 1u);
+
+  // A deadline never perturbs the job itself: observability, not policy.
+  const auto solo = solo_run(c.ba, SsspProgram{}, 4, c.ba_parts, sssp_opts(0));
+  EXPECT_EQ(scheduler.report(id_tight).metrics.total_time, solo.metrics.total_time);
+
+  // The pool CSV carries the deadline columns; summary carries the rollup.
+  std::ostringstream csv;
+  write_pool_metrics_csv(scheduler.pool(), scheduler.rows(), csv);
+  EXPECT_NE(csv.str().find("deadline_s"), std::string::npos);
+  EXPECT_NE(csv.str().find("missed_deadline"), std::string::npos);
+  std::ostringstream summary;
+  write_pool_summary(scheduler.pool(), summary);
+  EXPECT_NE(summary.str().find("deadline_misses=1"), std::string::npos);
+}
+
+TEST(SchedDeadlines, FailedJobWithDeadlineCountsAsMiss) {
+  const Corpus& c = corpus();
+  SchedulerOptions opts;
+  opts.pool_vms = 8;
+  JobScheduler scheduler(opts);
+  // Budget kill mid-run: the job fails, and its (generous) deadline still
+  // counts as missed — a dead job cannot meet a completion target.
+  const auto solo = solo_run(c.ws, PageRankProgram{30, 0.85}, 4, c.ws_parts,
+                             pagerank_opts());
+  JobSpec spec{.name = "doomed", .deadline = 1e9};
+  spec.budget_usd = solo.metrics.cost_usd * 0.5;
+  scheduler.submit(spec, std::make_unique<TypedJob<PageRankProgram>>(
+                             c.ws, PageRankProgram{30, 0.85}, small_cluster(4),
+                             c.ws_parts, pagerank_opts()));
+  scheduler.run_all();
+  ASSERT_EQ(scheduler.pool().jobs_completed, 0u);
+  EXPECT_EQ(scheduler.pool().deadline_misses, 1u);
+  EXPECT_TRUE(scheduler.rows()[0].missed_deadline);
 }
 
 }  // namespace

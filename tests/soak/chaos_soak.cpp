@@ -35,6 +35,7 @@
 #include "partition/rebalance.hpp"
 #include "runtime/trace.hpp"
 #include "sched/scheduler.hpp"
+#include "subgraph/components.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -414,6 +415,49 @@ SeedOutcome run_bc_scenario(SplitMix64& rng, bool smoke, std::string& desc) {
   return {true, "", chaos_stats(r.metrics)};
 }
 
+/// Subgraph-centric Components under chaos (docs/SUBGRAPH.md): the
+/// per-partition union-find unit rides the same barriers, so the full fault
+/// gauntlet — recovery replays, governor interventions, migrations — must
+/// reproduce the min-label fixpoint bit-identically. The label lattice is
+/// schedule-independent, so the governor's shed rung stays armed.
+SeedOutcome run_subgraph_scenario(SplitMix64& rng, bool smoke, std::string& desc) {
+  std::string kind;
+  const Graph g = make_graph(rng, smoke, kind);
+  const std::uint32_t partitions = 4;
+  const auto parts = HashPartitioner{}.partition(g, partitions);
+
+  ChaosDraw chaos = draw_chaos(rng, partitions);
+  desc = "workload=subgraph-cc graph=" + kind + " " + chaos.describe;
+
+  ClusterConfig calm;
+  calm.num_partitions = partitions;
+  calm.initial_workers = chaos.cluster.initial_workers;
+  calm.vm.ram = 64_GiB;
+  const auto baseline = subgraph::run_components_subgraph(g, calm, parts);
+  if (baseline.failed) return {false, "baseline failed: " + baseline.failure_reason, ""};
+  const MemoryEnvelope env = envelope_of(baseline.metrics);
+
+  const Bytes target = squeezed_target(env, chaos.squeeze);
+  chaos.cluster.vm.ram = std::max(env.peak + env.peak / 5, 2 * env.floor + 8192);
+  JobOptions chaos_job;
+  chaos_job.start_all_vertices = true;
+  chaos_job.swath = SwathPolicy::make(std::make_shared<StaticSwathSizer>(1),
+                                      std::make_shared<SequentialInitiation>(), target);
+  chaos_job.governor = soak_governor(chaos.spill_enabled, chaos.scale_out_enabled);
+  Engine<subgraph::ComponentsSubgraphProgram> chaos_engine(g, {}, chaos.cluster, parts);
+  const auto r = chaos_engine.run(chaos_job);
+  if (r.failed) return {false, "chaos run failed: " + r.failure_reason, ""};
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (r.values[v].label != baseline.values[v].label)
+      return {false,
+              "label mismatch at vertex " + std::to_string(v) + ": " +
+                  std::to_string(r.values[v].label) + " != " +
+                  std::to_string(baseline.values[v].label),
+              ""};
+  return {true, "", chaos_stats(r.metrics)};
+}
+
 /// Multi-job scheduler under contention: a seeded mixed plan (PageRank and
 /// SSSP jobs, varied graphs, fleet widths, arrivals, users, priorities —
 /// some with the scale-in rung armed) runs through JobScheduler on a pool
@@ -550,10 +594,11 @@ SeedOutcome run_scheduler_scenario(SplitMix64& rng, bool smoke, std::string& des
 SeedOutcome run_seed(std::uint64_t seed, bool smoke, std::string& desc) {
   SplitMix64 rng(mix64(seed ^ 0x50414B5F534F414BULL));
   try {
-    switch (rng() % 4) {
+    switch (rng() % 5) {
       case 0: return run_sssp_scenario(rng, smoke, desc);
       case 1: return run_pagerank_scenario(rng, smoke, desc);
       case 2: return run_bc_scenario(rng, smoke, desc);
+      case 3: return run_subgraph_scenario(rng, smoke, desc);
       default: return run_scheduler_scenario(rng, smoke, desc);
     }
   } catch (const std::exception& e) {
